@@ -1,0 +1,67 @@
+"""EXP-F1/F2 — Figures 1-2: the classification census and attribute forests.
+
+Regenerates Figure 1's strict inclusion chain with catalog witnesses and
+Figure 2's attribute forests for the paper's Q1 and Q2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import print_table
+from repro.query import catalog
+from repro.query.classify import JoinClass, classify
+from repro.query.forests import attribute_forest
+from repro.query.paths import minimal_path_of_length_3
+
+
+def _census():
+    rows = []
+    for name, q in sorted(catalog.CATALOG.items()):
+        cls = classify(q)
+        witness = ""
+        if cls == JoinClass.ACYCLIC:
+            witness = "->".join(minimal_path_of_length_3(q) or ())
+        rows.append([name, cls.name, len(q.edge_names), len(q.attributes), witness])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_classification_census(benchmark):
+    rows = benchmark.pedantic(_census, rounds=1, iterations=1)
+    print_table(
+        "Figure 1: classification census (witness = Lemma 2 minimal 3-path)",
+        ["query", "class", "m", "n", "minimal 3-path"],
+        rows,
+    )
+    classes = {r[0]: r[1] for r in rows}
+    # Strict inclusion witnesses, as drawn in Figure 1.
+    assert classes["q1_tall_flat"] == "TALL_FLAT"
+    assert classes["q2_hierarchical"] == "HIERARCHICAL"
+    assert classes["q2_r_hierarchical"] == "R_HIERARCHICAL"
+    assert classes["line3"] == "ACYCLIC"
+    assert classes["triangle"] == "CYCLIC"
+    # Lemma 2: every ACYCLIC (non-r-hier) row carries a witness path.
+    for name, cls, _m, _n, witness in rows:
+        if cls == "ACYCLIC":
+            assert witness, name
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig2_attribute_forests(benchmark):
+    def build():
+        out = {}
+        for name in ("q1_tall_flat", "q2_hierarchical"):
+            forest = attribute_forest(catalog.CATALOG[name])
+            out[name] = {x: forest.parent[x] for x in sorted(forest.parent)}
+        return out
+
+    forests = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        [name, x, par or "(root)"]
+        for name, parent in forests.items()
+        for x, par in parent.items()
+    ]
+    print_table("Figure 2: attribute forests", ["query", "attr", "parent"], rows)
+    assert forests["q1_tall_flat"]["x4"] == "x3"
+    assert forests["q2_hierarchical"]["x5"] == "x3"

@@ -1,0 +1,65 @@
+"""EXP-T4/C1 — Theorem 4 and Corollary 1: output-optimal r-hierarchical loads.
+
+Sweeps OUT on the Lemma 1 extremal construction (the instance that makes
+Theorem 4's closed form tight) and on smooth star workloads, comparing the
+measured load of the Section 3.2 algorithm against
+``IN/p^{1/max(1,k*-1)} + (OUT/p)^{1/k*}`` and the cleaner Corollary 1 form
+``IN/p + sqrt(OUT/p)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import print_table, run_join
+from repro.data.generators import star_instance
+from repro.data.hard_instances import rhier_extremal
+from repro.query import catalog
+from repro.theory.bounds import corollary1_bound, k_star, theorem4_bound
+
+P = 8
+
+
+def _sweep():
+    rows = []
+    q = catalog.cartesian_product(3)
+    in_size = 900
+    for out_target in (int(in_size ** 1.5), in_size ** 2 // 4, in_size ** 2 * 40):
+        inst = rhier_extremal(q, in_size, out_target)
+        out = inst.output_size()
+        m = run_join(q, inst, P, "rhierarchical")
+        t4 = theorem4_bound(inst.input_size, out, P)
+        c1 = corollary1_bound(inst.input_size, out, P)
+        rows.append(
+            ["extremal x3", k_star(inst.input_size, out), m["in"], out,
+             m["load"], t4, m["load"] / t4, c1]
+        )
+    for fanout in (4, 10, 22):
+        inst = star_instance(3, 6, fanout)
+        out = inst.output_size()
+        m = run_join(inst.query, inst, P, "rhierarchical")
+        t4 = theorem4_bound(inst.input_size, out, P)
+        c1 = corollary1_bound(inst.input_size, out, P)
+        rows.append(
+            ["star3", k_star(inst.input_size, out), m["in"], out,
+             m["load"], t4, m["load"] / t4, c1]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="thm4")
+def test_thm4_closed_form(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print_table(
+        f"Theorem 4 / Corollary 1: r-hier output-optimal bound (p={P})",
+        ["workload", "k*", "IN", "OUT", "load", "Thm4 bound", "ratio", "Cor1 bound"],
+        rows,
+    )
+    for row in rows:
+        workload, _k, _in, _out, load, t4, ratio, c1 = row
+        assert ratio < 60, row
+        # Corollary 1 upper-bounds Theorem 4's form up to constants.
+        assert t4 <= 3 * c1 + 1
+    # The extremal sweep exercises growing k*.
+    kstars = [r[1] for r in rows if r[0] == "extremal x3"]
+    assert max(kstars) >= 2

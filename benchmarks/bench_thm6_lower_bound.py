@@ -1,0 +1,122 @@
+"""EXP-T6/C2/C3 — Theorem 6: the line-3 lower bound and its crossovers.
+
+Three reproductions on the Figure 4 random hard instances:
+
+1. The counting core of the proof: the empirical J(L) estimator needs load
+   ~ the Theorem 6 formula before p * J(L) can reach OUT.
+2. Upper-bound consistency: every algorithm's measured load is at least
+   the (constant-free) lower-bound formula, and the Section 4.2 algorithm
+   sits within a polylog factor — output-optimality for OUT <= p * IN.
+3. The crossover: past OUT ~ p * IN the worst-case-optimal IN/sqrt(p)
+   algorithm takes over (its load stops depending on OUT), and the
+   Corollary 2 gap to L_instance = O(IN/p) rules out instance-optimality.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _common import print_table, run_join
+from repro.data.hard_instances import line3_random_hard
+from repro.theory.bounds import l_instance
+from repro.theory.lower_bounds import (
+    estimate_j_line3,
+    line3_lower_bound,
+    min_load_from_j,
+)
+
+P = 8
+IN_SIZE = 3000
+
+
+def _counting_core():
+    rows = []
+    for out_mult in (2, 8, 24):
+        inst = line3_random_hard(IN_SIZE, out_mult * IN_SIZE, seed=17)
+        out = inst.output_size()
+        lb = line3_lower_bound(inst.input_size, out, P)
+        need = min_load_from_j(
+            out, P,
+            lambda load: estimate_j_line3(inst, load, seed=3, trials=10),
+            hi=inst.input_size,
+        )
+        rows.append([inst.input_size, out, lb, need, need / max(1.0, lb)])
+    return rows
+
+
+def _upper_bounds():
+    rows = []
+    for out_mult in (2, 8, 24):
+        inst = line3_random_hard(IN_SIZE, out_mult * IN_SIZE, seed=18)
+        out = inst.output_size()
+        lb = line3_lower_bound(inst.input_size, out, P)
+        for algo in ("line3", "yannakakis", "wc-line3"):
+            m = run_join(inst.query, inst, P, algo)
+            rows.append([out, algo, m["load"], lb, m["load"] / max(1.0, lb)])
+    return rows
+
+
+@pytest.mark.benchmark(group="thm6")
+def test_thm6_counting_argument(benchmark):
+    rows = benchmark.pedantic(_counting_core, rounds=1, iterations=1)
+    print_table(
+        f"Theorem 6 counting core: load needed for p*J(L) >= OUT (p={P})",
+        ["IN", "OUT", "Thm6 formula", "empirical L*", "L*/formula"],
+        rows,
+    )
+    for _in, _out, lb, need, ratio in rows:
+        # The empirical requirement must not sit far *below* the formula
+        # (the estimator may exceed it: greedy loading is weaker than the
+        # adversary's optimum, making L* conservative upward).
+        assert need >= 0.2 * lb
+
+
+@pytest.mark.benchmark(group="thm6")
+def test_thm6_upper_bound_consistency(benchmark):
+    rows = benchmark.pedantic(_upper_bounds, rounds=1, iterations=1)
+    print_table(
+        f"Theorem 6 vs upper bounds on Figure-4 instances (p={P})",
+        ["OUT", "algorithm", "load", "Thm6 LB", "load/LB"],
+        rows,
+    )
+    for _out, algo, load, lb, ratio in rows:
+        assert load >= 0.8 * lb, (algo, load, lb)
+    line3_ratios = [r[4] for r in rows if r[1] == "line3"]
+    polylog = math.log2(IN_SIZE) ** 2
+    assert max(line3_ratios) <= 3 * polylog
+
+
+def _crossover():
+    rows = []
+    for out_mult in (1, 4, P, 4 * P):
+        inst = line3_random_hard(IN_SIZE, out_mult * IN_SIZE, seed=19)
+        out = inst.output_size()
+        new = run_join(inst.query, inst, P, "line3")
+        wc = run_join(inst.query, inst, P, "wc-line3")
+        li = l_instance(inst.query, inst, P)
+        rows.append(
+            [out / inst.input_size, out, new["load"], wc["load"], li,
+             "wc" if wc["load"] < new["load"] else "line3"]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="thm6")
+def test_corollary2_crossover(benchmark):
+    rows = benchmark.pedantic(_crossover, rounds=1, iterations=1)
+    print_table(
+        f"Corollary 2 regime: OUT sweep to p*IN and beyond (p={P})",
+        ["OUT/IN", "OUT", "line3 load", "wc load", "L_instance", "winner"],
+        rows,
+    )
+    # The worst-case algorithm's load is flat in OUT...
+    wc_loads = [r[3] for r in rows]
+    assert max(wc_loads) <= 2.5 * min(wc_loads)
+    # ...and by OUT = 4p*IN it wins (the Theorem 6 crossover).
+    assert rows[-1][5] == "wc"
+    # Corollary 2's gap: at OUT ~ p*IN every algorithm's load is far above
+    # L_instance (which stays ~IN/p-ish): no instance-optimal algorithm.
+    big = [r for r in rows if r[0] >= P][0]
+    assert min(big[2], big[3]) > 2 * big[4]

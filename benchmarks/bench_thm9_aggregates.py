@@ -1,0 +1,83 @@
+"""EXP-T9/T10/C4 — Section 6: join-aggregate queries.
+
+* Corollary 4: computing |Q(R)| has linear load — flat in OUT.
+* Theorem 9: free-connex join-aggregates run in
+  O(IN/p + sqrt(IN*OUT')/p) where OUT' is the *aggregated* output size
+  (much smaller than |Q(R)|).
+* Theorem 10: out-hierarchical queries dispatch to the instance-optimal
+  join on the residual query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import print_table
+from repro.core.runner import mpc_join_aggregate, mpc_output_size
+from repro.data.generators import line_trap_instance
+from repro.semiring import COUNT
+
+P = 8
+
+
+def _corollary4():
+    rows = []
+    for out_target in (12000, 96000, 360000):
+        inst = line_trap_instance(3, 3000, out_target)
+        cnt, rep = mpc_output_size(inst.query, inst, P)
+        rows.append([inst.input_size, cnt, rep.load, rep.load / (inst.input_size / P)])
+    return rows
+
+
+def _theorem9():
+    rows = []
+    for out_target in (12000, 96000, 360000):
+        inst = line_trap_instance(3, 3000, out_target)
+        ann = inst.with_uniform_annotations(COUNT)
+        q = inst.query
+        for outputs in ({"X0"}, {"X0", "X1"}):
+            res = mpc_join_aggregate(q, outputs, ann, COUNT, p=P)
+            rows.append(
+                [
+                    out_target,
+                    "{" + ",".join(sorted(outputs)) + "}",
+                    res.meta["downstream"],
+                    len(res.relation),
+                    res.report.load,
+                ]
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="thm9")
+def test_corollary4_linear_count(benchmark):
+    rows = benchmark.pedantic(_corollary4, rounds=1, iterations=1)
+    print_table(
+        f"Corollary 4: |Q(R)| with linear load (p={P})",
+        ["IN", "OUT", "count load", "load/(IN/p)"],
+        rows,
+    )
+    loads = [r[2] for r in rows]
+    # Flat in OUT (30x OUT growth, ~no load growth).
+    assert max(loads) <= 1.4 * min(loads)
+    assert all(r[3] < 20 for r in rows)
+
+
+@pytest.mark.benchmark(group="thm9")
+def test_thm9_thm10_aggregate_sweep(benchmark):
+    rows = benchmark.pedantic(_theorem9, rounds=1, iterations=1)
+    print_table(
+        f"Theorems 9-10: COUNT GROUP BY on the line-3 trap (p={P})",
+        ["|Q(R)| target", "outputs", "downstream", "OUT'", "load"],
+        rows,
+    )
+    # Theorem 10: grouping attributes covered by one edge dispatch to the
+    # instance-optimal (out-hierarchical) path.
+    assert all(r[2] == "rhierarchical" for r in rows)
+    # Aggregation shields the load from |Q(R)|: the aggregate load is flat
+    # while the full join output grows 30x.
+    by_outputs: dict[str, list[int]] = {}
+    for _t, outputs, _d, _o, load in rows:
+        by_outputs.setdefault(outputs, []).append(load)
+    for outputs, loads in by_outputs.items():
+        assert max(loads) <= 1.6 * min(loads), outputs

@@ -1,0 +1,76 @@
+"""Star-schema analytics: instance-optimal joins on hierarchical queries.
+
+A retail-style star join (orders hub with customer / product / warehouse
+dimensions) is *hierarchical*, so the paper's Section 3.2 algorithm is
+instance-optimal: its load tracks the per-instance lower bound
+L_instance(p, R) — eq. (2) — within a constant, no matter how skewed the
+hub is.  The script sweeps skew and prints the optimality ratio next to
+the one-round BinHC baseline.
+
+Run:  python examples/star_schema.py
+"""
+
+from repro import Hypergraph, classify, mpc_join
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.theory.bounds import l_instance
+
+P = 16
+
+# Each dimension shares only the hub key with the others: hierarchical.
+query = Hypergraph(
+    {
+        "by_customer": ("order_id", "customer"),
+        "by_product": ("order_id", "product"),
+        "by_warehouse": ("order_id", "warehouse"),
+    },
+    name="star-schema",
+)
+print(f"query class: {classify(query).name}")
+
+
+def build_instance(skew: int) -> Instance:
+    """orders 0..39; order 0 is a mega-order touching `skew` x more parts."""
+    rows = {"by_customer": [], "by_product": [], "by_warehouse": []}
+    for order in range(40):
+        fan = 60 * skew if order == 0 else 6
+        for i in range(fan):
+            rows["by_customer"].append((f"c{order}_{i % 7}", f"o{order}"))
+            rows["by_product"].append((f"o{order}", f"p{order}_{i}"))
+            rows["by_warehouse"].append((f"o{order}", f"w{i % 5}"))
+    return Instance(
+        query,
+        {
+            "by_customer": Relation(
+                "by_customer", ("customer", "order_id"), rows["by_customer"]
+            ),
+            "by_product": Relation(
+                "by_product", ("order_id", "product"), rows["by_product"]
+            ),
+            "by_warehouse": Relation(
+                "by_warehouse", ("order_id", "warehouse"), rows["by_warehouse"]
+            ),
+        },
+    )
+
+
+print(f"\n{'skew':>5} {'IN':>7} {'OUT':>9} {'L_inst':>8} "
+      f"{'rhier load':>11} {'ratio':>6} {'binhc load':>11} {'ratio':>6}")
+for skew in (1, 4, 16):
+    inst = build_instance(skew)
+    bound = inst.input_size / P + l_instance(query, inst, P)
+    optimal = mpc_join(query, inst, p=P, algorithm="rhierarchical", validate=True)
+    binhc = mpc_join(query, inst, p=P, algorithm="binhc")
+    print(
+        f"{skew:>5} {inst.input_size:>7} {inst.output_size():>9} "
+        f"{bound:>8.0f} {optimal.report.load:>11} "
+        f"{optimal.report.load / bound:>6.1f} {binhc.report.load:>11} "
+        f"{binhc.report.load / bound:>6.1f}"
+    )
+
+print(
+    "\nThe rhier ratio does not grow as the mega-order inflates 16x (it\n"
+    "even shrinks as fixed coordination costs amortize): that is Theorem\n"
+    "3's instance-optimality.  BinHC tracks it up to its polylog factor\n"
+    "because this instance is dangling-free (Theorem 2)."
+)

@@ -1,0 +1,295 @@
+"""The HyperCube algorithm: share-based one-round joins.
+
+Two variants:
+
+* :func:`hypercube_cartesian` — Cartesian products (paper Sections 1.3 and
+  3.2 Case 2).  Relations are chunked with multi-numbering (deterministic,
+  perfectly balanced) and each grid cell receives one chunk combination, so
+  the load matches ``L_Cartesian`` (eq. 1) up to constants — the
+  instance-optimality of HyperCube on Cartesian products.
+* :func:`hypercube_join` — general joins with per-attribute shares (the
+  worst-case-optimal comparators of [24, 19] and the per-class runs inside
+  BinHC).  Tuples hash on their attributes' coordinates and replicate over
+  the rest; each potential result lands on exactly one server.
+
+:func:`optimal_cartesian_shares` and :func:`optimal_join_shares` compute
+integer share vectors (water-filling and a log-space LP, respectively).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.data.relation import Row, project_row
+from repro.errors import MPCError, QueryError
+from repro.mpc.distrel import DistRelation
+from repro.mpc.group import Group
+from repro.mpc.hashing import stable_hash
+from repro.mpc.primitives import multi_numbering
+from repro.core.common import canonical_attrs, local_tree_join
+from repro.query.hypergraph import Hypergraph
+
+__all__ = [
+    "optimal_cartesian_shares",
+    "optimal_join_shares",
+    "hypercube_cartesian",
+    "hypercube_join",
+]
+
+
+def optimal_cartesian_shares(sizes: Sequence[int], budget: int) -> list[int]:
+    """Integer shares minimizing ``max_i N_i / p_i`` with ``prod p_i <= budget``.
+
+    Greedy water-filling: repeatedly grow the dimension with the largest
+    per-server residual while the product fits.  Equals the fractional
+    optimum within a constant factor, which suffices for the paper's
+    instance-optimality statement (HyperCube is optimal up to polylog/const
+    factors).
+    """
+    if budget < 1:
+        raise MPCError("budget must be >= 1")
+    shares = [1] * len(sizes)
+    while True:
+        prod = math.prod(shares)
+        # Grow the currently worst dimension if the budget allows.
+        order = sorted(
+            range(len(sizes)), key=lambda i: -(sizes[i] / shares[i])
+        )
+        grown = False
+        for i in order:
+            if shares[i] < max(1, sizes[i]) and prod // shares[i] * (shares[i] + 1) <= budget:
+                shares[i] += 1
+                grown = True
+                break
+        if not grown:
+            return shares
+
+
+def optimal_join_shares(
+    query: Hypergraph, sizes: dict[str, int], budget: int
+) -> dict[str, int]:
+    """Integer per-attribute shares for HyperCube on a general join.
+
+    Solves the fractional program ``min t`` s.t.
+    ``log N_e - sum_{x in e} s_x <= t`` and ``sum_x s_x <= log budget`` in
+    log space, then rounds down to integers (re-normalizing so the product
+    stays within budget).
+    """
+    attrs = sorted(query.attributes)
+    edges = list(query.edge_names)
+    n, m = len(attrs), len(edges)
+    # Variables: s_x for each attr, then t.
+    c = np.zeros(n + 1)
+    c[-1] = 1.0
+    a_ub = []
+    b_ub = []
+    for e in edges:
+        row = np.zeros(n + 1)
+        for x in query.attrs_of(e):
+            row[attrs.index(x)] = -1.0
+        row[-1] = -1.0
+        a_ub.append(row)
+        b_ub.append(-math.log(max(2, sizes[e])))
+    cap = np.zeros(n + 1)
+    cap[:n] = 1.0
+    a_ub.append(cap)
+    b_ub.append(math.log(max(1, budget)))
+    res = linprog(
+        c,
+        A_ub=np.array(a_ub),
+        b_ub=np.array(b_ub),
+        bounds=[(0, None)] * n + [(None, None)],
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - feasible by construction
+        raise QueryError(f"share LP failed: {res.message}")
+    shares = {x: max(1, int(math.floor(math.exp(res.x[i]) + 1e-9))) for i, x in enumerate(attrs)}
+    # Renormalize into the budget (floor can still overshoot jointly).
+    while math.prod(shares.values()) > budget:
+        worst = max(shares, key=lambda x: shares[x])
+        if shares[worst] == 1:
+            break
+        shares[worst] -= 1
+    return shares
+
+
+def _grid_strides(dims: Sequence[int]) -> list[int]:
+    strides = [0] * len(dims)
+    acc = 1
+    for i in reversed(range(len(dims))):
+        strides[i] = acc
+        acc *= dims[i]
+    return strides
+
+
+def hypercube_cartesian(
+    group: Group,
+    rels: Sequence[DistRelation],
+    label: str = "hypercube",
+    name: str = "product",
+) -> DistRelation:
+    """Cartesian product of ``rels`` with instance-optimal load.
+
+    Output schema: concatenation of the input schemas (must be disjoint).
+    """
+    attrs_all: list[str] = []
+    for r in rels:
+        for a in r.attrs:
+            if a in attrs_all:
+                raise MPCError(f"cartesian product schemas overlap on {a!r}")
+            attrs_all.append(a)
+    p = group.size
+    sizes = [r.total_size() for r in rels]
+    if any(s == 0 for s in sizes):
+        return DistRelation(name, tuple(attrs_all), [[] for _ in range(p)])
+    shares = optimal_cartesian_shares(sizes, p)
+    strides = _grid_strides(shares)
+    k = len(rels)
+
+    # Balanced chunking via multi-numbering on a single shared key.
+    chunk_of: list[list[list[tuple[Row, int]]]] = []
+    for idx, rel in enumerate(rels):
+        numbered = multi_numbering(
+            group,
+            [[(0, row) for row in part] for part in rel.parts],
+            f"{label}/chunk{idx}",
+        )
+        chunk_of.append(
+            [[(row, (num - 1) % shares[idx]) for _k, row, num in part] for part in numbered]
+        )
+
+    outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(p)]
+    other_dims: list[list[int]] = []
+    for i in range(k):
+        other_dims.append([d for j, d in enumerate(shares) if j != i])
+
+    def combos(dims: Sequence[int]) -> list[list[int]]:
+        acc: list[list[int]] = [[]]
+        for d in dims:
+            acc = [c + [v] for c in acc for v in range(d)]
+        return acc
+
+    for i in range(k):
+        for src in range(p):
+            for row, chunk in chunk_of[i][src]:
+                for combo in combos(other_dims[i]):
+                    coords = combo[:i] + [chunk] + combo[i:]
+                    cell = sum(c * s for c, s in zip(coords, strides))
+                    outboxes[src].append((cell % p, (i, row)))
+    inboxes = group.exchange(outboxes, f"{label}/shuffle")
+
+    parts: list[list[Row]] = []
+    for inbox in inboxes:
+        by_rel: list[list[Row]] = [[] for _ in range(k)]
+        for i, row in inbox:
+            by_rel[i].append(row)
+        out: list[Row] = []
+        if all(by_rel):
+            acc: list[Row] = [()]
+            for rows in by_rel:
+                acc = [base + r for base in acc for r in rows]
+            out = acc
+        parts.append(out)
+    return DistRelation(name, tuple(attrs_all), parts)
+
+
+def hypercube_join(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    shares: dict[str, int] | None = None,
+    label: str = "hcjoin",
+    name: str = "result",
+    salt: int = 0,
+) -> DistRelation:
+    """One-round HyperCube join with per-attribute shares.
+
+    Every tuple is sent to all grid cells consistent with the hash of its
+    attribute values; each cell joins its fragments locally.  Each join
+    result materializes on exactly one cell (the one addressed by all its
+    attribute hashes), so no deduplication is needed.
+
+    Args:
+        shares: Share per attribute (defaults to
+            :func:`optimal_join_shares` on the relation sizes).  Their
+            product must be <= the group size.
+    """
+    p = group.size
+    if shares is None:
+        shares = optimal_join_shares(
+            query, {n: rels[n].total_size() for n in query.edge_names}, p
+        )
+    attrs = sorted(query.attributes)
+    dims = [max(1, shares.get(a, 1)) for a in attrs]
+    if math.prod(dims) > p:
+        raise MPCError(f"share product {math.prod(dims)} exceeds group size {p}")
+    strides = _grid_strides(dims)
+    attr_index = {a: i for i, a in enumerate(attrs)}
+
+    def combos(free_dims: list[int]) -> list[list[int]]:
+        acc: list[list[int]] = [[]]
+        for d in free_dims:
+            acc = [c + [v] for c in acc for v in range(d)]
+        return acc
+
+    outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(p)]
+    for rel_name in query.edge_names:
+        rel = rels[rel_name]
+        edge_attrs = [a for a in attrs if a in query.attrs_of(rel_name)]
+        pos = rel.positions(tuple(edge_attrs))
+        fixed_idx = [attr_index[a] for a in edge_attrs]
+        free_idx = [i for i in range(len(attrs)) if i not in fixed_idx]
+        free_dims = [dims[i] for i in free_idx]
+        for src in range(p):
+            for row in rel.parts[src]:
+                vals = project_row(row, pos)
+                coords = [0] * len(attrs)
+                for a, v in zip(edge_attrs, vals):
+                    i = attr_index[a]
+                    coords[i] = stable_hash(v, salt=salt + i) % dims[i]
+                for combo in combos(free_dims):
+                    for i, v in zip(free_idx, combo):
+                        coords[i] = v
+                    cell = sum(c * s for c, s in zip(coords, strides))
+                    outboxes[src].append((cell % p, (rel_name, row)))
+    inboxes = group.exchange(outboxes, f"{label}/shuffle")
+
+    out_schema = canonical_attrs([rels[n].attrs for n in query.edge_names])
+    parts: list[list[Row]] = []
+    for inbox in inboxes:
+        by_rel: dict[str, list[Row]] = {n: [] for n in query.edge_names}
+        for rel_name, row in inbox:
+            by_rel[rel_name].append(row)
+        if any(not v for v in by_rel.values()):
+            parts.append([])
+            continue
+        schemas = {n: rels[n].attrs for n in query.edge_names}
+        if query.is_acyclic():
+            _attrs, joined = local_tree_join(query, schemas, by_rel)
+        else:
+            _attrs, joined = _local_generic_join(query, schemas, by_rel, out_schema)
+        parts.append(joined)
+    return DistRelation(name, out_schema, parts)
+
+
+def _local_generic_join(
+    query: Hypergraph,
+    schemas: dict[str, tuple[str, ...]],
+    rows: dict[str, list[Row]],
+    out_schema: tuple[str, ...],
+) -> tuple[tuple[str, ...], list[Row]]:
+    """Local join for cyclic queries: fold relations smallest-first."""
+    from repro.core.common import align_to_schema, local_hash_join
+
+    order = sorted(query.edge_names, key=lambda n: len(rows[n]))
+    cur_attrs: tuple[str, ...] = tuple(schemas[order[0]])
+    cur_rows = list(rows[order[0]])
+    for n in order[1:]:
+        cur_attrs, cur_rows = local_hash_join(
+            cur_attrs, cur_rows, schemas[n], rows[n]
+        )
+    return out_schema, align_to_schema(cur_rows, cur_attrs, out_schema)

@@ -1,0 +1,150 @@
+"""The output-optimal line-3 join algorithm (paper Section 4.2, Theorem 5).
+
+``R1(A,B) join R2(B,C) join R3(C,D)`` with load O(IN/p + sqrt(IN*OUT)/p):
+
+1. Remove dangling tuples; compute OUT (both MPC primitives).
+2. ``tau = sqrt(OUT/IN)``.  A value ``b in dom(B)`` is *heavy* if its degree
+   in ``R1`` exceeds ``tau``; split ``R1`` and ``R2`` accordingly.
+3. Two sub-joins with opposite join orders:
+
+   * ``Q1 = R1^H join (R2^H join R3)`` — the intermediate has size
+     <= OUT/tau since each of its results meets >= tau heavy R1 partners;
+   * ``Q2 = (R1^L join R2^L) join R3`` — the intermediate has size
+     <= IN*tau since light B values bound the fan-out.
+
+   Balancing the two at ``tau = sqrt(OUT/IN)`` gives the theorem.
+
+The module is a faithful specialization of Section 4.2 (the general
+machinery lives in :mod:`repro.core.acyclic`); keeping it separate lets the
+benchmarks reproduce the paper's exposition directly.
+"""
+
+from __future__ import annotations
+
+import math
+from repro.core.aggregates import mpc_count
+from repro.core.binary_join import binary_join
+from repro.core.common import align_to_schema, canonical_attrs, concat_distrels
+from repro.data.relation import project_row
+from repro.errors import QueryError
+from repro.mpc.dangling import remove_dangling
+from repro.mpc.distrel import DistRelation
+from repro.mpc.group import Group
+from repro.mpc.primitives import multi_search, sum_by_key
+from repro.query.hypergraph import Hypergraph
+
+__all__ = ["line3_join"]
+
+
+def _is_line3(query: Hypergraph) -> tuple[str, str, str] | None:
+    """Match the line-3 shape; return edge names in path order."""
+    if len(query.edge_names) != 3:
+        return None
+    names = list(query.edge_names)
+    # The middle edge shares an attribute with both others.
+    for mid in names:
+        others = [n for n in names if n != mid]
+        a, b = others
+        sa = query.attrs_of(mid) & query.attrs_of(a)
+        sb = query.attrs_of(mid) & query.attrs_of(b)
+        if (
+            len(query.attrs_of(mid)) == 2
+            and len(sa) == 1
+            and len(sb) == 1
+            and sa != sb
+            and not (query.attrs_of(a) & query.attrs_of(b))
+        ):
+            return a, mid, b
+    return None
+
+
+def line3_join(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    label: str = "line3",
+    out_size: int | None = None,
+) -> DistRelation:
+    """Compute a line-3 join with load O(IN/p + sqrt(IN*OUT)/p).
+
+    Args:
+        query: Must be shaped ``R1(A,B) join R2(B,C) join R3(C,D)`` (any
+            names; the path order is auto-detected).
+        out_size: Skip the OUT computation if already known.
+
+    Raises:
+        QueryError: If the query is not a line-3 join.
+    """
+    shape = _is_line3(query)
+    if shape is None:
+        raise QueryError(f"{query.name} is not a line-3 join")
+    n1, n2, n3 = shape
+
+    working = remove_dangling(group, query, rels, f"{label}/dangling")
+    schema = canonical_attrs([working[n].attrs for n in query.edge_names])
+    if out_size is None:
+        out_size = mpc_count(group, query, working, f"{label}/out")
+    if out_size == 0:
+        return DistRelation("result", schema, [[] for _ in range(group.size)])
+    in_size = max(1, sum(working[n].total_size() for n in query.edge_names))
+    tau = max(1.0, math.sqrt(out_size / in_size))
+
+    # --- Step 1: classify B values by their degree in R1. ----------------
+    b_attr = tuple(sorted(query.attrs_of(n1) & query.attrs_of(n2)))
+    r1 = working[n1]
+    r2 = working[n2]
+    r3 = working[n3]
+    pos1 = r1.positions(b_attr)
+    degs = sum_by_key(
+        group,
+        [[(project_row(row, pos1), 1) for row in part] for part in r1.parts],
+        label=f"{label}/deg",
+    )
+
+    def split(rel: DistRelation) -> tuple[DistRelation, DistRelation]:
+        pos = rel.positions(b_attr)
+        x_parts = [
+            [(project_row(row, pos), row) for row in part] for part in rel.parts
+        ]
+        found = multi_search(group, x_parts, degs, f"{label}/split-{rel.name}")
+        h_parts, l_parts = [], []
+        for part in found:
+            hp, lp = [], []
+            for key, row, pk, d in part:
+                deg = d if pk == key else 0
+                if deg > tau:
+                    hp.append(row)
+                else:
+                    lp.append(row)
+            h_parts.append(hp)
+            l_parts.append(lp)
+        return (
+            DistRelation(rel.name, rel.attrs, h_parts),
+            DistRelation(rel.name, rel.attrs, l_parts),
+        )
+
+    r1_heavy, r1_light = split(r1)
+    r2_heavy, r2_light = split(r2)
+
+    pieces = []
+    # --- Q1 = R1^H join (R2^H join R3): right-to-left order. -------------
+    if r1_heavy.total_size() and r2_heavy.total_size():
+        r23 = binary_join(group, r2_heavy, r3, f"{label}/q1-r23")
+        q1 = binary_join(group, r1_heavy, r23, f"{label}/q1-final")
+        pieces.append(q1)
+    # --- Q2 = (R1^L join R2^L) join R3: left-to-right order. -------------
+    if r1_light.total_size() and r2_light.total_size():
+        r12 = binary_join(group, r1_light, r2_light, f"{label}/q2-r12")
+        q2 = binary_join(group, r12, r3, f"{label}/q2-final")
+        pieces.append(q2)
+
+    if not pieces:
+        return DistRelation("result", schema, [[] for _ in range(group.size)])
+    aligned = [
+        DistRelation(
+            "result", schema,
+            [align_to_schema(p, piece.attrs, schema) for p in piece.parts],
+        )
+        for piece in pieces
+    ]
+    return concat_distrels("result", group, aligned)

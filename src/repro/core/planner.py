@@ -1,0 +1,174 @@
+"""MPC-aware join-order planning for the Yannakakis algorithm.
+
+Section 4.1's observation, turned into a feature: in the RAM model the
+Yannakakis join order never matters asymptotically, but in MPC a plan that
+shuffles a large intermediate result pays its size divided by p.  This
+module enumerates the join-tree-consistent fold orders, *prices* each one
+by its maximum intermediate join size (computed exactly with the
+linear-load count primitive, Corollary 4 — so the planning itself is
+cheap), and returns the best plan.
+
+The paper proves no single order is good on every instance (the Figure 3
+doubled trap) — :func:`plan_quality` exposes exactly that gap so callers
+can decide between a planned Yannakakis run and the Section 4.2/5.1
+heavy-light decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregates import mpc_count
+from repro.core.yannakakis import Plan
+from repro.errors import QueryError
+from repro.mpc.distrel import DistRelation
+from repro.mpc.group import Group
+from repro.query.hypergraph import Hypergraph, join_tree
+
+__all__ = ["PlanChoice", "best_yannakakis_plan", "enumerate_fold_orders", "plan_quality"]
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """A priced join plan.
+
+    Attributes:
+        plan: The nested pairwise plan for
+            :func:`repro.core.yannakakis.yannakakis_mpc`.
+        order: The relation fold order the plan encodes.
+        max_intermediate: The largest intermediate join size along the plan
+            (the quantity that drives MPC load).
+        intermediates: Per-prefix join sizes, aligned with ``order[1:]``.
+    """
+
+    plan: Plan
+    order: tuple[str, ...]
+    max_intermediate: int
+    intermediates: tuple[int, ...]
+
+
+def enumerate_fold_orders(query: Hypergraph, limit: int = 64) -> list[tuple[str, ...]]:
+    """Join-tree-consistent left-deep orders (connected prefixes).
+
+    Every prefix of a returned order induces a connected subtree of a join
+    tree, so each pairwise join shares a separator (no accidental
+    Cartesian blowups).  Enumeration is capped at ``limit`` orders —
+    plenty for the constant-size queries the paper considers.
+    """
+    tree = join_tree(query)
+    names = set(query.edge_names)
+    neighbors: dict[str, set[str]] = {n: set() for n in names}
+    for n in names:
+        par = tree.parent[n]
+        if par is not None:
+            neighbors[n].add(par)
+            neighbors[par].add(n)
+
+    orders: list[tuple[str, ...]] = []
+
+    def grow(prefix: list[str], frontier: set[str]) -> None:
+        if len(orders) >= limit:
+            return
+        if len(prefix) == len(names):
+            orders.append(tuple(prefix))
+            return
+        for nxt in sorted(frontier):
+            new_frontier = (frontier | neighbors[nxt]) - set(prefix) - {nxt}
+            grow(prefix + [nxt], new_frontier)
+
+    for start in sorted(names):
+        grow([start], set(neighbors[start]))
+    return orders
+
+
+def best_yannakakis_plan(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    label: str = "planner",
+    limit: int = 64,
+) -> PlanChoice:
+    """Pick the fold order minimizing the largest intermediate join.
+
+    Intermediate sizes are exact (count queries over dangling-free
+    sub-joins are linear-load, Corollary 4); with m constant the whole
+    planning pass is O(m * 2^m) count queries.
+
+    Raises:
+        QueryError: If the query is cyclic.
+    """
+    if not query.is_acyclic():
+        raise QueryError(f"{query.name} is cyclic; Yannakakis does not apply")
+    from repro.mpc.dangling import remove_dangling
+
+    reduced = remove_dangling(group, query, rels, f"{label}/reduce")
+
+    # Price each distinct prefix once (orders share prefixes heavily).
+    size_cache: dict[frozenset[str], int] = {}
+
+    def prefix_size(prefix: frozenset[str]) -> int:
+        if prefix not in size_cache:
+            sub_query = Hypergraph(
+                {n: query.attrs_of(n) for n in prefix}, name="prefix"
+            )
+            size_cache[prefix] = mpc_count(
+                group, sub_query, {n: reduced[n] for n in prefix},
+                f"{label}/count",
+            )
+        return size_cache[prefix]
+
+    best: PlanChoice | None = None
+    for order in enumerate_fold_orders(query, limit=limit):
+        sizes = []
+        for k in range(2, len(order)):  # the final join's size is OUT for all
+            sizes.append(prefix_size(frozenset(order[:k])))
+        worst = max(sizes, default=0)
+        if best is None or worst < best.max_intermediate:
+            plan: Plan = order[0]
+            for n in order[1:]:
+                plan = (plan, n)
+            best = PlanChoice(
+                plan=plan,
+                order=order,
+                max_intermediate=worst,
+                intermediates=tuple(sizes),
+            )
+    assert best is not None
+    return best
+
+
+def plan_quality(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    label: str = "planner",
+) -> dict[str, int]:
+    """Best/worst max-intermediate sizes over all fold orders.
+
+    The gap between them is Section 4.1's join-order sensitivity; when
+    even ``best`` is OUT-sized (the doubled-trap phenomenon), switching to
+    the Section 4.2/5.1 decomposition is the right move.
+    """
+    from repro.mpc.dangling import remove_dangling
+
+    reduced = remove_dangling(group, query, rels, f"{label}/reduce")
+    size_cache: dict[frozenset[str], int] = {}
+
+    def prefix_size(prefix: frozenset[str]) -> int:
+        if prefix not in size_cache:
+            sub_query = Hypergraph(
+                {n: query.attrs_of(n) for n in prefix}, name="prefix"
+            )
+            size_cache[prefix] = mpc_count(
+                group, sub_query, {n: reduced[n] for n in prefix},
+                f"{label}/count",
+            )
+        return size_cache[prefix]
+
+    worsts = []
+    for order in enumerate_fold_orders(query):
+        sizes = [
+            prefix_size(frozenset(order[:k])) for k in range(2, len(order))
+        ]
+        worsts.append(max(sizes, default=0))
+    return {"best": min(worsts), "worst": max(worsts), "orders": len(worsts)}

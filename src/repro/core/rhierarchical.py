@@ -1,0 +1,418 @@
+"""The instance-optimal algorithm for r-hierarchical joins (Section 3.2).
+
+Achieves load O(IN/p + L_instance(p, R)) — optimality ratio O(1), improving
+BinHC's polylog ratio (Theorem 3).  Structure:
+
+* Preprocessing: dangling-tuple removal + reduce, leaving a *hierarchical*
+  dangling-free instance; then all ``2^m`` subset join sizes ``|Q(R, S)|``
+  are computed with linear load (Corollary 4) to evaluate the per-instance
+  lower bound (eq. 2) and fix the budget ``L``.
+* Case 1 (attribute forest is a single tree, root ``x``): split
+  ``dom(x)`` into light values (sub-instance fits one server; grouped by
+  parallel-packing) and heavy values (each gets
+  ``p_a = max_S |Q_x(R_a, S)| / L^{|S|}`` servers and recurses on the
+  residual query).
+* Case 2 (forest with k trees = Cartesian product of k sub-joins): a
+  ``p_1 x ... x p_k`` hypercube; each grid line along dimension ``i``
+  computes sub-join ``i`` (recursively), every grid cell emits the product
+  of its k line results.  Redundant computation, zero redundant output —
+  the trick that avoids materializing intermediate Cartesian factors.
+
+Grid lines are simulated once per dimension via group *families*
+(:class:`~repro.mpc.group.Group` with multiple members): the replicas are
+deterministic copies, so their load is tallied without re-execution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.aggregates import mpc_group_by_count, mpc_subset_sizes
+from repro.core.common import (
+    align_to_schema,
+    canonical_attrs,
+    local_tree_join,
+)
+from repro.data.relation import Row
+from repro.errors import QueryError
+from repro.mpc.dangling import reduce_instance, remove_dangling
+from repro.mpc.distrel import DistRelation
+from repro.mpc.group import Group
+from repro.mpc.hashing import stable_hash
+from repro.mpc.packing import parallel_packing
+from repro.mpc.primitives import coordinator_for, multi_search, sum_by_key
+from repro.query.classify import is_hierarchical
+from repro.query.forests import AttributeForest, attribute_forest
+from repro.query.hypergraph import Hypergraph
+
+__all__ = ["rhierarchical_join", "instance_lower_bound_from_sizes"]
+
+
+def instance_lower_bound_from_sizes(
+    subset_sizes: dict[frozenset[str], int], p: int
+) -> float:
+    """``L_instance(p, R)`` (eq. 2) from the subset join sizes."""
+    best = 0.0
+    for s, cnt in subset_sizes.items():
+        if cnt > 0:
+            best = max(best, (cnt / p) ** (1.0 / len(s)))
+    return best
+
+
+def rhierarchical_join(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    label: str = "rhier",
+    budget: float | None = None,
+    preprocess: bool = True,
+) -> DistRelation:
+    """Compute an r-hierarchical join with instance-optimal load.
+
+    Args:
+        group: The server group (size p).
+        query: An r-hierarchical hypergraph.
+        rels: Distributed relations (payload columns allowed).
+        budget: Override the load budget L (defaults to
+            ``IN/p + L_instance(p, R)`` computed on the fly).
+        preprocess: Run dangling removal + reduce first.  Callers that
+            already preprocessed (e.g. the acyclic solver's tall-flat
+            sub-join) can skip it.
+
+    Returns:
+        Join results in canonical schema order over the *reduced* relations'
+        columns (reduced-away relations contribute no private columns —
+        they have none, being contained in survivors).
+    """
+    working = dict(rels)
+    wq = query
+    if preprocess:
+        working = remove_dangling(group, wq, working, f"{label}/dangling")
+        wq, working = reduce_instance(group, wq, working, f"{label}/reduce")
+    else:
+        wq, working_map = wq.reduce()
+        if working_map:
+            raise QueryError(
+                "preprocess=False requires an already-reduced query"
+            )
+    if not is_hierarchical(wq):
+        raise QueryError(f"{query.name} is not r-hierarchical")
+
+    if budget is None:
+        in_size = sum(working[n].total_size() for n in working)
+        sizes = mpc_subset_sizes(group, wq, working, f"{label}/stats")
+        budget = max(
+            1.0,
+            in_size / group.size,
+            instance_lower_bound_from_sizes(sizes, group.size),
+        )
+    return _solve(group, wq, working, float(budget), label, depth=0)
+
+
+# ----------------------------------------------------------------------
+# Recursion
+# ----------------------------------------------------------------------
+
+def _solve(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    budget: float,
+    label: str,
+    depth: int,
+) -> DistRelation:
+    schema = canonical_attrs([rels[n].attrs for n in query.edge_names])
+    if len(query.edge_names) == 1:
+        only = rels[query.edge_names[0]]
+        parts = [align_to_schema(p, only.attrs, schema) for p in only.parts]
+        return DistRelation("result", schema, parts)
+    forest = attribute_forest(query)
+    if len(forest.roots) == 1:
+        return _case_tree(group, query, rels, forest, budget, label, depth, schema)
+    return _case_forest(group, query, rels, forest, budget, label, depth, schema)
+
+
+def _case_tree(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    forest: AttributeForest,
+    budget: float,
+    label: str,
+    depth: int,
+    schema: tuple[str, ...],
+) -> DistRelation:
+    """Case 1: single attribute tree rooted at ``x`` shared by every edge."""
+    x = forest.roots[0]
+    g = group.size
+    names = list(query.edge_names)
+
+    # IN_a for every root value a (one sum-by-key over all relations).
+    combined: list[list[tuple[Any, int]]] = [[] for _ in range(g)]
+    xpos = {n: rels[n].positions((x,))[0] for n in names}
+    for n in names:
+        for i, part in enumerate(rels[n].parts):
+            combined[i].extend((row[xpos[n]], 1) for row in part)
+    ina_parts = sum_by_key(group, combined, label=f"{label}/d{depth}/ina")
+
+    light_parts: list[list[tuple[Any, float]]] = []
+    heavy_parts: list[list[tuple[Any, int]]] = []
+    for part in ina_parts:
+        lp, hp = [], []
+        for a, cnt in part:
+            if cnt <= budget:
+                lp.append((a, max(cnt / budget, 1e-9)))
+            else:
+                hp.append((a, cnt))
+        light_parts.append(lp)
+        heavy_parts.append(hp)
+
+    assignments, _ = parallel_packing(group, light_parts, f"{label}/d{depth}/pack")
+
+    # Heavy values: subset join sizes per value via COUNT GROUP BY x.
+    coord = coordinator_for(group, f"{label}/d{depth}")
+    heavy_list = group.gather(
+        heavy_parts, f"{label}/d{depth}/heavy-gather", dst=coord
+    )
+    heavy_values = {a for a, _cnt in heavy_list}
+    group.broadcast(
+        sorted(heavy_values, key=repr), f"{label}/d{depth}/heavy-bcast", src=coord
+    )
+
+    heavy_counts: dict[Any, float] = {a: 1.0 for a in heavy_values}
+    if heavy_values:
+        from itertools import combinations
+
+        for k in range(1, len(names) + 1):
+            for combo in combinations(names, k):
+                sub_query = Hypergraph(
+                    {n: query.attrs_of(n) for n in combo}, name="S"
+                )
+                counts = mpc_group_by_count(
+                    group, sub_query, {n: rels[n] for n in combo}, (x,),
+                    f"{label}/d{depth}/gb",
+                )
+                entries = group.gather(
+                    [
+                        [(key[0], cnt) for key, cnt in part if key[0] in heavy_values]
+                        for part in counts
+                    ],
+                    f"{label}/d{depth}/gb-gather",
+                    dst=coord,
+                )
+                # The count for S restricted to value a is |Q_x(R_a, S)|:
+                # the per-value residual-subset size of the recursion target.
+                for a, cnt in entries:
+                    demand = cnt / (budget ** k)
+                    if demand > heavy_counts[a]:
+                        heavy_counts[a] = demand
+
+    heavy_desc: dict[Any, tuple[int, int]] = {}
+    cursor = 0
+    for a in sorted(heavy_values, key=repr):
+        p_a = max(1, min(g, math.ceil(heavy_counts[a])))
+        heavy_desc[a] = (cursor, p_a)
+        cursor += p_a
+    group.broadcast(list(heavy_desc.items()), f"{label}/d{depth}/alloc", src=coord)
+
+    # Route every tuple: light to its pack group's server, heavy to its
+    # value's subgroup (even by row hash).
+    outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(g)]
+    for n in names:
+        pos = xpos[n]
+        x_parts = [
+            [(row[pos], row) for row in part] for part in rels[n].parts
+        ]
+        found = multi_search(
+            group, x_parts, assignments, f"{label}/d{depth}/route-{n}"
+        )
+        for src, part in enumerate(found):
+            for a, row, pk, gid in part:
+                if pk == a:
+                    outboxes[src].append((gid % g, (("L", gid), n, row)))
+                elif a in heavy_desc:
+                    start, p_a = heavy_desc[a]
+                    idx = stable_hash(row, salt=depth) % p_a
+                    outboxes[src].append(
+                        (((start + idx) % g), (("H", a), n, row))
+                    )
+                # Neither light nor heavy cannot happen: every value of x
+                # present in the (dangling-free) instance has IN_a >= 1.
+    inboxes = group.exchange(outboxes, f"{label}/d{depth}/shuffle")
+
+    result_parts: list[list[Row]] = [[] for _ in range(g)]
+
+    # Light sub-instances: solve locally on each pack server.
+    schemas = {n: rels[n].attrs for n in names}
+    for server, inbox in enumerate(inboxes):
+        by_gid: dict[Any, dict[str, list[Row]]] = {}
+        for tag, n, row in inbox:
+            if tag[0] != "L":
+                continue
+            by_gid.setdefault(tag[1], {m: [] for m in names})[n].append(row)
+        for gid, rows in by_gid.items():
+            if any(not rows[n] for n in names):
+                continue
+            _attrs, joined = local_tree_join(query, schemas, rows)
+            result_parts[server].extend(align_to_schema(joined, _attrs, schema))
+
+    # Heavy values: recurse on the residual query with allocated servers.
+    if heavy_desc:
+        residual_query = Hypergraph(
+            {n: query.attrs_of(n) - {x} for n in names},
+            name=f"{query.name}-res",
+        )
+        for a, (start, p_a) in heavy_desc.items():
+            indices = [(start + i) % g for i in range(p_a)]
+            subgroup = group.subgroup(indices)
+            sub_rels = {}
+            for n in names:
+                parts = [
+                    [
+                        row
+                        for tag, m, row in inboxes[indices[i]]
+                        if tag == ("H", a) and m == n
+                    ]
+                    for i in range(p_a)
+                ]
+                sub_rels[n] = DistRelation(n, rels[n].attrs, parts)
+            sub_result = _solve(
+                subgroup, residual_query, sub_rels, budget,
+                f"{label}/d{depth}/h", depth + 1,
+            )
+            aligned = [
+                align_to_schema(p, sub_result.attrs, schema)
+                for p in sub_result.parts
+            ]
+            for i, rows in enumerate(aligned):
+                result_parts[indices[i]].extend(rows)
+
+    return DistRelation("result", schema, result_parts)
+
+
+def _case_forest(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    forest: AttributeForest,
+    budget: float,
+    label: str,
+    depth: int,
+    schema: tuple[str, ...],
+) -> DistRelation:
+    """Case 2: k trees — a Cartesian product over a server hypercube."""
+    from repro.core.aggregates import mpc_count
+
+    g = group.size
+    roots = forest.roots
+    k = len(roots)
+    tree_edges = [sorted(forest.tree_edges(r)) for r in roots]
+
+    # Per-tree server shares p_i.
+    dims: list[int] = []
+    for edges in tree_edges:
+        in_i = sum(rels[n].total_size() for n in edges)
+        if in_i <= budget:
+            dims.append(1)
+            continue
+        from itertools import combinations
+
+        demand = 1.0
+        for kk in range(1, len(edges) + 1):
+            for combo in combinations(edges, kk):
+                sub_query = Hypergraph(
+                    {n: query.attrs_of(n) for n in combo}, name="S"
+                )
+                cnt = mpc_count(
+                    group, sub_query, {n: rels[n] for n in combo},
+                    f"{label}/d{depth}/cnt",
+                )
+                demand = max(demand, cnt / (budget ** kk))
+        dims.append(max(1, math.ceil(demand)))
+
+    # Clamp the grid into the group.
+    while math.prod(dims) > g:
+        i = max(range(k), key=lambda j: dims[j])
+        if dims[i] == 1:
+            break
+        dims[i] -= 1
+    total = math.prod(dims)
+
+    strides = [0] * k
+    acc = 1
+    for i in reversed(range(k)):
+        strides[i] = acc
+        acc *= dims[i]
+
+    # Route each tree's relations into the grid with replication along the
+    # other dimensions (the HyperCube input distribution).
+    grid = group.subgroup(list(range(total)))
+    outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(g)]
+
+    def cells_with_coord(i: int, v: int) -> list[int]:
+        combos = [[]]
+        for j in range(k):
+            if j == i:
+                combos = [c + [v] for c in combos]
+            else:
+                combos = [c + [w] for c in combos for w in range(dims[j])]
+        return [sum(c * s for c, s in zip(combo, strides)) for combo in combos]
+
+    cell_cache: dict[tuple[int, int], list[int]] = {}
+    for i, edges in enumerate(tree_edges):
+        for n in edges:
+            for src, part in enumerate(rels[n].parts):
+                for row in part:
+                    chunk = stable_hash(row, salt=depth * 31 + i) % dims[i]
+                    key = (i, chunk)
+                    if key not in cell_cache:
+                        cell_cache[key] = cells_with_coord(i, chunk)
+                    for cell in cell_cache[key]:
+                        outboxes[src].append((cell, (i, n, row)))
+    # Deliver on the full group (grid cells are the first `total` locals).
+    inboxes = group.exchange(outboxes, f"{label}/d{depth}/grid")
+
+    # Solve each tree once on its line family.
+    families = group.grid_line_groups(dims)
+    results: list[DistRelation] = []
+    for i, edges in enumerate(tree_edges):
+        sub_query = Hypergraph(
+            {n: query.attrs_of(n) for n in edges}, name=f"{query.name}-t{i}"
+        )
+        parts_per_line: dict[str, list[list[Row]]] = {n: [] for n in edges}
+        for v in range(dims[i]):
+            cell = v * strides[i]  # representative line: other coords 0
+            for n in edges:
+                parts_per_line[n].append(
+                    [row for ti, m, row in inboxes[cell] if ti == i and m == n]
+                )
+        sub_rels = {
+            n: DistRelation(n, rels[n].attrs, parts_per_line[n]) for n in edges
+        }
+        results.append(
+            _solve(
+                families[i], sub_query, sub_rels, budget,
+                f"{label}/d{depth}/t{i}", depth + 1,
+            )
+        )
+
+    # Each grid cell emits the product of its line results.
+    result_parts: list[list[Row]] = [[] for _ in range(g)]
+    for cell in range(total):
+        coords = []
+        rem = cell
+        for i in range(k):
+            coords.append(rem // strides[i])
+            rem %= strides[i]
+        pieces = [results[i].parts[coords[i]] for i in range(k)]
+        if any(not piece for piece in pieces):
+            continue
+        acc_rows: list[Row] = [()]
+        for i, piece in enumerate(pieces):
+            acc_rows = [base + r for base in acc_rows for r in piece]
+        joined_attrs = tuple(
+            a for i in range(k) for a in results[i].attrs
+        )
+        result_parts[cell].extend(align_to_schema(acc_rows, joined_attrs, schema))
+    return DistRelation("result", schema, result_parts)

@@ -1,0 +1,297 @@
+"""Public entry points: classification-driven algorithm dispatch.
+
+* :func:`mpc_join` — run one of the paper's join algorithms on a fresh
+  simulated cluster and return results + the load ledger.
+* :func:`mpc_join_aggregate` — free-connex join-aggregate queries
+  (Theorems 9/10), including ``COUNT GROUP BY`` and total aggregates.
+* :func:`mpc_output_size` — ``|Q(R)|`` with linear load (Corollary 4).
+
+``algorithm="auto"`` picks the strongest guarantee available:
+r-hierarchical queries get the instance-optimal algorithm (Theorem 3),
+other acyclic queries the output-optimal one (Theorem 7, specialized to
+Section 4.2 for line-3 shapes), cyclic queries fall back to
+worst-case-optimal HyperCube shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.acyclic import acyclic_join
+from repro.core.aggregates import (
+    aggregate_out,
+    aggregate_total,
+    annotated_reduce,
+    mpc_count,
+)
+from repro.core.binhc import binhc_join
+from repro.core.common import JoinResult
+from repro.core.hypercube import hypercube_join
+from repro.core.line3 import _is_line3, line3_join
+from repro.core.rhierarchical import rhierarchical_join
+from repro.core.wcoj import line3_worst_case, triangle_worst_case
+from repro.core.yannakakis import Plan, yannakakis_mpc
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.errors import QueryError
+from repro.mpc.cluster import Cluster, LoadReport
+from repro.mpc.dangling import remove_dangling
+from repro.mpc.distrel import distribute_instance
+from repro.query.classify import JoinClass, classify
+from repro.query.ghd import output_join_tree, residual_output_query
+from repro.query.hypergraph import Hypergraph
+from repro.semiring import Semiring
+
+__all__ = [
+    "ALGORITHMS",
+    "AggregateResult",
+    "mpc_join",
+    "mpc_join_aggregate",
+    "mpc_join_project",
+    "mpc_output_size",
+    "auto_algorithm",
+]
+
+#: Names accepted by :func:`mpc_join`.
+ALGORITHMS = (
+    "auto",
+    "yannakakis",
+    "line3",
+    "acyclic",
+    "rhierarchical",
+    "binhc",
+    "binhc-multiround",
+    "hypercube",
+    "wc-line3",
+    "wc-triangle",
+)
+
+
+def auto_algorithm(query: Hypergraph) -> str:
+    """The strongest-guarantee algorithm for a query's class."""
+    cls = classify(query)
+    if cls <= JoinClass.R_HIERARCHICAL:
+        return "rhierarchical"
+    if cls == JoinClass.ACYCLIC:
+        return "line3" if _is_line3(query) else "acyclic"
+    if len(query.attributes) == 3 and len(query.edge_names) == 3:
+        return "wc-triangle"
+    return "hypercube"
+
+
+def mpc_join(
+    query: Hypergraph,
+    instance: Instance,
+    p: int,
+    algorithm: str = "auto",
+    plan: Plan | None = None,
+    validate: bool = False,
+) -> JoinResult:
+    """Simulate one MPC join and report its load.
+
+    Args:
+        query: The join hypergraph.
+        instance: Relations matching the query.
+        p: Number of servers.
+        algorithm: One of :data:`ALGORITHMS`.
+        plan: Pairwise join order (Yannakakis only).
+        validate: Cross-check the emitted results against the RAM oracle
+            (raises on mismatch).
+
+    Returns:
+        :class:`~repro.core.common.JoinResult` with the emitted relation,
+        the load report, and metadata (algorithm, IN, OUT, p).
+    """
+    if algorithm not in ALGORITHMS:
+        raise QueryError(f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}")
+    if algorithm == "auto":
+        algorithm = auto_algorithm(query)
+    cluster = Cluster(p)
+    group = cluster.root_group()
+    rels = distribute_instance(instance, group)
+
+    if algorithm == "yannakakis":
+        result = yannakakis_mpc(group, query, rels, plan=plan)
+    elif algorithm == "line3":
+        result = line3_join(group, query, rels)
+    elif algorithm == "acyclic":
+        result = acyclic_join(group, query, rels)
+    elif algorithm == "rhierarchical":
+        result = rhierarchical_join(group, query, rels)
+    elif algorithm == "binhc":
+        result = binhc_join(group, query, rels)
+    elif algorithm == "binhc-multiround":
+        result = binhc_join(group, query, rels, remove_dangling_first=True)
+    elif algorithm == "hypercube":
+        result = hypercube_join(group, query, rels)
+    elif algorithm == "wc-line3":
+        result = line3_worst_case(group, query, rels)
+    else:
+        result = triangle_worst_case(group, query, rels)
+
+    out = JoinResult(
+        relation=result,
+        report=cluster.snapshot(),
+        meta={
+            "algorithm": algorithm,
+            "p": p,
+            "in_size": instance.input_size,
+            "out_size": result.total_size(),
+        },
+    )
+    if validate:
+        from repro.ram.yannakakis import yannakakis as ram_yannakakis
+
+        expected = set(ram_yannakakis(instance).rows)
+        got = out.row_set()
+        if got != expected:
+            raise AssertionError(
+                f"{algorithm} produced {len(got)} rows, oracle has "
+                f"{len(expected)}; missing={list(expected - got)[:3]} "
+                f"extra={list(got - expected)[:3]}"
+            )
+    return out
+
+
+def mpc_output_size(query: Hypergraph, instance: Instance, p: int) -> tuple[int, LoadReport]:
+    """``|Q(R)|`` with linear load in O(1) rounds (Corollary 4)."""
+    cluster = Cluster(p)
+    group = cluster.root_group()
+    rels = distribute_instance(instance, group)
+    count = mpc_count(group, query, rels)
+    return count, cluster.snapshot()
+
+
+@dataclass
+class AggregateResult:
+    """Outcome of a join-aggregate execution (Section 6).
+
+    Attributes:
+        relation: Annotated output relation over the output attributes
+            (``None`` for total aggregation).
+        scalar: The semiring scalar for ``y = {}`` (``None`` otherwise).
+        report: Load ledger.
+        meta: Algorithm metadata.
+    """
+
+    relation: Relation | None
+    scalar: Any
+    report: LoadReport
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def mpc_join_project(
+    query: Hypergraph,
+    output_attrs,
+    instance: Instance,
+    p: int,
+    algorithm: str = "auto",
+) -> AggregateResult:
+    """Evaluate a free-connex join-project query ``pi_y Q(R)`` (Section 6).
+
+    Join-project (conjunctive) queries are the Boolean-semiring special
+    case of join-aggregates; the result relation holds the distinct
+    projections with annotation ``True``.
+    """
+    from repro.semiring import BOOLEAN
+
+    annotated = instance.with_uniform_annotations(BOOLEAN)
+    return mpc_join_aggregate(
+        query, output_attrs, annotated, BOOLEAN, p, algorithm=algorithm
+    )
+
+
+def mpc_join_aggregate(
+    query: Hypergraph,
+    output_attrs,
+    instance: Instance,
+    semiring: Semiring,
+    p: int,
+    algorithm: str = "auto",
+) -> AggregateResult:
+    """Evaluate a free-connex join-aggregate query (Theorems 9/10).
+
+    The instance's relations must be annotated with ``semiring`` (use
+    :meth:`~repro.data.instance.Instance.with_uniform_annotations` for
+    COUNT-style queries).
+
+    Args:
+        output_attrs: The output (free) attributes ``y``.
+        algorithm: ``"auto"`` (out-hierarchical queries use the
+            instance-optimal join), ``"rhierarchical"``, ``"acyclic"``, or
+            ``"yannakakis"`` for the downstream join on the residual query.
+    """
+    y = frozenset(output_attrs)
+    cluster = Cluster(p)
+    group = cluster.root_group()
+    rels = distribute_instance(instance, group, annotate=True)
+    for n, rel in instance.relations.items():
+        if not rel.annotated:
+            raise QueryError(f"relation {n!r} is not annotated; annotate first")
+
+    rels = remove_dangling(group, query, rels, "agg/dangling")
+    reduced_query, rels = annotated_reduce(group, query, rels, semiring, "agg/reduce")
+
+    if not y:
+        scalar = aggregate_total(group, reduced_query, rels, semiring, "agg/total")
+        return AggregateResult(
+            relation=None,
+            scalar=scalar,
+            report=cluster.snapshot(),
+            meta={"p": p, "in_size": instance.input_size, "y": ()},
+        )
+
+    scaffold = output_join_tree(reduced_query, y)
+    residual_rels = aggregate_out(group, scaffold, rels, semiring, "agg/aggro")
+    residual_query = residual_output_query(scaffold)
+    # Keep only edges that actually produced residual relations.
+    residual_query = Hypergraph(
+        {n: residual_query.attrs_of(n) for n in residual_query.edge_names
+         if n in residual_rels},
+        name=residual_query.name,
+    )
+    residual_query, residual_rels = annotated_reduce(
+        group, residual_query, residual_rels, semiring, "agg/res-reduce"
+    )
+
+    if algorithm == "auto":
+        from repro.query.classify import is_r_hierarchical
+
+        algorithm = (
+            "rhierarchical" if is_r_hierarchical(residual_query) else "acyclic"
+        )
+    if algorithm == "rhierarchical":
+        result = rhierarchical_join(group, residual_query, residual_rels, "agg/join")
+    elif algorithm == "acyclic":
+        result = acyclic_join(group, residual_query, residual_rels, "agg/join")
+    elif algorithm == "yannakakis":
+        result = yannakakis_mpc(group, residual_query, residual_rels, label="agg/join")
+    else:
+        raise QueryError(f"unknown downstream algorithm {algorithm!r}")
+
+    # Final local pass: multiply the annotation columns of each result row.
+    y_sorted = tuple(sorted(y))
+    w_positions = [i for i, a in enumerate(result.attrs) if a.startswith("#")]
+    y_positions = [result.attrs.index(a) for a in y_sorted]
+    rows: list[tuple] = []
+    annotations: list[Any] = []
+    for part in result.parts:
+        for row in part:
+            rows.append(tuple(row[i] for i in y_positions))
+            annotations.append(
+                semiring.times_all(row[i] for i in w_positions)
+            )
+    relation = Relation("result", y_sorted, rows, annotations, semiring)
+    return AggregateResult(
+        relation=relation,
+        scalar=None,
+        report=cluster.snapshot(),
+        meta={
+            "p": p,
+            "in_size": instance.input_size,
+            "y": y_sorted,
+            "downstream": algorithm,
+            "out_size": len(relation),
+        },
+    )

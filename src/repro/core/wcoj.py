@@ -1,0 +1,72 @@
+"""Worst-case-optimal comparators (paper references [19, 24]).
+
+The paper's output-optimal bounds stop being optimal for very large OUT,
+where worst-case-optimal HyperCube-share algorithms take over:
+
+* :func:`line3_worst_case` — shares ``(1, sqrt(p), sqrt(p), 1)`` on
+  ``(A, B, C, D)``: load O(IN/sqrt(p)).  Theorem 6 shows this is
+  output-optimal for every OUT >= p * IN.
+* :func:`triangle_worst_case` — shares ``p^{1/3}`` per attribute: load
+  O~(IN/p^{2/3}).  Theorem 11 shows this is output-optimal for
+  OUT >= IN * p^{1/3}.
+
+Both are thin wrappers around :func:`repro.core.hypercube.hypercube_join`
+with the classic share vectors; the benchmarks sweep OUT to locate the
+crossover points the paper derives.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.hypercube import hypercube_join
+from repro.errors import QueryError
+from repro.mpc.distrel import DistRelation
+from repro.mpc.group import Group
+from repro.query.hypergraph import Hypergraph
+
+__all__ = ["line3_worst_case", "triangle_worst_case"]
+
+
+def line3_worst_case(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    label: str = "wc-line3",
+) -> DistRelation:
+    """Worst-case-optimal line-3 join: load O(IN/sqrt(p)).
+
+    Gives the two middle attributes (the ones shared between consecutive
+    relations) a share of sqrt(p) each; the end attributes get share 1.
+    """
+    join_attrs = sorted(
+        x for x in query.attributes if len(query.edges_with(x)) >= 2
+    )
+    if len(join_attrs) != 2:
+        raise QueryError(f"{query.name} is not a line-3 join")
+    side = max(1, int(math.isqrt(group.size)))
+    shares = {x: 1 for x in query.attributes}
+    for x in join_attrs:
+        shares[x] = side
+    return hypercube_join(group, query, rels, shares, label=label)
+
+
+def triangle_worst_case(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    label: str = "wc-triangle",
+) -> DistRelation:
+    """Worst-case-optimal triangle join: load O~(IN/p^{2/3}).
+
+    The classic p^{1/3} x p^{1/3} x p^{1/3} grid of [24]: each relation
+    hashes on its two attributes and replicates along the third dimension.
+    """
+    attrs = sorted(query.attributes)
+    if len(attrs) != 3 or len(query.edge_names) != 3:
+        raise QueryError(f"{query.name} is not a triangle join")
+    side = max(1, round(group.size ** (1.0 / 3.0)))
+    while side ** 3 > group.size:
+        side -= 1
+    shares = {x: max(1, side) for x in attrs}
+    return hypercube_join(group, query, rels, shares, label=label)

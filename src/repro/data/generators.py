@@ -1,0 +1,317 @@
+"""Synthetic workload generators with controlled IN, OUT, and skew.
+
+These generators produce the instances the benchmarks sweep over:
+
+* :func:`random_instance` — iid uniform tuples (property tests, smoke).
+* :func:`matching_instance` — identity matchings (OUT = n, zero skew).
+* :func:`forest_instance` — hierarchical instances built along the
+  attribute forest with per-attribute fanouts and optional skew
+  (Sections 3 benches).
+* :func:`line_trap_instance` — the Figure 3 expansion/contraction pattern
+  generalized to line-k, with exact IN/OUT control (Sections 4-5 benches).
+* :func:`binary_out_controlled` — binary joins with a prescribed output.
+* :func:`cartesian_instance` — Cartesian products of given sizes.
+* :func:`add_dangling` — inject dangling tuples into any instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.errors import InstanceError
+from repro.query.catalog import cartesian_product, line_join
+from repro.query.forests import attribute_forest
+from repro.query.hypergraph import Hypergraph
+
+__all__ = [
+    "random_instance",
+    "matching_instance",
+    "forest_instance",
+    "line_trap_instance",
+    "binary_out_controlled",
+    "cartesian_instance",
+    "add_dangling",
+    "star_instance",
+]
+
+
+def random_instance(
+    query: Hypergraph,
+    size: int | Mapping[str, int],
+    dom_size: int | Mapping[str, int] = 10,
+    seed: int = 0,
+) -> Instance:
+    """Uniform iid tuples: each relation samples values per attribute.
+
+    Args:
+        query: Any hypergraph.
+        size: Rows per relation (int applies to all).
+        dom_size: Domain size per attribute (int applies to all).
+        seed: RNG seed.
+    """
+    rng = random.Random(seed)
+    rels = {}
+    for name in query.edge_names:
+        attrs = tuple(sorted(query.attrs_of(name)))
+        n = size if isinstance(size, int) else size[name]
+        rows = []
+        for _ in range(n):
+            row = tuple(
+                rng.randrange(dom_size if isinstance(dom_size, int) else dom_size[a])
+                for a in attrs
+            )
+            rows.append(row)
+        rels[name] = Relation(name, attrs, rows)
+    return Instance(query, rels)
+
+
+def matching_instance(query: Hypergraph, n: int) -> Instance:
+    """Identity matching: row ``i`` of every relation uses value ``i`` everywhere.
+
+    Produces OUT = n results with zero skew — the easiest possible instance.
+    """
+    rels = {}
+    for name in query.edge_names:
+        attrs = tuple(sorted(query.attrs_of(name)))
+        rows = [tuple(i for _ in attrs) for i in range(n)]
+        rels[name] = Relation(name, attrs, rows)
+    return Instance(query, rels)
+
+
+def forest_instance(
+    query: Hypergraph,
+    fanout: int | Mapping[str, int],
+    skew: float = 1.0,
+    seed: int = 0,
+) -> Instance:
+    """A hierarchical instance built along the attribute forest.
+
+    Every attribute ``x`` expands each parent combination into ``fanout[x]``
+    child values (roots expand a single virtual parent).  Relation rows are
+    the value combinations along their root-to-leaf attribute path, so the
+    instance is dangling-free and ``OUT = prod_x fanout_x``.
+
+    Args:
+        query: A *hierarchical* query.
+        fanout: Per-attribute expansion factor (int applies to all).
+        skew: If > 1, the first value of every expansion receives
+            ``ceil(fanout * skew)`` children instead of ``fanout``,
+            concentrating degree mass on a single spine (higher skew means
+            higher ``L_instance``).
+        seed: Reserved for future randomized placement (values themselves
+            are deterministic path encodings).
+
+    Raises:
+        InstanceError: If the query is not hierarchical.
+    """
+    del seed  # values are deterministic path ids; kept for API stability
+    try:
+        forest = attribute_forest(query)
+    except Exception as exc:  # noqa: BLE001 - re-raise with context
+        raise InstanceError(f"forest_instance needs a hierarchical query: {exc}") from exc
+
+    def fan(x: str) -> int:
+        return fanout if isinstance(fanout, int) else fanout[x]
+
+    # combos[x] = list of path id tuples from the root of x's tree down to x.
+    combos: dict[str, list[tuple[int, ...]]] = {}
+
+    def expand(x: str, prefixes: list[tuple[int, ...]]) -> None:
+        out: list[tuple[int, ...]] = []
+        base = fan(x)
+        for prefix in prefixes:
+            is_spine = all(v == 0 for v in prefix)
+            width = max(1, int(round(base * skew))) if (is_spine and skew > 1) else base
+            out.extend(prefix + (j,) for j in range(width))
+        combos[x] = out
+        for child in forest.children[x]:
+            expand(child, out)
+
+    for root in forest.roots:
+        expand(root, [()])
+
+    # Deterministic integer ids per attribute value (path prefix).
+    value_ids: dict[str, dict[tuple[int, ...], int]] = {
+        x: {c: i for i, c in enumerate(cs)} for x, cs in combos.items()
+    }
+
+    rels = {}
+    for name in query.edge_names:
+        attrs = tuple(sorted(query.attrs_of(name)))
+        deepest = forest.edge_leaf(name)
+        path = list(reversed(forest.path_to_root(deepest)))  # root..deepest
+        depth_of = {x: i for i, x in enumerate(path)}
+        rows = []
+        for c in combos[deepest]:
+            row = tuple(value_ids[a][c[: depth_of[a] + 1]] for a in attrs)
+            rows.append(row)
+        rels[name] = Relation(name, attrs, rows)
+    return Instance(query, rels)
+
+
+def line_trap_instance(
+    k: int,
+    in_size: int,
+    out_size: int,
+    direction: str = "forward",
+    doubled: bool = False,
+) -> Instance:
+    """Figure 3's hard instance, generalized to the line-k join.
+
+    The *forward* shape (for ``k = 3``, exactly the paper's Figure 3 top):
+    ``|dom(X0)| = OUT/N``, ``|dom(X1)| = N^2/OUT``, ``|dom(X2)| = N``,
+    remaining domains have one value.  ``R1 = dom(X0) x dom(X1)``, ``R2`` is
+    a balanced one-to-many map ``X1 -> X2``, and every later relation is a
+    contraction onto a single value (identity matchings for ``k > 3``).
+    The intermediate ``R1 join R2`` already has size OUT, while
+    ``R2 join R3`` stays linear — which is why join order matters in MPC
+    (paper Section 4.1).
+
+    Args:
+        k: Number of relations (>= 2).
+        in_size: Target IN (per copy; actual within a constant factor).
+        out_size: Target OUT, must satisfy ``N <= OUT <= N^2`` for
+            ``N = in_size / k``.
+        direction: ``"forward"`` (expansion at the head) or ``"backward"``
+            (mirrored).
+        doubled: Glue both directions (disjoint domains) into one instance —
+            Figure 3's full construction where *no* single join order wins.
+
+    Returns:
+        An instance of :func:`repro.query.catalog.line_join` with ``k``
+        relations.
+    """
+    if k < 2:
+        raise InstanceError("line trap needs k >= 2")
+    query = line_join(k)
+    n = max(4, in_size // k)
+    if not (n <= out_size <= n * n):
+        raise InstanceError(
+            f"need N <= OUT <= N^2 with N={n}, got OUT={out_size}"
+        )
+    expansion = max(1, out_size // n)  # |dom(X0)|
+    mid = max(1, n // expansion)  # |dom(X1)| = N^2/OUT
+    deg = max(1, n // mid)  # children per X1 value
+
+    def build(prefix: str, forward: bool) -> dict[str, list[tuple]]:
+        """Rows per relation; values namespaced by ``prefix``."""
+
+        def v(level: int, i: int) -> str:
+            return f"{prefix}L{level}v{i}"
+
+        rows: dict[str, list[tuple]] = {f"R{i + 1}": [] for i in range(k)}
+        # Head expansion: R1 = dom(X0) x dom(X1).
+        head = [
+            (v(0, a), v(1, b)) for a in range(expansion) for b in range(mid)
+        ]
+        # One-to-many: X1 -> X2 balanced, degree ``deg``.
+        fan = [
+            (v(1, b), v(2, b * deg + j)) for b in range(mid) for j in range(deg)
+        ]
+        # Contractions: identity on level-2 values, final level collapses.
+        middles = []
+        for lvl in range(2, k - 1):
+            middles.append(
+                [(v(lvl, c), v(lvl + 1, c)) for c in range(mid * deg)]
+            )
+        tail = [(v(k - 1, c), v(k, 0)) for c in range(mid * deg)]
+        chain = [head, fan, *middles, tail]
+        if not forward:
+            chain = [[(b, a) for (a, b) in rel] for rel in reversed(chain)]
+        for i, rel_rows in enumerate(chain):
+            rows[f"R{i + 1}"] = rel_rows
+        return rows
+
+    parts = [build("f", direction == "forward")]
+    if doubled:
+        parts.append(build("g", direction != "forward"))
+
+    rels = {}
+    for i in range(k):
+        name = f"R{i + 1}"
+        attrs = tuple(sorted(query.attrs_of(name)))  # (X{i}, X{i+1}) sorted
+        rows: list[tuple] = []
+        for p in parts:
+            for a, b in p[name]:
+                # Map (X_i, X_{i+1}) onto the sorted attribute order.
+                natural = {f"X{i}": a, f"X{i + 1}": b}
+                rows.append(tuple(natural[x] for x in attrs))
+        rels[name] = Relation(name, attrs, rows)
+    return Instance(query, rels)
+
+
+def binary_out_controlled(in_size: int, out_size: int, seed: int = 0) -> Instance:
+    """A binary join ``R1(A,B) join R2(B,C)`` with OUT close to a target.
+
+    Degree-balanced: each of ``m`` join values has degree ``d`` on both
+    sides where ``m * d^2 ~ OUT`` and ``2 * m * d ~ IN``.
+    """
+    from repro.query.catalog import binary_join
+
+    query = binary_join()
+    n = max(2, in_size // 2)
+    d = max(1, round(out_size / max(1, n)))
+    d = min(d, n)
+    m = max(1, n // d)
+    rows1 = [(f"a{b}_{i}", f"b{b}") for b in range(m) for i in range(d)]
+    rows2 = [(f"b{b}", f"c{b}_{i}") for b in range(m) for i in range(d)]
+    return Instance(
+        query,
+        {
+            "R1": Relation("R1", ("A", "B"), rows1),
+            "R2": Relation("R2", ("B", "C"), rows2),
+        },
+    )
+
+
+def cartesian_instance(sizes: Sequence[int]) -> Instance:
+    """Cartesian product instance with the given relation sizes."""
+    query = cartesian_product(len(sizes))
+    rels = {}
+    for i, n in enumerate(sizes, start=1):
+        name = f"R{i}"
+        attrs = (f"X{i}",)
+        rels[name] = Relation(name, attrs, [(f"x{i}_{j}",) for j in range(n)])
+    return Instance(query, rels)
+
+
+def star_instance(k: int, center: int, fanout: int) -> Instance:
+    """Star join with ``center`` hub values each seeing ``fanout`` satellites.
+
+    OUT = ``center * fanout^k``.
+    """
+    from repro.query.catalog import star_join
+
+    query = star_join(k)
+    rels = {}
+    for i in range(1, k + 1):
+        name = f"R{i}"
+        attrs = tuple(sorted(query.attrs_of(name)))
+        rows = []
+        for z in range(center):
+            for j in range(fanout):
+                natural = {"Z": f"z{z}", f"X{i}": f"x{i}_{z}_{j}"}
+                rows.append(tuple(natural[a] for a in attrs))
+        rels[name] = Relation(name, attrs, rows)
+    return Instance(query, rels)
+
+
+def add_dangling(instance: Instance, per_relation: int, seed: int = 0) -> Instance:
+    """Append tuples over fresh domain values (guaranteed dangling).
+
+    The extra tuples join nothing, so OUT is unchanged while IN grows — the
+    adversarial pattern that breaks one-round algorithms on non-tall-flat
+    queries (paper Section 3.1 remark).
+    """
+    rng = random.Random(seed)
+    rels = {}
+    for name, rel in instance.relations.items():
+        extra = [
+            tuple(f"!dangle{rng.randrange(10**9)}_{a}" for a in rel.attrs)
+            for _ in range(per_relation)
+        ]
+        rels[name] = Relation(name, rel.attrs, list(rel.rows) + extra)
+    return Instance(instance.query, rels)

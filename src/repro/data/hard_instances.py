@@ -1,0 +1,248 @@
+"""Lower-bound instance constructions from the paper's proofs.
+
+* :func:`yannakakis_trap` / :func:`yannakakis_trap_doubled` — Figure 3:
+  the instances showing that join order matters in MPC and that no single
+  order is always good (Section 4.1).
+* :func:`line3_random_hard` — Figure 4: the randomized construction behind
+  the line-3 lower bound (Theorem 6).
+* :func:`triangle_random_hard` — Figure 6: the randomized construction
+  behind the triangle lower bound (Theorem 11).
+* :func:`rhier_extremal` — the Lemma 1 based extremal instance showing
+  Theorem 4's closed-form output-optimal bound is tight.
+* :func:`embed_line3` — the Lemma 2 embedding that transfers the line-3
+  hard instance into any acyclic non-r-hierarchical query (Theorem 8).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.data.instance import Instance
+from repro.data.generators import line_trap_instance
+from repro.data.relation import Relation
+from repro.errors import InstanceError
+from repro.query.catalog import line3, triangle
+from repro.query.covers import integral_edge_cover
+from repro.query.hypergraph import Hypergraph
+from repro.query.paths import minimal_path_of_length_3
+
+__all__ = [
+    "yannakakis_trap",
+    "yannakakis_trap_doubled",
+    "line3_random_hard",
+    "triangle_random_hard",
+    "rhier_extremal",
+    "embed_line3",
+]
+
+
+def yannakakis_trap(in_size: int, out_size: int, direction: str = "forward") -> Instance:
+    """Figure 3 (top half): the line-3 instance where one join order is bad.
+
+    With the *forward* direction, the plan ``(R1 join R2) join R3`` shuffles
+    an OUT-sized intermediate while ``R1 join (R2 join R3)`` stays linear.
+    """
+    return line_trap_instance(3, in_size, out_size, direction=direction)
+
+
+def yannakakis_trap_doubled(in_size: int, out_size: int) -> Instance:
+    """Figure 3 (full): two mirrored traps — every global join order is bad."""
+    return line_trap_instance(3, in_size // 2, out_size // 2, doubled=True)
+
+
+def line3_random_hard(in_size: int, out_size: int, seed: int = 0) -> Instance:
+    """Figure 4: the randomized hard instance for the line-3 lower bound.
+
+    ``N = IN/3``, ``tau = sqrt(OUT/N)``; ``dom(B) = dom(C) = N/tau``;
+    each B value owns a *group* of ``tau`` tuples in ``R1`` (distinct A's),
+    symmetrically for C in ``R3``; each ``(b, c)`` pair joins independently
+    with probability ``tau^2/N``.
+
+    Requires ``IN <= OUT`` (so ``tau >= 1``) and ``OUT <= (IN/3)^2``
+    (so ``tau <= N/ tau`` stays meaningful).
+    """
+    n = in_size // 3
+    if out_size < n:
+        raise InstanceError(f"need OUT >= N (got OUT={out_size}, N={n})")
+    tau = max(1, round(math.sqrt(out_size / n)))
+    groups = max(1, n // tau)
+    rng = random.Random(seed)
+
+    r1_rows = [(f"a{b}_{i}", f"b{b}") for b in range(groups) for i in range(tau)]
+    r3_rows = [(f"c{c}", f"d{c}_{i}") for c in range(groups) for i in range(tau)]
+    prob = min(1.0, tau * tau / n)
+    r2_rows = [
+        (f"b{b}", f"c{c}")
+        for b in range(groups)
+        for c in range(groups)
+        if rng.random() < prob
+    ]
+    query = line3()
+    return Instance(
+        query,
+        {
+            "R1": Relation("R1", ("A", "B"), r1_rows),
+            "R2": Relation("R2", ("B", "C"), r2_rows),
+            "R3": Relation("R3", ("C", "D"), r3_rows),
+        },
+    )
+
+
+def triangle_random_hard(in_size: int, out_size: int, seed: int = 0) -> Instance:
+    """Figure 6: the randomized hard instance for the triangle lower bound.
+
+    ``N = IN/3``, ``tau = OUT/N``; ``dom(A) = tau``,
+    ``dom(B) = dom(C) = N/tau``; ``R2(A,C)`` and ``R3(A,B)`` are complete
+    bipartite; ``R1(B,C)`` contains each pair independently with
+    probability ``tau^2/N``.
+
+    Requires ``IN <= OUT <= (IN/3)^{3/2}`` (AGM range).
+    """
+    n = in_size // 3
+    tau = max(1, round(out_size / n))
+    if tau * tau > n:
+        raise InstanceError(
+            f"need OUT <= N^1.5 (got OUT={out_size}, N={n}, tau={tau})"
+        )
+    side = max(1, n // tau)
+    rng = random.Random(seed)
+    r2_rows = [(f"a{a}", f"c{c}") for a in range(tau) for c in range(side)]
+    r3_rows = [(f"a{a}", f"b{b}") for a in range(tau) for b in range(side)]
+    prob = min(1.0, tau * tau / n)
+    r1_rows = [
+        (f"b{b}", f"c{c}")
+        for b in range(side)
+        for c in range(side)
+        if rng.random() < prob
+    ]
+    query = triangle()
+    return Instance(
+        query,
+        {
+            "R1": Relation("R1", ("B", "C"), r1_rows),
+            "R2": Relation("R2", ("A", "C"), r2_rows),
+            "R3": Relation("R3", ("A", "B"), r3_rows),
+        },
+    )
+
+
+def rhier_extremal(query: Hypergraph, in_size: int, out_size: int) -> Instance:
+    """The Lemma 1 extremal instance making Theorem 4's bound tight.
+
+    Picks an optimal *integral* edge cover ``C`` (acyclic joins have one),
+    nested subsets ``C_{k*-1} subset C_{k*}`` with ``k* = ceil(log_IN OUT)``,
+    and gives each cover edge a private attribute whose domain carries the
+    instance's mass: ``IN`` values for the first ``k*-1`` cover edges,
+    ``OUT / IN^{k*-1}`` values for the ``k*``-th; every other attribute is a
+    singleton.  Then ``|join of C_{k*-1}| = IN^{k*-1}`` and
+    ``|join of C_{k*}| = OUT``.
+
+    Raises:
+        InstanceError: If the cover is too small for the requested OUT
+            (``OUT > IN^|C|`` violates the AGM bound).
+    """
+    if out_size < 1 or in_size < 2:
+        raise InstanceError("need IN >= 2 and OUT >= 1")
+    cover = sorted(integral_edge_cover(query))
+    k_star = max(1, math.ceil(math.log(out_size) / math.log(in_size)))
+    if k_star > len(cover):
+        raise InstanceError(
+            f"OUT={out_size} needs k*={k_star} cover edges, cover has {len(cover)}"
+        )
+    chosen = cover[:k_star]
+
+    # Private attribute per cover edge: one not shared with any other edge.
+    def private_attr(edge: str) -> str:
+        attrs = query.attrs_of(edge)
+        others: set[str] = set()
+        for other in query.edge_names:
+            if other != edge:
+                others |= query.attrs_of(other)
+        candidates = sorted(attrs - others)
+        if not candidates:
+            raise InstanceError(
+                f"cover edge {edge!r} has no private attribute; "
+                "query is not in extremal form"
+            )
+        return candidates[0]
+
+    dom_sizes: dict[str, int] = {a: 1 for a in query.attributes}
+    last_dom = max(1, out_size // in_size ** (k_star - 1))
+    for i, e in enumerate(chosen):
+        attr = private_attr(e)
+        dom_sizes[attr] = in_size if i < k_star - 1 else last_dom
+
+    rels = {}
+    for name in query.edge_names:
+        attrs = tuple(sorted(query.attrs_of(name)))
+        # Cartesian product of the attribute domains (all but at most one
+        # private attribute are singletons, so sizes stay linear).
+        rows: list[tuple] = [()]
+        for a in attrs:
+            rows = [r + (f"{a}#{v}",) for r in rows for v in range(dom_sizes[a])]
+        rels[name] = Relation(name, attrs, rows)
+    return Instance(query, rels)
+
+
+def embed_line3(query: Hypergraph, in_size: int, out_size: int, seed: int = 0) -> Instance:
+    """Embed the Figure 4 hard instance into an acyclic non-r-hier query.
+
+    Implements the Theorem 8 construction: find a minimal path
+    ``(x1, x2, x3, x4)`` (Lemma 2), place the line-3 hard relations on the
+    three covering edges, and give every other attribute a singleton domain.
+
+    Raises:
+        InstanceError: If the query has no minimal path of length 3
+            (i.e. it is r-hierarchical).
+    """
+    path = minimal_path_of_length_3(query)
+    if path is None:
+        raise InstanceError(
+            f"{query.name} is r-hierarchical; no line-3 embedding exists"
+        )
+    hard = line3_random_hard(in_size, out_size, seed=seed)
+    path_index = {attr: i for i, attr in enumerate(path)}
+
+    # Values per path attribute, from the hard instance's columns.
+    def column(rel: str, attr_pos: int) -> list:
+        return sorted({row[attr_pos] for row in hard.relations[rel].rows})
+
+    dom: dict[str, list] = {a: ["*"] for a in query.attributes}
+    dom[path[0]] = column("R1", 0)
+    dom[path[1]] = column("R1", 1)
+    dom[path[2]] = column("R3", 0)
+    dom[path[3]] = column("R3", 1)
+
+    rels = {}
+    for name in query.edge_names:
+        attrs = tuple(sorted(query.attrs_of(name)))
+        overlap = sorted((a for a in attrs if a in path_index), key=path_index.get)
+        if len(overlap) == 2:
+            i, j = path_index[overlap[0]], path_index[overlap[1]]
+            if j != i + 1:
+                raise InstanceError(
+                    f"edge {name!r} contains non-consecutive path attributes; "
+                    "minimal path violated"
+                )
+            # Case 3: the edge carries a copy of R_{i+1} on the pair.
+            src = f"R{i + 1}"
+            pa, pb = path[i], path[j]
+            rows = []
+            for va, vb in hard.relations[src].rows:
+                vals = {pa: va, pb: vb}
+                rows.append(
+                    tuple(vals[a] if a in vals else dom[a][0] for a in attrs)
+                )
+        elif len(overlap) <= 1:
+            # Cases 1-2: expand the (at most one) path attribute's domain.
+            rows = [()]
+            for a in attrs:
+                rows = [r + (v,) for r in rows for v in dom[a]]
+        else:
+            raise InstanceError(
+                f"edge {name!r} contains {len(overlap)} path attributes; "
+                "minimal path violated"
+            )
+        rels[name] = Relation(name, attrs, rows)
+    return Instance(query, rels)

@@ -1,0 +1,229 @@
+"""Schema-carrying relations (sets of tuples, optionally annotated).
+
+A :class:`Relation` stores rows as Python tuples aligned with an attribute
+tuple.  Natural-join semantics are set semantics: rows are deduplicated at
+construction.  For annotated relations (paper Section 6) duplicates combine
+their annotations with the semiring's ``plus``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.semiring import Semiring
+
+__all__ = ["Relation", "project_row"]
+
+Row = tuple
+
+
+def project_row(row: Row, positions: Sequence[int]) -> Row:
+    """Project ``row`` onto the given attribute positions."""
+    return tuple(row[i] for i in positions)
+
+
+class Relation:
+    """An immutable named relation.
+
+    Args:
+        name: Relation name (matches the hypergraph edge name).
+        attrs: Attribute names, in column order.
+        rows: Iterable of value tuples (one entry per attribute).
+        annotations: Optional per-row annotations, parallel to ``rows``.
+        semiring: Required when ``annotations`` is given; duplicate rows
+            combine annotations with ``semiring.plus``.
+
+    Raises:
+        SchemaError: On arity mismatches or annotation misuse.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Sequence[str],
+        rows: Iterable[Row],
+        annotations: Iterable[Any] | None = None,
+        semiring: Semiring | None = None,
+    ) -> None:
+        self.name = name
+        self.attrs: tuple[str, ...] = tuple(attrs)
+        if len(set(self.attrs)) != len(self.attrs):
+            raise SchemaError(f"relation {name!r} has duplicate attributes {attrs}")
+        arity = len(self.attrs)
+
+        if annotations is None:
+            seen: dict[Row, None] = {}
+            for row in rows:
+                row = tuple(row)
+                if len(row) != arity:
+                    raise SchemaError(
+                        f"row {row!r} has arity {len(row)}, expected {arity} in {name!r}"
+                    )
+                seen[row] = None
+            self._rows: tuple[Row, ...] = tuple(seen)
+            self._annotations: tuple[Any, ...] | None = None
+            self.semiring: Semiring | None = None
+        else:
+            if semiring is None:
+                raise SchemaError("annotated relations need a semiring")
+            combined: dict[Row, Any] = {}
+            rows = list(rows)
+            annotations = list(annotations)
+            if len(rows) != len(annotations):
+                raise SchemaError(
+                    f"{len(rows)} rows but {len(annotations)} annotations in {name!r}"
+                )
+            for row, w in zip(rows, annotations):
+                row = tuple(row)
+                if len(row) != arity:
+                    raise SchemaError(
+                        f"row {row!r} has arity {len(row)}, expected {arity} in {name!r}"
+                    )
+                if row in combined:
+                    combined[row] = semiring.plus(combined[row], w)
+                else:
+                    combined[row] = w
+            self._rows = tuple(combined)
+            self._annotations = tuple(combined.values())
+            self.semiring = semiring
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        return self._rows
+
+    @property
+    def annotations(self) -> tuple[Any, ...] | None:
+        return self._annotations
+
+    @property
+    def annotated(self) -> bool:
+        return self._annotations is not None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in set(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.attrs != other.attrs:
+            # Same set of attributes in a different order still counts equal.
+            if set(self.attrs) != set(other.attrs):
+                return False
+            other = other.reordered(self.attrs)
+        if self.annotated != other.annotated:
+            return False
+        if not self.annotated:
+            return set(self._rows) == set(other._rows)
+        return dict(zip(self._rows, self._annotations or ())) == dict(
+            zip(other._rows, other._annotations or ())
+        )
+
+    def __repr__(self) -> str:
+        tag = " annotated" if self.annotated else ""
+        return f"Relation<{self.name}({','.join(self.attrs)}), {len(self)} rows{tag}>"
+
+    # ------------------------------------------------------------------
+    def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
+        """Column positions of the given attribute names.
+
+        Raises:
+            SchemaError: If an attribute is missing.
+        """
+        try:
+            return tuple(self.attrs.index(a) for a in attrs)
+        except ValueError as exc:
+            raise SchemaError(
+                f"attributes {attrs} not all present in {self.name!r}{self.attrs}"
+            ) from exc
+
+    def project(self, attrs: Sequence[str], name: str | None = None) -> "Relation":
+        """Project onto ``attrs`` (set semantics; annotations combine via plus)."""
+        pos = self.positions(attrs)
+        if self.annotated:
+            assert self.semiring is not None and self._annotations is not None
+            return Relation(
+                name or self.name,
+                attrs,
+                (project_row(r, pos) for r in self._rows),
+                annotations=self._annotations,
+                semiring=self.semiring,
+            )
+        return Relation(name or self.name, attrs, (project_row(r, pos) for r in self._rows))
+
+    def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Relation":
+        """Filter rows by a predicate over an attr -> value mapping."""
+        keep_idx = [
+            i
+            for i, r in enumerate(self._rows)
+            if predicate(dict(zip(self.attrs, r)))
+        ]
+        rows = [self._rows[i] for i in keep_idx]
+        if self.annotated:
+            assert self.semiring is not None and self._annotations is not None
+            anns = [self._annotations[i] for i in keep_idx]
+            return Relation(self.name, self.attrs, rows, anns, self.semiring)
+        return Relation(self.name, self.attrs, rows)
+
+    def restrict(self, filter_rows: set[Row], key_attrs: Sequence[str]) -> "Relation":
+        """Keep rows whose projection onto ``key_attrs`` is in ``filter_rows``."""
+        pos = self.positions(key_attrs)
+        keep_idx = [
+            i for i, r in enumerate(self._rows) if project_row(r, pos) in filter_rows
+        ]
+        rows = [self._rows[i] for i in keep_idx]
+        if self.annotated:
+            assert self.semiring is not None and self._annotations is not None
+            anns = [self._annotations[i] for i in keep_idx]
+            return Relation(self.name, self.attrs, rows, anns, self.semiring)
+        return Relation(self.name, self.attrs, rows)
+
+    def reordered(self, attrs: Sequence[str]) -> "Relation":
+        """Return the same relation with columns permuted to ``attrs``."""
+        if set(attrs) != set(self.attrs):
+            raise SchemaError(f"cannot reorder {self.attrs} to {attrs}")
+        pos = self.positions(attrs)
+        if self.annotated:
+            assert self.semiring is not None and self._annotations is not None
+            return Relation(
+                self.name,
+                attrs,
+                (project_row(r, pos) for r in self._rows),
+                annotations=self._annotations,
+                semiring=self.semiring,
+            )
+        return Relation(self.name, attrs, (project_row(r, pos) for r in self._rows))
+
+    def degrees(self, key_attrs: Sequence[str]) -> dict[Row, int]:
+        """Degree of each distinct key: ``|sigma_{key=v} R|`` per value ``v``."""
+        pos = self.positions(key_attrs)
+        out: dict[Row, int] = {}
+        for r in self._rows:
+            k = project_row(r, pos)
+            out[k] = out.get(k, 0) + 1
+        return out
+
+    def with_annotations(self, semiring: Semiring, default: Any | None = None) -> "Relation":
+        """Attach a uniform annotation (``semiring.one`` unless given)."""
+        w = semiring.one if default is None else default
+        return Relation(
+            self.name,
+            self.attrs,
+            self._rows,
+            annotations=[w] * len(self._rows),
+            semiring=semiring,
+        )
+
+    def annotation_map(self) -> dict[Row, Any]:
+        """Row -> annotation mapping (requires an annotated relation)."""
+        if not self.annotated:
+            raise SchemaError(f"relation {self.name!r} is not annotated")
+        assert self._annotations is not None
+        return dict(zip(self._rows, self._annotations))

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type.  Sub-types distinguish the three common failure domains:
+malformed queries, malformed data, and misuse of the MPC simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class QueryError(ReproError):
+    """A query (hypergraph) is malformed or outside an algorithm's class.
+
+    Raised, for example, when an acyclic-only algorithm receives a cyclic
+    join, or when a free-connex algorithm receives a non-free-connex
+    join-aggregate query.
+    """
+
+
+class CyclicQueryError(QueryError):
+    """The query is cyclic but an acyclic query was required."""
+
+
+class SchemaError(ReproError):
+    """Relation data does not match its declared schema."""
+
+
+class InstanceError(ReproError):
+    """An instance is inconsistent with its query (e.g. missing relations)."""
+
+
+class MPCError(ReproError):
+    """Misuse of the MPC simulator (bad routing targets, empty groups, ...)."""
+
+
+class AllocationError(MPCError):
+    """Server allocation could not satisfy the requested sub-problem demands."""

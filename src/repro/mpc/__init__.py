@@ -1,0 +1,38 @@
+"""The MPC simulator: cluster ledger, server groups, and Section 2 primitives."""
+
+from repro.mpc.cluster import Cluster, LoadReport
+from repro.mpc.dangling import reduce_instance, remove_dangling
+from repro.mpc.distrel import DistRelation, distribute_instance, distribute_relation
+from repro.mpc.group import Group
+from repro.mpc.hashing import stable_hash
+from repro.mpc.packing import parallel_packing, server_allocation
+from repro.mpc.primitives import (
+    attach_degrees,
+    distinct_keys,
+    multi_numbering,
+    multi_search,
+    sample_sort,
+    semi_join,
+    sum_by_key,
+)
+
+__all__ = [
+    "Cluster",
+    "LoadReport",
+    "Group",
+    "DistRelation",
+    "distribute_instance",
+    "distribute_relation",
+    "stable_hash",
+    "sample_sort",
+    "sum_by_key",
+    "multi_numbering",
+    "multi_search",
+    "semi_join",
+    "attach_degrees",
+    "distinct_keys",
+    "parallel_packing",
+    "server_allocation",
+    "remove_dangling",
+    "reduce_instance",
+]

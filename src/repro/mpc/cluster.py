@@ -1,0 +1,145 @@
+"""The MPC cost ledger: servers, exchanges, and load accounting.
+
+The paper's model (Section 1.1): ``p`` servers, data initially distributed
+evenly, computation in rounds; the cost of an algorithm is its *load* ``L``,
+the maximum number of tuples received by any server in any round (a tuple
+and an O(log IN)-bit integer both count as one unit).
+
+:class:`Cluster` implements exactly that ledger.  Every communication step
+(:meth:`Cluster.tally`) records how many units each server received.  Two
+load statistics are exposed:
+
+* :attr:`LoadReport.load` — the maximum over servers of *total* units
+  received across the whole algorithm.  For O(1)-round algorithms this is
+  within a constant factor of the paper's per-round ``L`` and is robust to
+  how a simulation slices rounds, so it is the headline metric.
+* :attr:`LoadReport.max_step_load` — the maximum units received by any
+  server in any single exchange step (a lower bound on the per-round ``L``).
+
+Initial data placement is free, matching the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MPCError
+
+__all__ = ["Cluster", "LoadReport"]
+
+
+@dataclass
+class LoadReport:
+    """Summary of communication observed by a :class:`Cluster`.
+
+    Attributes:
+        p: Number of servers.
+        totals: Per-server total units received (length ``p``).
+        load: ``max(totals)`` — the headline load metric.
+        max_step_load: Max units received by one server in one exchange.
+        steps: Number of exchange steps performed.
+        by_label: Total units received per step label (algorithm phase).
+    """
+
+    p: int
+    totals: tuple[int, ...]
+    load: int
+    max_step_load: int
+    steps: int
+    by_label: dict[str, int]
+
+    @property
+    def average(self) -> float:
+        """Mean units received per server."""
+        return float(sum(self.totals)) / self.p if self.p else 0.0
+
+    @property
+    def total(self) -> int:
+        """Total units communicated."""
+        return int(sum(self.totals))
+
+    def summary(self) -> str:
+        top = sorted(self.by_label.items(), key=lambda kv: -kv[1])[:6]
+        labels = ", ".join(f"{k}={v}" for k, v in top)
+        return (
+            f"load={self.load} (avg {self.average:.1f}, step-max "
+            f"{self.max_step_load}, {self.steps} steps) [{labels}]"
+        )
+
+
+class Cluster:
+    """A simulated MPC cluster of ``p`` servers with a load ledger.
+
+    Args:
+        p: Number of servers (>= 1).
+
+    The cluster itself holds no data — distributed relations live in
+    :class:`~repro.mpc.distrel.DistRelation` parts — it only records who
+    received how much.  :class:`~repro.mpc.group.Group` objects route data
+    over subsets of this cluster and report received counts here.
+    """
+
+    def __init__(self, p: int) -> None:
+        if p < 1:
+            raise MPCError(f"cluster needs p >= 1, got {p}")
+        self.p = p
+        self._totals = np.zeros(p, dtype=np.int64)
+        self._step_max: int = 0
+        self._steps: int = 0
+        self._by_label: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def tally(self, server_ids: Sequence[int], counts: Sequence[int], label: str) -> None:
+        """Record one exchange step: ``counts[i]`` units arrive at ``server_ids[i]``.
+
+        Args:
+            server_ids: Global server indices (may repeat across calls but
+                not within one call).
+            counts: Units received per listed server.
+            label: Phase label for the report breakdown.
+        """
+        if len(server_ids) != len(counts):
+            raise MPCError("server_ids and counts length mismatch")
+        step_total = 0
+        for sid, c in zip(server_ids, counts):
+            if not 0 <= sid < self.p:
+                raise MPCError(f"server id {sid} out of range [0, {self.p})")
+            if c < 0:
+                raise MPCError("negative message count")
+            self._totals[sid] += c
+            step_total += c
+            if c > self._step_max:
+                self._step_max = c
+        self._steps += 1
+        self._by_label[label] = self._by_label.get(label, 0) + step_total
+
+    def snapshot(self) -> LoadReport:
+        """Current ledger as an immutable report."""
+        return LoadReport(
+            p=self.p,
+            totals=tuple(int(t) for t in self._totals),
+            load=int(self._totals.max()) if self.p else 0,
+            max_step_load=self._step_max,
+            steps=self._steps,
+            by_label=dict(self._by_label),
+        )
+
+    def reset(self) -> None:
+        """Clear the ledger (data placement is unaffected)."""
+        self._totals[:] = 0
+        self._step_max = 0
+        self._steps = 0
+        self._by_label.clear()
+
+    # ------------------------------------------------------------------
+    def root_group(self):
+        """The group spanning all ``p`` servers (single member)."""
+        from repro.mpc.group import Group
+
+        return Group(self, [tuple(range(self.p))])
+
+    def __repr__(self) -> str:
+        return f"Cluster<p={self.p}, load={int(self._totals.max()) if self.p else 0}>"

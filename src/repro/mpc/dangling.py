@@ -1,0 +1,64 @@
+"""Dangling-tuple removal: the distributed full reducer.
+
+A constant number of semi-joins along a join tree removes every tuple that
+does not participate in any join result (Yannakakis [34]; paper Section 2).
+Linear load per semi-join, O(1) rounds total — this is the preprocessing
+step of every multi-round algorithm in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.mpc.distrel import DistRelation
+from repro.mpc.group import Group
+from repro.mpc.primitives import semi_join
+from repro.query.hypergraph import Hypergraph, join_tree
+
+__all__ = ["remove_dangling", "reduce_instance"]
+
+
+def remove_dangling(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    label: str = "dangling",
+) -> dict[str, DistRelation]:
+    """Two semi-join sweeps over a join tree (leaf-up, then root-down).
+
+    Returns a new relation mapping in which every remaining tuple extends to
+    at least one full join result.
+    """
+    tree = join_tree(query)
+    out = dict(rels)
+    for node in tree.bottom_up():
+        par = tree.parent[node]
+        if par is not None:
+            out[par] = semi_join(group, out[par], out[node], f"{label}/up")
+    for node in tree.top_down():
+        for child in tree.children[node]:
+            out[child] = semi_join(group, out[child], out[node], f"{label}/down")
+    return out
+
+
+def reduce_instance(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    label: str = "reduce",
+) -> tuple[Hypergraph, dict[str, DistRelation]]:
+    """Apply the reduce procedure to a dangling-free distributed instance.
+
+    Once dangling tuples are gone, a relation whose edge is contained in
+    another edge no longer constrains the join (its tuples are exactly the
+    projections of the containing relation), so it can be dropped — paper
+    Section 3.2, footnote 7.  A defensive semi-join keeps the containing
+    relation consistent even if the caller skipped dangling removal.
+
+    Returns:
+        ``(reduced_query, reduced_relations)``.
+    """
+    reduced_query, witness = query.reduce()
+    out = dict(rels)
+    for removed, survivor in witness.items():
+        out[survivor] = semi_join(group, out[survivor], out[removed], f"{label}/fold")
+        del out[removed]
+    return reduced_query, out

@@ -1,0 +1,129 @@
+"""Distributed relations: schema-carrying data partitioned over a group.
+
+A :class:`DistRelation` is the MPC-side counterpart of
+:class:`~repro.data.relation.Relation`: the same rows, split into one part
+per local server of the group that owns it.  Rows are plain value tuples
+aligned with ``attrs``; annotated executions (Section 6) thread annotations
+through as extra pseudo-attribute columns, so all join machinery stays
+oblivious to them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.data.relation import Relation, Row, project_row
+from repro.errors import MPCError, SchemaError
+from repro.mpc.group import Group
+
+__all__ = ["DistRelation", "distribute_instance", "distribute_relation"]
+
+
+class DistRelation:
+    """Rows of one relation, partitioned across a group's local servers.
+
+    Attributes:
+        name: Relation name.
+        attrs: Attribute names in column order.
+        parts: ``parts[i]`` holds local server ``i``'s rows.
+    """
+
+    def __init__(self, name: str, attrs: Sequence[str], parts: Sequence[list[Row]]) -> None:
+        self.name = name
+        self.attrs: tuple[str, ...] = tuple(attrs)
+        self.parts: list[list[Row]] = [list(p) for p in parts]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parts(self) -> int:
+        return len(self.parts)
+
+    def total_size(self) -> int:
+        return sum(len(p) for p in self.parts)
+
+    def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
+        try:
+            return tuple(self.attrs.index(a) for a in attrs)
+        except ValueError as exc:
+            raise SchemaError(
+                f"attributes {attrs} not all present in {self.name!r}{self.attrs}"
+            ) from exc
+
+    def all_rows(self) -> list[Row]:
+        """Flatten all parts (simulation-side convenience, no load)."""
+        out: list[Row] = []
+        for p in self.parts:
+            out.extend(p)
+        return out
+
+    def to_relation(self) -> Relation:
+        """Materialize as a (deduplicated) RAM relation."""
+        return Relation(self.name, self.attrs, self.all_rows())
+
+    def map_parts(self, fn: Callable[[list[Row]], list[Row]], name: str | None = None) -> "DistRelation":
+        """Apply a local (free) transformation to every part."""
+        return DistRelation(name or self.name, self.attrs, [fn(p) for p in self.parts])
+
+    def filter_local(self, predicate: Callable[[Row], bool], name: str | None = None) -> "DistRelation":
+        """Local filter (no communication)."""
+        return DistRelation(
+            name or self.name,
+            self.attrs,
+            [[r for r in p if predicate(r)] for p in self.parts],
+        )
+
+    def rehash(self, group: Group, key_attrs: Sequence[str], label: str, salt: int = 0) -> "DistRelation":
+        """Hash-partition by the given attributes (counts as communication)."""
+        if len(self.parts) != group.size:
+            raise MPCError(
+                f"relation has {len(self.parts)} parts but group size is {group.size}"
+            )
+        pos = self.positions(key_attrs)
+        parts = group.hash_route(
+            self.parts, lambda row: project_row(row, pos), label, salt=salt
+        )
+        return DistRelation(self.name, self.attrs, parts)
+
+    def with_parts(self, parts: Sequence[list[Row]], name: str | None = None) -> "DistRelation":
+        return DistRelation(name or self.name, self.attrs, parts)
+
+    def empty_like(self, num_parts: int | None = None) -> "DistRelation":
+        n = num_parts if num_parts is not None else len(self.parts)
+        return DistRelation(self.name, self.attrs, [[] for _ in range(n)])
+
+    def __repr__(self) -> str:
+        return (
+            f"DistRelation<{self.name}({','.join(self.attrs)}), "
+            f"{self.total_size()} rows over {len(self.parts)} parts>"
+        )
+
+
+def distribute_relation(rel: Relation, group: Group, annotate: bool = False) -> DistRelation:
+    """Spread a relation evenly over a group (initial placement is free).
+
+    Args:
+        rel: The RAM relation.
+        group: Target group; rows are dealt round-robin (the model's "evenly
+            distributed" initial state).
+        annotate: If True and ``rel`` is annotated, append the annotation as
+            a trailing pseudo-attribute column named ``#w:<name>``.
+    """
+    if annotate and rel.annotated:
+        attrs = rel.attrs + (f"#w:{rel.name}",)
+        anns = rel.annotations or ()
+        rows: Iterable[Row] = (r + (w,) for r, w in zip(rel.rows, anns))
+    else:
+        attrs = rel.attrs
+        rows = rel.rows
+    parts: list[list[Row]] = [[] for _ in range(group.size)]
+    for i, row in enumerate(rows):
+        parts[i % group.size].append(row)
+    return DistRelation(rel.name, attrs, parts)
+
+
+def distribute_instance(instance, group: Group, annotate: bool = False) -> dict[str, DistRelation]:
+    """Distribute every relation of an instance over the group."""
+    return {
+        name: distribute_relation(rel, group, annotate=annotate)
+        for name, rel in instance.relations.items()
+    }

@@ -1,0 +1,222 @@
+"""Server groups: the routing surface of the simulator.
+
+A :class:`Group` is a *family* of equally-sized server tuples over one
+:class:`~repro.mpc.cluster.Cluster`.  Most groups have a single member; the
+family generalization exists for the paper's Section 3.2 Case 2, where a
+``p1 x p2 x ... x pk`` hypercube of servers runs the *same* sub-join along
+every grid line of a dimension.  Simulating one representative line and
+charging the identical load to every member keeps the simulation cost at
+``sum p_i`` instead of ``prod p_i`` while preserving the exact ledger the
+real execution would produce (the replicas are deterministic copies).
+
+All data movement funnels through :meth:`Group.exchange`; higher-level
+helpers (hash routing, broadcast, gather) and the Section 2 primitives in
+:mod:`repro.mpc.primitives` build on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import MPCError
+from repro.mpc.cluster import Cluster
+from repro.mpc.hashing import stable_hash
+
+__all__ = ["Group"]
+
+
+class Group:
+    """A family of equally-sized server tuples on a cluster.
+
+    Args:
+        cluster: The owning cluster.
+        members: Non-empty list of tuples of global server ids; all tuples
+            must have the same length (the group *size*).  ``members[0]`` is
+            the representative on which data physically lives in the
+            simulation; the others are deterministic replicas whose load is
+            tallied identically.
+    """
+
+    def __init__(self, cluster: Cluster, members: Sequence[tuple[int, ...]]) -> None:
+        if not members:
+            raise MPCError("group needs at least one member")
+        size = len(members[0])
+        if size == 0:
+            raise MPCError("group members must be non-empty")
+        for m in members:
+            if len(m) != size:
+                raise MPCError("all group members must have equal size")
+        self.cluster = cluster
+        self.members: tuple[tuple[int, ...], ...] = tuple(tuple(m) for m in members)
+        self.size = size
+
+    # ------------------------------------------------------------------
+    @property
+    def representative(self) -> tuple[int, ...]:
+        return self.members[0]
+
+    def empty_parts(self) -> list[list[Any]]:
+        """One empty inbox per local server."""
+        return [[] for _ in range(self.size)]
+
+    def subgroup(self, local_indices: Sequence[int]) -> "Group":
+        """Group over a subset of local indices (across every member)."""
+        if not local_indices:
+            raise MPCError("subgroup needs at least one server")
+        for i in local_indices:
+            if not 0 <= i < self.size:
+                raise MPCError(f"local index {i} out of range [0, {self.size})")
+        return Group(
+            self.cluster,
+            [tuple(m[i] for i in local_indices) for m in self.members],
+        )
+
+    def slice(self, start: int, stop: int) -> "Group":
+        """Contiguous subgroup ``[start, stop)``."""
+        return self.subgroup(list(range(start, stop)))
+
+    def grid_line_groups(self, dims: Sequence[int]) -> list["Group"]:
+        """Families of grid lines for a ``dims[0] x ... x dims[k-1]`` hypercube.
+
+        Requires ``prod(dims) <= size``; uses the first ``prod(dims)`` local
+        servers, linearized row-major.  Returns one :class:`Group` per
+        dimension ``i`` whose members are all lines along that dimension
+        (across all existing members), i.e. the server groups that jointly
+        compute sub-join ``i`` in paper Section 3.2 Case 2.
+        """
+        total = 1
+        for d in dims:
+            total *= d
+        if total > self.size:
+            raise MPCError(f"grid {dims} needs {total} servers, group has {self.size}")
+        k = len(dims)
+        strides = [0] * k
+        acc = 1
+        for i in reversed(range(k)):
+            strides[i] = acc
+            acc *= dims[i]
+
+        def lin(coords: Sequence[int]) -> int:
+            return sum(c * s for c, s in zip(coords, strides))
+
+        groups: list[Group] = []
+        for i in range(k):
+            other_dims = [dims[j] for j in range(k) if j != i]
+            members: list[tuple[int, ...]] = []
+            for base in self.members:
+                # Iterate over all coordinate combinations of the other dims.
+                combos: list[list[int]] = [[]]
+                for d in other_dims:
+                    combos = [c + [v] for c in combos for v in range(d)]
+                for combo in combos:
+                    coords = list(combo)
+                    line: list[int] = []
+                    for v in range(dims[i]):
+                        full = coords[:i] + [v] + coords[i:]
+                        line.append(base[lin(full)])
+                    members.append(tuple(line))
+            groups.append(Group(self.cluster, members))
+        return groups
+
+    # ------------------------------------------------------------------
+    # The one true data-movement operation.
+    # ------------------------------------------------------------------
+    def exchange(
+        self,
+        outboxes: Sequence[Iterable[tuple[int, Any]]],
+        label: str,
+        count_self: bool = False,
+    ) -> list[list[Any]]:
+        """Deliver messages and tally the received units on every member.
+
+        Args:
+            outboxes: ``outboxes[i]`` holds the messages sent by local
+                server ``i`` as ``(dst_local_index, payload)`` pairs.  One
+                payload is one unit of communication (the model charges a
+                tuple or a machine word each as one unit).
+            label: Ledger label (phase name).
+            count_self: Whether a message from a server to itself costs a
+                unit.  Defaults to False — data a server already holds does
+                not traverse the network.
+
+        Returns:
+            ``inboxes[j]``: payloads received by local server ``j``, in
+            sender order.
+        """
+        if len(outboxes) != self.size:
+            raise MPCError(
+                f"expected {self.size} outboxes, got {len(outboxes)}"
+            )
+        inboxes: list[list[Any]] = [[] for _ in range(self.size)]
+        counts = [0] * self.size
+        for src, box in enumerate(outboxes):
+            for dst, payload in box:
+                if not 0 <= dst < self.size:
+                    raise MPCError(f"destination {dst} out of range [0, {self.size})")
+                inboxes[dst].append(payload)
+                if dst != src or count_self:
+                    counts[dst] += 1
+        # Tally on every member of the family.
+        for member in self.members:
+            self.cluster.tally(member, counts, label)
+        return inboxes
+
+    # ------------------------------------------------------------------
+    # Convenience routings built on exchange.
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        parts: Sequence[Iterable[Any]],
+        dest_fn: Callable[[Any], int],
+        label: str,
+    ) -> list[list[Any]]:
+        """Route each item of each part to ``dest_fn(item)``."""
+        outboxes = [
+            [(dest_fn(item), item) for item in part] for part in parts
+        ]
+        return self.exchange(outboxes, label)
+
+    def hash_route(
+        self,
+        parts: Sequence[Iterable[Any]],
+        key_fn: Callable[[Any], Any],
+        label: str,
+        salt: int = 0,
+    ) -> list[list[Any]]:
+        """Route items by a stable hash of their key."""
+        size = self.size
+        return self.route(
+            parts, lambda item: stable_hash(key_fn(item), salt) % size, label
+        )
+
+    def broadcast(self, items: Sequence[Any], label: str, src: int = 0) -> None:
+        """Replicate ``items`` (held by local server ``src``) to every server.
+
+        Every server (except the sender) receives ``len(items)`` units.  The
+        caller keeps using the same Python objects; only the ledger moves.
+        """
+        outbox: list[tuple[int, Any]] = []
+        for dst in range(self.size):
+            for item in items:
+                outbox.append((dst, item))
+        outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.size)]
+        outboxes[src] = outbox
+        self.exchange(outboxes, label)
+
+    def gather(
+        self, parts: Sequence[Iterable[Any]], label: str, dst: int = 0
+    ) -> list[Any]:
+        """Collect all items on local server ``dst`` (the coordinator)."""
+        outboxes = [[(dst, item) for item in part] for part in parts]
+        inboxes = self.exchange(outboxes, label)
+        return inboxes[dst]
+
+    def scatter_even(self, items: Sequence[Any], label: str, src: int = 0) -> list[list[Any]]:
+        """Deal items from one server round-robin across the group."""
+        outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.size)]
+        outboxes[src] = [(i % self.size, item) for i, item in enumerate(items)]
+        return self.exchange(outboxes, label)
+
+    def __repr__(self) -> str:
+        fam = f" x{len(self.members)}" if len(self.members) > 1 else ""
+        return f"Group<size={self.size}{fam}>"

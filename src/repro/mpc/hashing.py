@@ -1,0 +1,61 @@
+"""Deterministic hashing for routing decisions.
+
+Python's built-in ``hash`` is salted per process for strings, which would
+make simulated runs non-reproducible.  All routing in the simulator goes
+through :func:`stable_hash` instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+__all__ = ["stable_hash"]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix(h: int, v: int) -> int:
+    """splitmix64-style mixing step."""
+    h = (h + 0x9E3779B97F4A7C15 + v) & _MASK
+    h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & _MASK
+    return h ^ (h >> 31)
+
+
+def stable_hash(obj: Any, salt: int = 0) -> int:
+    """A process-independent 64-bit hash of ints, strings, and tuples.
+
+    Args:
+        obj: An int, string, bytes, None, bool, float, or (nested) tuple of
+            those.
+        salt: Optional salt so independent routing decisions decorrelate.
+
+    Raises:
+        TypeError: For unsupported types (lists, dicts, sets are not hashable
+            routing keys).
+    """
+    h = _mix(0x243F6A8885A308D3, salt & _MASK)
+    stack = [obj]
+    while stack:
+        cur = stack.pop()
+        if cur is None:
+            h = _mix(h, 0x5BF03635)
+        elif isinstance(cur, bool):
+            h = _mix(h, 0x9E3779B9 + int(cur))
+        elif isinstance(cur, int):
+            h = _mix(h, cur & _MASK)
+            h = _mix(h, (cur >> 64) & _MASK)
+        elif isinstance(cur, float):
+            h = _mix(h, hash(cur) & _MASK)
+        elif isinstance(cur, str):
+            h = _mix(h, zlib.crc32(cur.encode("utf-8")))
+            h = _mix(h, len(cur))
+        elif isinstance(cur, bytes):
+            h = _mix(h, zlib.crc32(cur))
+        elif isinstance(cur, tuple):
+            h = _mix(h, 0xABCD1234 + len(cur))
+            stack.extend(reversed(cur))
+        else:
+            raise TypeError(f"unhashable routing key type: {type(cur).__name__}")
+    return h

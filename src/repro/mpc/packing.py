@@ -1,0 +1,186 @@
+"""Parallel-packing and server-allocation primitives (paper Section 2).
+
+* :func:`parallel_packing` — group weighted items (0 < w <= 1) into bins of
+  total weight <= 1 with all but one bin >= 1/2.  Used to pack light
+  sub-instances onto single servers (Sections 3.2 and 4.2).
+* :func:`server_allocation` — turn per-subproblem server demands into
+  disjoint contiguous server ranges every tuple can learn.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import AllocationError
+from repro.mpc.group import Group
+
+__all__ = ["parallel_packing", "server_allocation"]
+
+
+def parallel_packing(
+    group: Group,
+    parts: Sequence[Iterable[tuple[Any, float]]],
+    label: str = "packing",
+) -> tuple[list[list[tuple[Any, int]]], int]:
+    """Pack weighted items into groups of total weight <= 1.
+
+    Args:
+        group: The server group executing the primitive.
+        parts: Per-server ``(item_id, weight)`` pairs with ``0 < weight <= 1``.
+
+    Returns:
+        ``(assignment_parts, n_groups)`` where assignments are
+        ``(item_id, group_id)`` pairs (same distribution as the input) and
+        group ids run ``0..n_groups-1``.  Guarantees: every group's total
+        weight is <= 1, and all but at most one group have weight >= 1/2,
+        so ``n_groups <= 1 + 2 * total_weight`` (paper Section 2).
+
+    Note:
+        The paper recurses on the p leftover partial bins; with
+        ``IN >= p^2`` a single O(p)-unit coordinator pass packs them
+        directly, which is what we do (see DESIGN.md).
+    """
+    parts = [list(p) for p in parts]
+    for part in parts:
+        for item_id, w in part:
+            if not 0 < w <= 1 + 1e-12:
+                raise AllocationError(f"weight {w} of item {item_id!r} not in (0, 1]")
+
+    # Local grouping: items of weight >= 1/2 each take their own bin; small
+    # items accumulate until the next one would overflow 1, so every closed
+    # small bin holds > 1 - 1/2 = 1/2.  At most one partial (< 1/2) bin per
+    # server remains.
+    local_bins_per_server: list[list[list[tuple[Any, float]]]] = []
+    leftovers: list[tuple[int, float, list[Any]] | None] = []
+    full_counts: list[int] = []
+    for server_idx, part in enumerate(parts):
+        full: list[list[tuple[Any, float]]] = []
+        cur: list[tuple[Any, float]] = []
+        cur_w = 0.0
+        for item_id, w in part:
+            if w >= 0.5:
+                full.append([(item_id, w)])
+                continue
+            if cur_w + w > 1.0 + 1e-12:
+                full.append(cur)
+                cur, cur_w = [], 0.0
+            cur.append((item_id, w))
+            cur_w += w
+        partial: list[tuple[Any, float]] = []
+        if cur:
+            if cur_w >= 0.5:
+                full.append(cur)
+            else:
+                partial = cur
+        local_bins_per_server.append(full)
+        full_counts.append(len(full))
+        if partial:
+            leftovers.append(
+                (server_idx, sum(w for _i, w in partial), [i for i, _w in partial])
+            )
+        else:
+            leftovers.append(None)
+
+    # Prefix sums over full-bin counts (O(p) coordinator traffic), plus
+    # packing of the <= p leftover partial bins into final groups.
+    from repro.mpc.primitives import coordinator_for
+
+    size = group.size
+    coord = coordinator_for(group, label)
+    outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(size)]
+    for i in range(size):
+        outboxes[i].append((coord, (i, full_counts[i], leftovers[i])))
+    inbox = group.exchange(outboxes, f"{label}/gather")[coord]
+    inbox.sort(key=lambda t: t[0])
+
+    offsets = []
+    acc = 0
+    for _i, cnt, _leftover in inbox:
+        offsets.append(acc)
+        acc += cnt
+    n_full = acc
+
+    # First-fit the leftover partial bins (each < 1/2) into shared groups.
+    leftover_group_of_server: dict[int, int] = {}
+    cur_gid = n_full
+    cur_w = 0.0
+    started = False
+    for i, _cnt, leftover in inbox:
+        if leftover is None:
+            continue
+        _srv, w, _ids = leftover
+        if not started:
+            started = True
+            cur_w = w
+        elif cur_w + w <= 1.0 + 1e-12:
+            cur_w += w
+        else:
+            cur_gid += 1
+            cur_w = w
+        leftover_group_of_server[i] = cur_gid
+    n_groups = cur_gid + 1 if started else n_full
+
+    replies: list[tuple[int, int | None]] = [
+        (offsets[idx], leftover_group_of_server.get(inbox[idx][0]))
+        for idx in range(len(inbox))
+    ]
+    outboxes2: list[list[tuple[int, Any]]] = [[] for _ in range(size)]
+    for idx, (i, _cnt, _l) in enumerate(inbox):
+        outboxes2[coord].append((i, replies[idx]))
+    reply_boxes = group.exchange(outboxes2, f"{label}/reply")
+
+    assignment_parts: list[list[tuple[Any, int]]] = []
+    for server_idx in range(size):
+        reply = reply_boxes[server_idx][0] if reply_boxes[server_idx] else (0, None)
+        offset, leftover_gid = reply
+        out: list[tuple[Any, int]] = []
+        for local_gid, bin_items in enumerate(local_bins_per_server[server_idx]):
+            for item_id, _w in bin_items:
+                out.append((item_id, offset + local_gid))
+        if leftovers[server_idx] is not None and leftover_gid is not None:
+            for item_id in leftovers[server_idx][2]:
+                out.append((item_id, leftover_gid))
+        assignment_parts.append(out)
+    return assignment_parts, n_groups
+
+
+def server_allocation(
+    group: Group,
+    demand_parts: Sequence[Iterable[tuple[Any, int]]],
+    label: str = "allocation",
+) -> dict[Any, tuple[int, int]]:
+    """Assign disjoint contiguous local-server ranges to subproblems.
+
+    Args:
+        demand_parts: Per-server ``(subproblem_id, p_j)`` pairs; each
+            subproblem id must appear exactly once globally.
+
+    Returns:
+        ``{subproblem_id: (start, end)}`` with ``end`` exclusive and
+        ``max end <= sum p_j`` (paper Section 2).  The mapping is broadcast
+        so every server can route its tuples; the broadcast cost (number of
+        subproblems, <= O(p) by construction in all callers) is tallied.
+
+    Raises:
+        AllocationError: On duplicate subproblem ids or non-positive demands.
+    """
+    from repro.mpc.primitives import coordinator_for
+
+    coord = coordinator_for(group, label)
+    gathered = group.gather(
+        [list(p) for p in demand_parts], f"{label}/gather", dst=coord
+    )
+    seen: dict[Any, int] = {}
+    for sub_id, pj in gathered:
+        if pj <= 0:
+            raise AllocationError(f"subproblem {sub_id!r} demands {pj} servers")
+        if sub_id in seen:
+            raise AllocationError(f"duplicate subproblem id {sub_id!r}")
+        seen[sub_id] = pj
+    ranges: dict[Any, tuple[int, int]] = {}
+    acc = 0
+    for sub_id in sorted(seen, key=lambda s: (str(type(s)), str(s))):
+        ranges[sub_id] = (acc, acc + seen[sub_id])
+        acc += seen[sub_id]
+    group.broadcast(list(ranges.items()), f"{label}/broadcast", src=coord)
+    return ranges

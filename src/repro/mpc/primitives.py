@@ -1,0 +1,461 @@
+"""The paper's Section 2 MPC primitives, all with linear load, O(1) rounds.
+
+Implemented sort-first (the [14, 18] recipe): a deterministic
+regular-sampling sort (PSRS) range-partitions items so that equal keys are
+contiguous *across* servers, then per-key logic runs locally with an O(p)
+boundary round-trip through a coordinator to stitch runs that span server
+boundaries.  The coordinator traffic is O(p) units per primitive, which is
+within the linear-load budget whenever ``IN >= p^2`` (documented in
+DESIGN.md; the paper assumes ``IN >= p^{1+eps}`` and uses aggregation trees
+instead — same interface, same asymptotics for our experiment range).
+
+Primitives:
+
+* :func:`sample_sort` — global sort (the substrate).
+* :func:`sum_by_key` — per-key aggregation with any associative operator.
+* :func:`multi_numbering` — consecutive numbering 1,2,3,... per key.
+* :func:`multi_search` — predecessor search of X elements in Y.
+* :func:`semi_join` — ``R1 semijoin R2`` via multi-search.
+* :func:`attach_degrees` — annotate rows with their key's global degree
+  (the sum-by-key + multi-search combo used by every heavy/light split).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.data.relation import Row, project_row
+from repro.errors import MPCError
+from repro.mpc.distrel import DistRelation
+from repro.mpc.group import Group
+
+__all__ = [
+    "orderable",
+    "sample_sort",
+    "sum_by_key",
+    "multi_numbering",
+    "multi_search",
+    "semi_join",
+    "attach_degrees",
+    "distinct_keys",
+]
+
+
+def orderable(value: Any) -> tuple:
+    """Map a value to a type-tagged key so mixed types sort deterministically."""
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, bytes):
+        return (4, value)
+    if isinstance(value, tuple):
+        return (5, tuple(orderable(v) for v in value))
+    raise TypeError(f"cannot order value of type {type(value).__name__}")
+
+
+def coordinator_for(group: Group, label: str) -> int:
+    """Pick the coordinator server for a primitive step.
+
+    Rotating the coordinator by a hash of the step label spreads the O(p)
+    boundary-stitching traffic evenly instead of hot-spotting one server —
+    the simulation analogue of the aggregation trees of [14, 18].
+    """
+    from repro.mpc.hashing import stable_hash
+
+    return stable_hash(label, salt=0x5EED) % group.size
+
+
+def _coordinator_roundtrip(
+    group: Group,
+    summaries: Sequence[Any],
+    compute: Callable[[list[Any]], list[Any]],
+    label: str,
+) -> list[Any]:
+    """Send one summary per server to a coordinator, compute, reply one each.
+
+    The O(p)-unit coordinator step shared by all boundary-stitching logic.
+    """
+    coord = coordinator_for(group, label)
+    outboxes = [[(coord, (i, s))] for i, s in enumerate(summaries)]
+    inboxes = group.exchange(outboxes, f"{label}/gather")
+    received = sorted(inboxes[coord], key=lambda t: t[0])
+    replies = compute([s for _, s in received])
+    if len(replies) != group.size:
+        raise MPCError("coordinator must reply to every server")
+    outboxes2: list[list[tuple[int, Any]]] = [[] for _ in range(group.size)]
+    outboxes2[coord] = [(i, r) for i, r in enumerate(replies)]
+    inboxes2 = group.exchange(outboxes2, f"{label}/reply")
+    return [box[0] for box in inboxes2]
+
+
+def sample_sort(
+    group: Group,
+    parts: Sequence[Iterable[Any]],
+    key_fn: Callable[[Any], Any],
+    label: str,
+) -> list[list[tuple[tuple, tuple[int, int], Any]]]:
+    """Globally sort items by ``(key, origin-uid)`` via regular sampling.
+
+    Returns per-server lists of ``(orderable_key, uid, item)`` triples in
+    global sorted order (server 0's part precedes server 1's, etc.).  Equal
+    keys are tie-broken by uid, so heavy keys spread across servers — the
+    property that makes the downstream primitives skew-proof.
+
+    Load: ~``n/p`` per server (PSRS guarantees < 2n/p) plus O(p) sampling
+    traffic at the coordinator.
+    """
+    p = group.size
+    decorated: list[list[tuple[tuple, tuple[int, int], Any]]] = []
+    for i, part in enumerate(parts):
+        d = [(orderable(key_fn(item)), (i, j), item) for j, item in enumerate(part)]
+        d.sort(key=lambda t: (t[0], t[1]))
+        decorated.append(d)
+    if p == 1:
+        return decorated
+
+    # Regular sampling: p evenly spaced (key, uid) pivots per server, each
+    # counted as one unit of communication at the coordinator.
+    sample_parts: list[list[tuple[tuple, tuple[int, int]]]] = []
+    for d in decorated:
+        if not d:
+            sample_parts.append([])
+            continue
+        n = len(d)
+        idxs = sorted({min(n - 1, (k * n) // p) for k in range(p)})
+        sample_parts.append([(d[i][0], d[i][1]) for i in idxs])
+
+    coord = coordinator_for(group, label)
+    flat = sorted(group.gather(sample_parts, f"{label}/sample", dst=coord))
+    splitters: list[tuple] = []
+    if flat:
+        splitters = [
+            flat[min(len(flat) - 1, (k * len(flat)) // p)] for k in range(1, p)
+        ]
+    group.broadcast(splitters, f"{label}/splitters", src=coord)
+
+    def dest(item: tuple[tuple, tuple[int, int], Any]) -> int:
+        return bisect_right(splitters, (item[0], item[1]))
+
+    routed = group.route(decorated, dest, f"{label}/shuffle")
+    for part in routed:
+        part.sort(key=lambda t: (t[0], t[1]))
+    return routed
+
+
+def sum_by_key(
+    group: Group,
+    parts: Sequence[Iterable[tuple[Any, Any]]],
+    plus: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    label: str = "sum_by_key",
+) -> list[list[tuple[Any, Any]]]:
+    """Aggregate ``(key, value)`` pairs per key with an associative operator.
+
+    Returns per-server lists of ``(key, total)``; each key appears exactly
+    once globally (on the first server of its sorted span).
+    """
+    sorted_parts = sample_sort(group, parts, lambda kv: kv[0], label)
+
+    # Local runs: (okey, key, partial_sum).
+    runs_per_server: list[list[tuple[tuple, Any, Any]]] = []
+    for part in sorted_parts:
+        runs: list[tuple[tuple, Any, Any]] = []
+        for okey, _uid, (key, value) in part:
+            if runs and runs[-1][0] == okey:
+                prev = runs[-1]
+                runs[-1] = (prev[0], prev[1], plus(prev[2], value))
+            else:
+                runs.append((okey, key, value))
+        runs_per_server.append(runs)
+
+    # Boundary stitching: only each server's first and last run can span.
+    summaries = []
+    for runs in runs_per_server:
+        if not runs:
+            summaries.append(None)
+        else:
+            first = (runs[0][0], runs[0][2])
+            last = (runs[-1][0], runs[-1][2])
+            summaries.append((first, last, len(runs)))
+
+    def stitch(summaries_list: list[Any]) -> list[Any]:
+        """Decide, per server, what happens to its boundary runs.
+
+        Reply per server: ``(first_action, last_action)`` where an action is
+        ``None`` (no such run), ``("emit", total)`` or ``("drop",)``.  For a
+        single-run server the two actions collapse into ``first_action``.
+        """
+        replies: list[list[Any]] = [[None, None] for _ in summaries_list]
+        chain: tuple[int, int, tuple, Any] | None = None  # (server, slot, okey, acc)
+
+        def flush() -> None:
+            nonlocal chain
+            if chain is not None:
+                srv, slot, _okey, acc = chain
+                replies[srv][slot] = ("emit", acc)
+                chain = None
+
+        for i, s in enumerate(summaries_list):
+            if s is None:
+                continue
+            (first_ok, first_sum), (last_ok, last_sum), n_runs = s
+            if chain is not None and chain[2] == first_ok:
+                chain = (chain[0], chain[1], chain[2], plus(chain[3], first_sum))
+                replies[i][0] = ("drop",)
+            else:
+                flush()
+                chain = (i, 0, first_ok, first_sum)
+            if n_runs > 1:
+                # The last run starts a fresh chain: with several runs the
+                # last key necessarily differs from the first.
+                flush()
+                chain = (i, 1, last_ok, last_sum)
+        flush()
+        return [tuple(r) for r in replies]
+
+    replies = _coordinator_roundtrip(group, summaries, stitch, f"{label}/stitch")
+
+    out_parts: list[list[tuple[Any, Any]]] = []
+    for runs, reply in zip(runs_per_server, replies):
+        first_action, last_action = reply
+        out: list[tuple[Any, Any]] = []
+        for idx, (_okey, key, partial) in enumerate(runs):
+            if idx == 0 and first_action is not None:
+                if first_action[0] == "emit":
+                    out.append((key, first_action[1]))
+                # drop: owned upstream
+            elif idx == len(runs) - 1 and last_action is not None:
+                if last_action[0] == "emit":
+                    out.append((key, last_action[1]))
+            else:
+                out.append((key, partial))
+        out_parts.append(out)
+    return out_parts
+
+
+def multi_numbering(
+    group: Group,
+    parts: Sequence[Iterable[tuple[Any, Any]]],
+    label: str = "multi_numbering",
+) -> list[list[tuple[Any, Any, int]]]:
+    """Assign consecutive numbers 1, 2, 3, ... per key to ``(key, payload)`` pairs.
+
+    Returns per-server lists of ``(key, payload, number)``.
+    """
+    sorted_parts = sample_sort(group, parts, lambda kv: kv[0], label)
+
+    summaries = []
+    for part in sorted_parts:
+        if not part:
+            summaries.append(None)
+            continue
+        first_ok = part[0][0]
+        last_ok = part[-1][0]
+        first_count = sum(1 for okey, _u, _it in part if okey == first_ok)
+        last_count = sum(1 for okey, _u, _it in part if okey == last_ok)
+        summaries.append((first_ok, first_count, last_ok, last_count))
+
+    def offsets(summaries_list: list[Any]) -> list[Any]:
+        """Per-server offset for its first run (count of that key upstream)."""
+        replies = [0] * len(summaries_list)
+        acc_key: tuple | None = None
+        acc = 0
+        for i, s in enumerate(summaries_list):
+            if s is None:
+                continue
+            first_ok, first_count, last_ok, last_count = s
+            if acc_key is not None and acc_key == first_ok:
+                replies[i] = acc
+            else:
+                replies[i] = 0
+            if first_ok == last_ok:
+                base = replies[i]
+                acc = base + first_count
+            else:
+                acc = last_count
+            acc_key = last_ok
+        return replies
+
+    replies = _coordinator_roundtrip(group, summaries, offsets, f"{label}/stitch")
+
+    out_parts: list[list[tuple[Any, Any, int]]] = []
+    for part, offset in zip(sorted_parts, replies):
+        out: list[tuple[Any, Any, int]] = []
+        pos = 0
+        prev_ok: tuple | None = None
+        for okey, _uid, (key, payload) in part:
+            if okey != prev_ok:
+                # Only the part's very first run continues an upstream span.
+                pos = offset if prev_ok is None else 0
+                prev_ok = okey
+            pos += 1
+            out.append((key, payload, pos))
+        out_parts.append(out)
+    return out_parts
+
+
+def multi_search(
+    group: Group,
+    x_parts: Sequence[Iterable[tuple[Any, Any]]],
+    y_parts: Sequence[Iterable[tuple[Any, Any]]],
+    label: str = "multi_search",
+) -> list[list[tuple[Any, Any, Any, Any]]]:
+    """For each X element, find its predecessor in Y (largest key <= x's key).
+
+    Args:
+        x_parts / y_parts: Per-server ``(key, payload)`` pairs.
+
+    Returns:
+        Per-server lists of ``(x_key, x_payload, pred_key, pred_payload)``;
+        the predecessor fields are ``None`` when no Y key <= x exists.
+        Ties (equal keys) resolve to the Y element, enabling equality tests.
+    """
+    tagged: list[list[tuple[int, Any, Any]]] = []
+    for xp, yp in zip(x_parts, y_parts):
+        part = [(0, k, v) for k, v in yp] + [(1, k, v) for k, v in xp]
+        tagged.append(part)
+    sorted_parts = sample_sort(
+        group, tagged, lambda t: (t[1], t[0]), label
+    )
+
+    # Per-server trailing Y element.
+    summaries: list[Any] = []
+    for part in sorted_parts:
+        carry = None
+        for _okey, _uid, (tag, key, payload) in part:
+            if tag == 0:
+                carry = (key, payload)
+        summaries.append(carry)
+
+    def carries(summaries_list: list[Any]) -> list[Any]:
+        replies: list[Any] = []
+        run: Any = None
+        for s in summaries_list:
+            replies.append(run)
+            if s is not None:
+                run = s
+        return replies
+
+    incoming = _coordinator_roundtrip(group, summaries, carries, f"{label}/carry")
+
+    out_parts: list[list[tuple[Any, Any, Any, Any]]] = []
+    for part, carry_in in zip(sorted_parts, incoming):
+        out: list[tuple[Any, Any, Any, Any]] = []
+        carry = carry_in
+        for _okey, _uid, (tag, key, payload) in part:
+            if tag == 0:
+                carry = (key, payload)
+            else:
+                if carry is None:
+                    out.append((key, payload, None, None))
+                else:
+                    out.append((key, payload, carry[0], carry[1]))
+        out_parts.append(out)
+    return out_parts
+
+
+def semi_join(
+    group: Group,
+    rel: DistRelation,
+    filter_rel: DistRelation,
+    label: str = "semi_join",
+) -> DistRelation:
+    """``rel semijoin filter_rel`` on their shared attributes (linear load).
+
+    Reduction to multi-search exactly as in paper Section 2: a row survives
+    iff its predecessor among the filter keys equals its own key.
+    """
+    shared = tuple(sorted(set(rel.attrs) & set(filter_rel.attrs)))
+    if not shared:
+        # Degenerate: an empty filter kills everything, else no-op.
+        if filter_rel.total_size() == 0:
+            return rel.empty_like()
+        return rel
+    pos_r = rel.positions(shared)
+    pos_f = filter_rel.positions(shared)
+    x_parts = [
+        [(project_row(row, pos_r), row) for row in part] for part in rel.parts
+    ]
+    y_parts = [
+        [(project_row(row, pos_f), None) for row in part] for part in filter_rel.parts
+    ]
+    found = multi_search(group, x_parts, y_parts, label)
+    parts = [
+        [payload for key, payload, pk, _pv in part if pk == key] for part in found
+    ]
+    return DistRelation(rel.name, rel.attrs, parts)
+
+
+def attach_degrees(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    label: str = "degrees",
+    degree_parts: Sequence[Iterable[tuple[Any, int]]] | None = None,
+) -> list[list[tuple[Row, int]]]:
+    """Annotate each row with the global degree of its key in ``rel``.
+
+    The sum-by-key + multi-search combination behind every heavy/light
+    decision in the paper's algorithms.  If ``degree_parts`` is given
+    (pre-computed ``(key, count)`` pairs, e.g. degrees in a *different*
+    relation), it is used instead of counting within ``rel``.
+
+    Returns:
+        Per-server ``(row, degree)`` pairs (degree 0 if the key is absent
+        from the degree table).
+    """
+    pos = rel.positions(key_attrs)
+    if degree_parts is None:
+        pair_parts = [
+            [(project_row(row, pos), 1) for row in part] for part in rel.parts
+        ]
+        degree_parts = sum_by_key(group, pair_parts, label=f"{label}/count")
+    x_parts = [
+        [(project_row(row, pos), row) for row in part] for part in rel.parts
+    ]
+    found = multi_search(group, x_parts, list(degree_parts), f"{label}/lookup")
+    return [
+        [
+            (payload, pv if pk == key else 0)
+            for key, payload, pk, pv in part
+        ]
+        for part in found
+    ]
+
+
+def global_sum(
+    group: Group,
+    values: Sequence[int | float],
+    label: str = "global_sum",
+) -> int | float:
+    """Sum one value per server and make the total known everywhere.
+
+    O(p) units at the coordinator plus a broadcast of one unit per server.
+    """
+    if len(values) != group.size:
+        raise MPCError("need exactly one value per local server")
+    coord = coordinator_for(group, label)
+    gathered = group.gather([[v] for v in values], f"{label}/gather", dst=coord)
+    total = sum(gathered)
+    group.broadcast([total], f"{label}/bcast", src=coord)
+    return total
+
+
+def distinct_keys(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    label: str = "distinct",
+) -> list[list[Any]]:
+    """Globally distinct projections of ``rel`` onto ``key_attrs``."""
+    pos = rel.positions(key_attrs)
+    pair_parts = [
+        [(project_row(row, pos), 1) for row in part] for part in rel.parts
+    ]
+    counted = sum_by_key(group, pair_parts, label=label)
+    return [[key for key, _c in part] for part in counted]

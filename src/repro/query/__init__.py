@@ -1,0 +1,73 @@
+"""Hypergraph machinery: acyclicity, join trees, and query classification.
+
+This subpackage is the structural substrate of the paper: hypergraphs and
+GYO reduction (:mod:`~repro.query.hypergraph`), the tall-flat /
+hierarchical / r-hierarchical / acyclic hierarchy
+(:mod:`~repro.query.classify`, Figure 1), attribute forests
+(:mod:`~repro.query.forests`, Figure 2), the Lemma 2 dichotomy
+(:mod:`~repro.query.paths`), edge covers and packings
+(:mod:`~repro.query.covers`), and free-connex scaffolding for
+join-aggregate queries (:mod:`~repro.query.ghd`, Section 6).
+"""
+
+from repro.query.classify import (
+    JoinClass,
+    classify,
+    is_acyclic,
+    is_hierarchical,
+    is_r_hierarchical,
+    is_tall_flat,
+    tall_flat_order,
+)
+from repro.query.covers import (
+    agm_bound,
+    fractional_edge_cover_number,
+    fractional_edge_packing_number,
+    integral_edge_cover,
+    minimize_agm,
+)
+from repro.query.forests import AttributeForest, attribute_forest
+from repro.query.ghd import (
+    OUTPUT_EDGE,
+    OutputJoinTree,
+    is_free_connex,
+    is_out_hierarchical,
+    output_join_tree,
+    residual_output_query,
+)
+from repro.query.hypergraph import Hypergraph, JoinTree, gyo_reduction, join_tree
+from repro.query.paths import (
+    has_minimal_path_of_length_3,
+    is_minimal_path,
+    minimal_path_of_length_3,
+)
+
+__all__ = [
+    "Hypergraph",
+    "JoinTree",
+    "gyo_reduction",
+    "join_tree",
+    "JoinClass",
+    "classify",
+    "is_acyclic",
+    "is_hierarchical",
+    "is_r_hierarchical",
+    "is_tall_flat",
+    "tall_flat_order",
+    "AttributeForest",
+    "attribute_forest",
+    "has_minimal_path_of_length_3",
+    "is_minimal_path",
+    "minimal_path_of_length_3",
+    "agm_bound",
+    "fractional_edge_cover_number",
+    "fractional_edge_packing_number",
+    "integral_edge_cover",
+    "minimize_agm",
+    "OUTPUT_EDGE",
+    "OutputJoinTree",
+    "is_free_connex",
+    "is_out_hierarchical",
+    "output_join_tree",
+    "residual_output_query",
+]

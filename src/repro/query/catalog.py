@@ -1,0 +1,194 @@
+"""A catalog of named queries used throughout the paper, tests, and benches.
+
+Each factory returns a fresh :class:`~repro.query.hypergraph.Hypergraph`.
+The classification census (Figure 1 experiment) iterates :data:`CATALOG`.
+"""
+
+from __future__ import annotations
+
+from repro.query.hypergraph import Hypergraph
+
+__all__ = [
+    "binary_join",
+    "line_join",
+    "line3",
+    "star_join",
+    "cartesian_product",
+    "q1_tall_flat",
+    "q2_hierarchical",
+    "q2_r_hierarchical",
+    "simple_r_hierarchical",
+    "triangle",
+    "fork_join",
+    "broom_join",
+    "two_ears",
+    "CATALOG",
+]
+
+
+def binary_join() -> Hypergraph:
+    """``R1(A,B) join R2(B,C)`` — the simplest (tall-flat) join."""
+    return Hypergraph({"R1": ("A", "B"), "R2": ("B", "C")}, name="binary")
+
+
+def line_join(k: int) -> Hypergraph:
+    """The line-k join ``R1(X0,X1) join R2(X1,X2) join ... join Rk(Xk-1,Xk)``."""
+    if k < 1:
+        raise ValueError("line join needs k >= 1")
+    edges = {f"R{i + 1}": (f"X{i}", f"X{i + 1}") for i in range(k)}
+    return Hypergraph(edges, name=f"line{k}")
+
+
+def line3() -> Hypergraph:
+    """The paper's line-3 join ``R1(A,B) join R2(B,C) join R3(C,D)``."""
+    return Hypergraph(
+        {"R1": ("A", "B"), "R2": ("B", "C"), "R3": ("C", "D")}, name="line3"
+    )
+
+
+def star_join(k: int) -> Hypergraph:
+    """``R1(Z,X1) join R2(Z,X2) join ... join Rk(Z,Xk)`` — hierarchical."""
+    if k < 2:
+        raise ValueError("star join needs k >= 2")
+    edges = {f"R{i}": ("Z", f"X{i}") for i in range(1, k + 1)}
+    return Hypergraph(edges, name=f"star{k}")
+
+
+def cartesian_product(k: int) -> Hypergraph:
+    """``R1(X1) x R2(X2) x ... x Rk(Xk)`` — the HyperCube benchmark query."""
+    if k < 1:
+        raise ValueError("cartesian product needs k >= 1")
+    edges = {f"R{i}": (f"X{i}",) for i in range(1, k + 1)}
+    return Hypergraph(edges, name=f"cartesian{k}")
+
+
+def q1_tall_flat() -> Hypergraph:
+    """Paper's Q1 (Section 3, Figure 2): a tall-flat join with 6 relations."""
+    return Hypergraph(
+        {
+            "R1": ("x1",),
+            "R2": ("x1", "x2"),
+            "R3": ("x1", "x2", "x3"),
+            "R4": ("x1", "x2", "x3", "x4"),
+            "R5": ("x1", "x2", "x3", "x5"),
+            "R6": ("x1", "x2", "x3", "x6"),
+        },
+        name="Q1-tall-flat",
+    )
+
+
+def q2_hierarchical() -> Hypergraph:
+    """Paper's Q2 (Section 3, Figure 2): hierarchical but not tall-flat."""
+    return Hypergraph(
+        {
+            "R1": ("x1", "x2"),
+            "R2": ("x1", "x3", "x4"),
+            "R3": ("x1", "x3", "x5"),
+        },
+        name="Q2-hierarchical",
+    )
+
+
+def q2_r_hierarchical() -> Hypergraph:
+    """Paper's Q2 + R4(x3,x5) + R5(x5): r-hierarchical but not hierarchical."""
+    return Hypergraph(
+        {
+            "R1": ("x1", "x2"),
+            "R2": ("x1", "x3", "x4"),
+            "R3": ("x1", "x3", "x5"),
+            "R4": ("x3", "x5"),
+            "R5": ("x5",),
+        },
+        name="Q2-r-hierarchical",
+    )
+
+
+def simple_r_hierarchical() -> Hypergraph:
+    """``R1(A) join R2(A,B) join R3(B)`` — r-hierarchical, not hierarchical."""
+    return Hypergraph(
+        {"R1": ("A",), "R2": ("A", "B"), "R3": ("B",)}, name="simple-r-hier"
+    )
+
+
+def triangle() -> Hypergraph:
+    """The triangle join ``R1(B,C) join R2(A,C) join R3(A,B)`` — cyclic."""
+    return Hypergraph(
+        {"R1": ("B", "C"), "R2": ("A", "C"), "R3": ("A", "B")}, name="triangle"
+    )
+
+
+def fork_join() -> Hypergraph:
+    """A tree-shaped acyclic join: a chain with a side branch.
+
+    ``R1(A,B) join R2(B,C) join R3(C,D) join R4(C,E)`` — acyclic but not
+    r-hierarchical (contains a minimal path of length 3).
+    """
+    return Hypergraph(
+        {
+            "R1": ("A", "B"),
+            "R2": ("B", "C"),
+            "R3": ("C", "D"),
+            "R4": ("C", "E"),
+        },
+        name="fork",
+    )
+
+
+def broom_join() -> Hypergraph:
+    """Paper Figure 5's shape: internal node with several leaf children.
+
+    ``R0(A,B,D,G) join R1(A,B,C) join R2(B,D) join R3(B) join R4(A,D,E)
+    join R5(D,F) join R6(H)`` — the last relation is disconnected, matching
+    the paper's dummy-attribute discussion.
+    """
+    return Hypergraph(
+        {
+            "R0": ("A", "B", "D", "G"),
+            "R1": ("A", "B", "C"),
+            "R2": ("B", "D"),
+            "R3": ("B",),
+            "R4": ("A", "D", "E"),
+            "R5": ("D", "F"),
+            "R6": ("H",),
+        },
+        name="broom",
+    )
+
+
+def two_ears() -> Hypergraph:
+    """Acyclic non-r-hierarchical join with two length-3 minimal paths.
+
+    Two line-3 joins glued at the middle: ``R1(A,B) join R2(B,C) join
+    R3(C,D) join R4(B,E) join R5(E,F)``.
+    """
+    return Hypergraph(
+        {
+            "R1": ("A", "B"),
+            "R2": ("B", "C"),
+            "R3": ("C", "D"),
+            "R4": ("B", "E"),
+            "R5": ("E", "F"),
+        },
+        name="two-ears",
+    )
+
+
+#: Named queries for the classification census (Figure 1 experiment).
+CATALOG: dict[str, Hypergraph] = {
+    "binary": binary_join(),
+    "line3": line3(),
+    "line4": line_join(4),
+    "line5": line_join(5),
+    "star3": star_join(3),
+    "star4": star_join(4),
+    "cartesian2": cartesian_product(2),
+    "cartesian3": cartesian_product(3),
+    "q1_tall_flat": q1_tall_flat(),
+    "q2_hierarchical": q2_hierarchical(),
+    "q2_r_hierarchical": q2_r_hierarchical(),
+    "simple_r_hierarchical": simple_r_hierarchical(),
+    "triangle": triangle(),
+    "fork": fork_join(),
+    "broom": broom_join(),
+    "two_ears": two_ears(),
+}

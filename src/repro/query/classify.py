@@ -1,0 +1,107 @@
+"""Classification of joins: tall-flat, hierarchical, r-hierarchical, acyclic.
+
+Implements the class hierarchy of paper Section 1.4 / Figure 1:
+
+    tall-flat  <  hierarchical  <  r-hierarchical  <  acyclic  <  all joins
+
+* A join is **hierarchical** if for every pair of attributes ``x, y`` the
+  edge sets ``E_x`` and ``E_y`` are nested or disjoint.
+* It is **r-hierarchical** if its *reduced* hypergraph (edges contained in
+  other edges removed) is hierarchical.
+* It is **tall-flat** if its attributes order as ``x1..xh, y1..yl`` with
+  ``E_x1 >= E_x2 >= ... >= E_xh >= E_yj`` and ``|E_yj| = 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.query.hypergraph import Hypergraph
+
+__all__ = [
+    "JoinClass",
+    "classify",
+    "is_acyclic",
+    "is_hierarchical",
+    "is_r_hierarchical",
+    "is_tall_flat",
+    "tall_flat_order",
+]
+
+
+class JoinClass(enum.IntEnum):
+    """Finest class a query belongs to; lower values are more restrictive.
+
+    Comparisons express the inclusion diagram of Figure 1: a query whose
+    ``classify(...)`` value is ``TALL_FLAT`` is also in every larger class.
+    """
+
+    TALL_FLAT = 0
+    HIERARCHICAL = 1
+    R_HIERARCHICAL = 2
+    ACYCLIC = 3
+    CYCLIC = 4
+
+
+def is_hierarchical(query: Hypergraph) -> bool:
+    """Check the hierarchical property: all ``E_x`` nested or disjoint."""
+    attrs = sorted(query.attributes)
+    edge_sets = {x: query.edges_with(x) for x in attrs}
+    for i, x in enumerate(attrs):
+        for y in attrs[i + 1 :]:
+            ex, ey = edge_sets[x], edge_sets[y]
+            if not (ex <= ey or ey <= ex or not (ex & ey)):
+                return False
+    return True
+
+
+def is_r_hierarchical(query: Hypergraph) -> bool:
+    """Check whether the reduced hypergraph is hierarchical."""
+    reduced, _ = query.reduce()
+    return is_hierarchical(reduced)
+
+
+def tall_flat_order(query: Hypergraph) -> tuple[list[str], list[str]] | None:
+    """Return a witnessing tall-flat ordering ``(stem, flat)`` or ``None``.
+
+    The *stem* attributes ``x1..xh`` satisfy ``E_x1 >= ... >= E_xh``; the
+    *flat* attributes each appear in exactly one edge, contained in
+    ``E_xh``.  An empty stem is allowed (then condition (2) is vacuous),
+    which covers Cartesian products of single relations.
+    """
+    flat = [x for x in sorted(query.attributes) if len(query.edges_with(x)) == 1]
+    stem = [x for x in sorted(query.attributes) if len(query.edges_with(x)) > 1]
+    # Stem attributes must form a chain under edge-set containment.
+    stem.sort(key=lambda x: (-len(query.edges_with(x)), x))
+    for a, b in zip(stem, stem[1:]):
+        if not query.edges_with(b) <= query.edges_with(a):
+            return None
+    if stem:
+        lowest = query.edges_with(stem[-1])
+        for y in flat:
+            if not query.edges_with(y) <= lowest:
+                return None
+    return stem, flat
+
+
+def is_tall_flat(query: Hypergraph) -> bool:
+    """Check the tall-flat property (paper Section 1.4, from [26])."""
+    return tall_flat_order(query) is not None
+
+
+def is_acyclic(query: Hypergraph) -> bool:
+    """Alpha-acyclicity (GYO)."""
+    return query.is_acyclic()
+
+
+def classify(query: Hypergraph) -> JoinClass:
+    """Return the finest class of Figure 1 that contains ``query``."""
+    if not query.is_acyclic():
+        return JoinClass.CYCLIC
+    if is_tall_flat(query):
+        return JoinClass.TALL_FLAT
+    if is_hierarchical(query):
+        return JoinClass.HIERARCHICAL
+    if is_r_hierarchical(query):
+        return JoinClass.R_HIERARCHICAL
+    return JoinClass.ACYCLIC

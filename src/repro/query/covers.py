@@ -1,0 +1,207 @@
+"""Edge covers, edge packings, and the AGM bound.
+
+* **Fractional edge cover**: weights ``u_e >= 0`` with
+  ``sum_{e : x in e} u_e >= 1`` for every attribute ``x``.  The minimum
+  total weight is the fractional edge cover number ``rho``.
+* **Fractional edge packing**: ``sum_{e : x in e} u_e <= 1`` for every
+  attribute; used by the BinHC load expression (paper Section 3.1).
+* **AGM bound**: ``|Q(R)| <= prod_e N_e^{u_e}`` for any fractional edge
+  cover ``u`` — minimized in log space by an LP.
+* **Lemma 1**: acyclic joins have *integral* edge cover number; we implement
+  the constructive GYO-style argument and cross-check against the LP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import QueryError
+from repro.query.hypergraph import Hypergraph
+
+__all__ = [
+    "CoverResult",
+    "fractional_edge_cover_number",
+    "fractional_edge_packing_number",
+    "minimize_agm",
+    "agm_bound",
+    "integral_edge_cover",
+    "maximum_edge_packing",
+]
+
+
+@dataclass(frozen=True)
+class CoverResult:
+    """An (edge -> weight) assignment with its total weight."""
+
+    weights: dict[str, float]
+    total: float
+
+
+def _incidence(query: Hypergraph) -> tuple[list[str], list[str], np.ndarray]:
+    """Edge names, attribute names, and the attr x edge incidence matrix."""
+    edges = list(query.edge_names)
+    attrs = sorted(query.attributes)
+    mat = np.zeros((len(attrs), len(edges)))
+    for j, e in enumerate(edges):
+        for x in query.attrs_of(e):
+            mat[attrs.index(x), j] = 1.0
+    return edges, attrs, mat
+
+
+def fractional_edge_cover_number(query: Hypergraph) -> CoverResult:
+    """Minimize ``sum u_e`` subject to covering every attribute."""
+    edges, _, mat = _incidence(query)
+    res = linprog(
+        c=np.ones(len(edges)),
+        A_ub=-mat,
+        b_ub=-np.ones(mat.shape[0]),
+        bounds=[(0, None)] * len(edges),
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover - LP on well-formed input
+        raise QueryError(f"edge cover LP failed: {res.message}")
+    return CoverResult(dict(zip(edges, res.x)), float(res.fun))
+
+
+def fractional_edge_packing_number(query: Hypergraph) -> CoverResult:
+    """Maximize ``sum u_e`` subject to packing constraints at every attribute."""
+    edges, _, mat = _incidence(query)
+    res = linprog(
+        c=-np.ones(len(edges)),
+        A_ub=mat,
+        b_ub=np.ones(mat.shape[0]),
+        bounds=[(0, None)] * len(edges),
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover
+        raise QueryError(f"edge packing LP failed: {res.message}")
+    return CoverResult(dict(zip(edges, res.x)), float(-res.fun))
+
+
+def minimize_agm(query: Hypergraph, sizes: dict[str, int]) -> CoverResult:
+    """Fractional edge cover minimizing ``prod N_e^{u_e}`` (log-space LP).
+
+    Args:
+        query: The join hypergraph.
+        sizes: Relation sizes ``N_e`` keyed by edge name (must be >= 1).
+
+    Returns:
+        The optimal cover; ``total`` holds ``sum u_e log N_e``.
+    """
+    edges, _, mat = _incidence(query)
+    logs = np.array([math.log(max(2, sizes[e])) for e in edges])
+    res = linprog(
+        c=logs,
+        A_ub=-mat,
+        b_ub=-np.ones(mat.shape[0]),
+        bounds=[(0, None)] * len(edges),
+        method="highs",
+    )
+    if not res.success:  # pragma: no cover
+        raise QueryError(f"AGM LP failed: {res.message}")
+    return CoverResult(dict(zip(edges, res.x)), float(res.fun))
+
+
+def agm_bound(query: Hypergraph, sizes: dict[str, int]) -> float:
+    """The AGM output-size bound ``min_u prod N_e^{u_e}``."""
+    return math.exp(minimize_agm(query, sizes).total)
+
+
+def integral_edge_cover(query: Hypergraph) -> set[str]:
+    """An optimal integral edge cover of an *acyclic* query (Lemma 1).
+
+    Constructive procedure from the Lemma 1 proof: repeatedly (a) drop an
+    edge contained in another (weight 0), or (b) pick an edge owning a
+    private attribute (weight 1) and remove all its attributes.  On acyclic
+    queries this empties the hypergraph and the chosen edges form a minimum
+    edge cover; we assert optimality against the LP relaxation.
+
+    Raises:
+        QueryError: If the procedure stalls (the query was cyclic).
+    """
+    remaining: dict[str, set[str]] = {n: set(query.attrs_of(n)) for n in query.edge_names}
+    chosen: set[str] = set()
+    while any(remaining.values()):
+        progressed = False
+        names = sorted(n for n in remaining if remaining[n])
+        # (a) containment removal.
+        for n in names:
+            for n2 in names:
+                if n2 != n and remaining[n] <= remaining[n2] and (
+                    remaining[n] != remaining[n2] or n > n2
+                ):
+                    remaining[n] = set()
+                    progressed = True
+                    break
+            if progressed:
+                break
+        if progressed:
+            continue
+        # (b) private-attribute pick.
+        for n in names:
+            others: set[str] = set()
+            for n2 in names:
+                if n2 != n:
+                    others |= remaining[n2]
+            if remaining[n] - others:
+                chosen.add(n)
+                private_and_shared = set(remaining[n])
+                for n2 in names:
+                    remaining[n2] -= private_and_shared
+                progressed = True
+                break
+        if not progressed:
+            raise QueryError(
+                f"integral edge cover procedure stalled; {query.name} is cyclic"
+            )
+    lp = fractional_edge_cover_number(query)
+    if len(chosen) > round(lp.total) + 1e-6:  # pragma: no cover - Lemma 1 guards
+        raise QueryError(
+            f"integral cover {len(chosen)} exceeds LP optimum {lp.total:.3f}"
+        )
+    return chosen
+
+
+def maximum_edge_packing(query: Hypergraph, saturate: frozenset[str] = frozenset()) -> CoverResult | None:
+    """Max-weight fractional edge packing saturating the given attributes.
+
+    Used by the BinHC bound (paper Section 3.1): packings of the residual
+    query ``Q_x`` that *saturate* ``x`` (``sum_{e : x in e} u_e >= 1`` for
+    ``x in saturate``) while packing all other attributes.
+
+    Returns:
+        The packing, or ``None`` if saturation is infeasible.
+
+    Edges contained in ``saturate`` are fixed to weight 0, following the
+    paper's convention (their selections are single tuples).
+    """
+    edges, attrs, mat = _incidence(query)
+    a_ub = []
+    b_ub = []
+    for i, x in enumerate(attrs):
+        if x in saturate:
+            a_ub.append(-mat[i])
+            b_ub.append(-1.0)
+        else:
+            a_ub.append(mat[i])
+            b_ub.append(1.0)
+    bounds = []
+    for e in edges:
+        if query.attrs_of(e) <= saturate:
+            bounds.append((0, 0))
+        else:
+            bounds.append((0, None))
+    res = linprog(
+        c=-np.ones(len(edges)),
+        A_ub=np.array(a_ub),
+        b_ub=np.array(b_ub),
+        bounds=bounds,
+        method="highs",
+    )
+    if not res.success:
+        return None
+    return CoverResult(dict(zip(edges, res.x)), float(-res.fun))

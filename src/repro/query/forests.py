@@ -1,0 +1,140 @@
+"""Attribute forests of hierarchical queries (paper Section 3, Figure 2).
+
+In a hierarchical join all attributes organize into a forest such that ``x``
+is a descendant of ``y`` iff ``E_x <= E_y``.  After the query is reduced,
+each relation corresponds to a leaf of the forest and contains exactly that
+leaf and its ancestors (root-to-leaf path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.classify import is_hierarchical
+from repro.query.hypergraph import Hypergraph
+
+__all__ = ["AttributeForest", "attribute_forest"]
+
+
+@dataclass
+class AttributeForest:
+    """Forest over the attributes of a hierarchical query.
+
+    Attributes:
+        query: The (hierarchical) query the forest describes.
+        parent: ``parent[x]`` is the parent attribute (``None`` for roots).
+        roots: Root attributes, one per tree, sorted.
+        children: ``children[x]`` lists child attributes, sorted.
+    """
+
+    query: Hypergraph
+    parent: dict[str, str | None]
+    roots: list[str]
+    children: dict[str, list[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            self.children = {x: [] for x in self.parent}
+            for x, par in self.parent.items():
+                if par is not None:
+                    self.children[par].append(x)
+            for x in self.children:
+                self.children[x].sort()
+
+    def num_trees(self) -> int:
+        return len(self.roots)
+
+    def tree_attrs(self, root: str) -> set[str]:
+        """All attributes in the tree rooted at ``root``."""
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            x = stack.pop()
+            seen.add(x)
+            stack.extend(self.children[x])
+        return seen
+
+    def tree_edges(self, root: str) -> set[str]:
+        """Edge names whose attributes lie in the tree rooted at ``root``."""
+        attrs = self.tree_attrs(root)
+        return {n for n in self.query.edge_names if self.query.attrs_of(n) & attrs}
+
+    def ancestors(self, attr: str) -> list[str]:
+        """Ancestors of ``attr``, nearest first (excluding ``attr``)."""
+        out: list[str] = []
+        cur = self.parent[attr]
+        while cur is not None:
+            out.append(cur)
+            cur = self.parent[cur]
+        return out
+
+    def path_to_root(self, attr: str) -> list[str]:
+        """``attr`` plus its ancestors, i.e. the root-to-leaf path reversed."""
+        return [attr] + self.ancestors(attr)
+
+    def edge_leaf(self, edge_name: str) -> str:
+        """The deepest attribute of an edge (its forest node).
+
+        For a *reduced* hierarchical query each edge's attributes are exactly
+        a root-to-leaf path, so the deepest attribute identifies the edge's
+        position in the forest.
+        """
+        attrs = self.query.attrs_of(edge_name)
+        deepest = None
+        depth = -1
+        for x in attrs:
+            d = len(self.ancestors(x))
+            if d > depth:
+                deepest, depth = x, d
+        assert deepest is not None
+        return deepest
+
+    def height(self) -> int:
+        """Longest root-to-leaf path length (number of vertices)."""
+        best = 0
+        for x in self.parent:
+            best = max(best, len(self.ancestors(x)) + 1)
+        return best
+
+
+def attribute_forest(query: Hypergraph) -> AttributeForest:
+    """Build the attribute forest of a hierarchical query.
+
+    ``x`` becomes a descendant of ``y`` iff ``E_x`` is a subset of ``E_y``.
+    Attributes with identical edge sets are chained deterministically (sorted
+    order), since either may serve as the other's parent.
+
+    Raises:
+        QueryError: If ``query`` is not hierarchical.
+    """
+    if not is_hierarchical(query):
+        raise QueryError(f"query {query.name} is not hierarchical")
+    attrs = sorted(query.attributes)
+    edge_sets = {x: query.edges_with(x) for x in attrs}
+
+    # Group attributes by identical edge set, chain within a group.
+    groups: dict[frozenset[str], list[str]] = {}
+    for x in attrs:
+        groups.setdefault(edge_sets[x], []).append(x)
+    for members in groups.values():
+        members.sort()
+
+    parent: dict[str, str | None] = {}
+    group_keys = sorted(groups, key=lambda s: (-len(s), sorted(s)))
+    for key in group_keys:
+        members = groups[key]
+        # Chain members: members[0] <- members[1] <- ...
+        for prev, cur in zip(members, members[1:]):
+            parent[cur] = prev
+        # Parent of the group head: deepest member of the smallest strict
+        # superset group.
+        supersets = [k for k in group_keys if key < k]
+        if supersets:
+            best = min(supersets, key=lambda s: (len(s), sorted(s)))
+            parent[members[0]] = groups[best][-1]
+        else:
+            parent[members[0]] = None
+
+    roots = sorted(x for x, par in parent.items() if par is None)
+    return AttributeForest(query=query, parent=parent, roots=roots)

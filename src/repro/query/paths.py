@@ -1,0 +1,88 @@
+"""Paths in hypergraphs and the Lemma 2 dichotomy witness.
+
+A *path* between attributes ``x`` and ``y`` is a vertex sequence where each
+consecutive pair co-occurs in some edge; it is *minimal* if no strict
+subsequence is also a path.  ``(x1, x2, x3, x4)`` is a minimal path of
+length 3 iff consecutive pairs co-occur in edges but no edge contains a
+non-consecutive pair.
+
+Paper Lemma 2: an acyclic join is **not** r-hierarchical iff it has a
+minimal path of length 3.  This is the structural hook for embedding the
+line-3 hard instance into any acyclic non-r-hierarchical query (Theorem 8).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.query.hypergraph import Hypergraph
+
+__all__ = [
+    "covering_edge",
+    "is_minimal_path",
+    "minimal_path_of_length_3",
+    "has_minimal_path_of_length_3",
+]
+
+
+def covering_edge(query: Hypergraph, attrs: frozenset[str] | set[str]) -> str | None:
+    """Name of some edge containing all of ``attrs``, or ``None``."""
+    for name in query.edge_names:
+        if attrs <= query.attrs_of(name):
+            return name
+    return None
+
+
+def is_minimal_path(query: Hypergraph, path: tuple[str, ...]) -> bool:
+    """Check that ``path`` is a path and minimal (no skipping edge exists)."""
+    if len(set(path)) != len(path):
+        return False
+    for a, b in zip(path, path[1:]):
+        if covering_edge(query, {a, b}) is None:
+            return False
+    for i in range(len(path)):
+        for j in range(i + 2, len(path)):
+            if covering_edge(query, {path[i], path[j]}) is not None:
+                return False
+    return True
+
+
+def minimal_path_of_length_3(query: Hypergraph) -> tuple[str, str, str, str] | None:
+    """Find a minimal path of length 3 (4 vertices) if one exists.
+
+    Returns:
+        A witnessing tuple ``(x1, x2, x3, x4)`` or ``None``.  The search is
+        exhaustive over attribute quadruples, which is fine under the paper's
+        data-complexity assumption (query size is constant).
+    """
+    attrs = sorted(query.attributes)
+    if len(attrs) < 4:
+        return None
+    # Precompute pair coverage once: O(n^2 m).
+    covered: set[frozenset[str]] = set()
+    for name in query.edge_names:
+        e = sorted(query.attrs_of(name))
+        for i, a in enumerate(e):
+            for b in e[i + 1 :]:
+                covered.add(frozenset((a, b)))
+
+    for quad in permutations(attrs, 4):
+        x1, x2, x3, x4 = quad
+        # Canonical direction to halve the search: paths are symmetric.
+        if x1 > x4:
+            continue
+        if (
+            frozenset((x1, x2)) in covered
+            and frozenset((x2, x3)) in covered
+            and frozenset((x3, x4)) in covered
+            and frozenset((x1, x3)) not in covered
+            and frozenset((x1, x4)) not in covered
+            and frozenset((x2, x4)) not in covered
+        ):
+            return quad
+    return None
+
+
+def has_minimal_path_of_length_3(query: Hypergraph) -> bool:
+    """Whether the query has a minimal path of length 3 (Lemma 2 witness)."""
+    return minimal_path_of_length_3(query) is not None

@@ -1,0 +1,25 @@
+"""RAM-model reference algorithms (oracles for the MPC simulator).
+
+The classic Yannakakis algorithm and hash-join operators.  Every MPC
+algorithm in :mod:`repro.core` is validated against these in the test
+suite.
+"""
+
+from repro.ram.joins import anti_join, multi_join, natural_join, semi_join
+from repro.ram.yannakakis import (
+    group_by_count,
+    join_size,
+    subset_join_sizes,
+    yannakakis,
+)
+
+__all__ = [
+    "natural_join",
+    "semi_join",
+    "anti_join",
+    "multi_join",
+    "yannakakis",
+    "join_size",
+    "subset_join_sizes",
+    "group_by_count",
+]

@@ -1,0 +1,105 @@
+"""RAM-model join operators (the correctness oracle substrate).
+
+Plain hash-based natural joins and semi-joins over
+:class:`~repro.data.relation.Relation`.  These are *not* MPC algorithms:
+they exist so every simulated MPC algorithm has an independent reference to
+be validated against, and so the theory module can compute exact
+per-instance statistics such as ``|Q(R, S)|``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.relation import Relation, Row, project_row
+from repro.errors import SchemaError
+
+__all__ = ["natural_join", "semi_join", "multi_join", "anti_join"]
+
+
+def natural_join(r1: Relation, r2: Relation, name: str | None = None) -> Relation:
+    """Natural join of two relations (annotations multiply if present).
+
+    The output schema is ``r1.attrs`` followed by ``r2``'s attributes that
+    are not in ``r1``.
+
+    Raises:
+        SchemaError: If exactly one of the inputs is annotated, or the
+            semirings differ.
+    """
+    if r1.annotated != r2.annotated:
+        raise SchemaError("cannot join annotated with non-annotated relation")
+    shared = tuple(sorted(set(r1.attrs) & set(r2.attrs)))
+    extra2 = tuple(a for a in r2.attrs if a not in set(r1.attrs))
+    out_attrs = r1.attrs + extra2
+    pos1 = r1.positions(shared)
+    pos2 = r2.positions(shared)
+    pos2_extra = r2.positions(extra2)
+
+    if r1.annotated:
+        assert r1.semiring is not None and r2.semiring is not None
+        if r1.semiring is not r2.semiring:
+            raise SchemaError("joined relations use different semirings")
+        times = r1.semiring.times
+        index: dict[Row, list[tuple[Row, object]]] = {}
+        ann2 = r2.annotations or ()
+        for row, w in zip(r2.rows, ann2):
+            index.setdefault(project_row(row, pos2), []).append(
+                (project_row(row, pos2_extra), w)
+            )
+        rows: list[Row] = []
+        anns: list[object] = []
+        ann1 = r1.annotations or ()
+        for row, w1 in zip(r1.rows, ann1):
+            for extra, w2 in index.get(project_row(row, pos1), ()):
+                rows.append(row + extra)
+                anns.append(times(w1, w2))
+        return Relation(
+            name or f"{r1.name}*{r2.name}", out_attrs, rows, anns, r1.semiring
+        )
+
+    index_plain: dict[Row, list[Row]] = {}
+    for row in r2.rows:
+        index_plain.setdefault(project_row(row, pos2), []).append(
+            project_row(row, pos2_extra)
+        )
+    rows = []
+    for row in r1.rows:
+        for extra in index_plain.get(project_row(row, pos1), ()):
+            rows.append(row + extra)
+    return Relation(name or f"{r1.name}*{r2.name}", out_attrs, rows)
+
+
+def semi_join(r1: Relation, r2: Relation) -> Relation:
+    """``r1 semijoin r2``: rows of ``r1`` matching some row of ``r2``."""
+    shared = tuple(sorted(set(r1.attrs) & set(r2.attrs)))
+    if not shared:
+        if len(r2) == 0:
+            return Relation(r1.name, r1.attrs, [])
+        return r1
+    keys = {project_row(row, r2.positions(shared)) for row in r2.rows}
+    return r1.restrict(keys, shared)
+
+
+def anti_join(r1: Relation, r2: Relation) -> Relation:
+    """``r1 antijoin r2``: rows of ``r1`` matching *no* row of ``r2``."""
+    shared = tuple(sorted(set(r1.attrs) & set(r2.attrs)))
+    if not shared:
+        if len(r2) == 0:
+            return r1
+        return Relation(r1.name, r1.attrs, [])
+    keys = {project_row(row, r2.positions(shared)) for row in r2.rows}
+    pos = r1.positions(shared)
+    rows = [row for row in r1.rows if project_row(row, pos) not in keys]
+    return Relation(r1.name, r1.attrs, rows)
+
+
+def multi_join(relations: Iterable[Relation], name: str = "join") -> Relation:
+    """Left-fold natural join of several relations."""
+    rels = list(relations)
+    if not rels:
+        raise SchemaError("multi_join needs at least one relation")
+    acc = rels[0]
+    for rel in rels[1:]:
+        acc = natural_join(acc, rel)
+    return Relation(name, acc.attrs, acc.rows, acc.annotations, acc.semiring)

@@ -1,0 +1,24 @@
+"""Commutative semirings for annotated relations (paper Section 6).
+
+Join-aggregate queries are defined over a commutative semiring
+``(R, plus, times)``: tuple annotations are combined with ``times`` when
+tuples join and with ``plus`` when results are aggregated (grouped).
+"""
+
+from repro.semiring.semirings import (
+    BOOLEAN,
+    COUNT,
+    MAX_TROPICAL,
+    MIN_TROPICAL,
+    SUM_PRODUCT,
+    Semiring,
+)
+
+__all__ = [
+    "Semiring",
+    "COUNT",
+    "SUM_PRODUCT",
+    "MIN_TROPICAL",
+    "MAX_TROPICAL",
+    "BOOLEAN",
+]

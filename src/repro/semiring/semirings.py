@@ -1,0 +1,88 @@
+"""Commutative semiring definitions (paper Section 6).
+
+A commutative semiring ``(R, plus, times)`` has:
+
+* ``plus``: associative, commutative, with identity :attr:`Semiring.zero`;
+* ``times``: associative, commutative, with identity :attr:`Semiring.one`;
+* ``times`` distributes over ``plus``;
+* ``zero`` annihilates: ``times(zero, a) == zero``.
+
+The paper's join-aggregate semantics (Section 6): the annotation of a join
+result is the ``times``-aggregate of the annotations of its constituent
+tuples; grouping by the output attributes combines annotations with ``plus``.
+Setting every annotation to 1 under :data:`COUNT` yields ``COUNT(*) GROUP BY``;
+with no output attributes it computes ``|Q(R)|`` (paper Corollary 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A commutative semiring over Python values.
+
+    Attributes:
+        name: Human-readable identifier used in reprs and reports.
+        zero: Identity of ``plus`` (annihilator of ``times``).
+        one: Identity of ``times``.
+        plus: Binary aggregation operator.
+        times: Binary combination operator.
+    """
+
+    name: str
+    zero: Any
+    one: Any
+    plus: Callable[[Any, Any], Any]
+    times: Callable[[Any, Any], Any]
+
+    def plus_all(self, values: Iterable[Any]) -> Any:
+        """Fold ``values`` with ``plus``, starting from :attr:`zero`."""
+        return reduce(self.plus, values, self.zero)
+
+    def times_all(self, values: Iterable[Any]) -> Any:
+        """Fold ``values`` with ``times``, starting from :attr:`one`."""
+        return reduce(self.times, values, self.one)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+def _add(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def _mul(a: Any, b: Any) -> Any:
+    return a * b
+
+
+#: Natural-number semiring (N, +, x) with all annotations 1: COUNT queries.
+COUNT = Semiring(name="count", zero=0, one=1, plus=_add, times=_mul)
+
+#: Real semiring (R, +, x): SUM-of-products aggregates.
+SUM_PRODUCT = Semiring(name="sum_product", zero=0.0, one=1.0, plus=_add, times=_mul)
+
+#: Tropical min-plus semiring: shortest-path style aggregation.
+MIN_TROPICAL = Semiring(
+    name="min_tropical", zero=float("inf"), one=0.0, plus=min, times=_add
+)
+
+#: Tropical max-plus semiring: longest/critical-path style aggregation.
+MAX_TROPICAL = Semiring(
+    name="max_tropical", zero=float("-inf"), one=0.0, plus=max, times=_add
+)
+
+#: Boolean semiring (set semantics / existence of a join result).
+BOOLEAN = Semiring(
+    name="boolean",
+    zero=False,
+    one=True,
+    plus=lambda a, b: a or b,
+    times=lambda a, b: a and b,
+)
+
+#: All built-in semirings, for parameterized tests.
+ALL_SEMIRINGS = (COUNT, SUM_PRODUCT, MIN_TROPICAL, MAX_TROPICAL, BOOLEAN)

@@ -1,0 +1,47 @@
+"""Bound formulas and lower-bound evaluators (the paper's quantitative claims)."""
+
+from repro.theory.bounds import (
+    corollary1_bound,
+    k_star,
+    l_binhc,
+    l_cartesian,
+    l_instance,
+    theorem4_bound,
+    theorem5_bound,
+    theorem7_bound,
+    worst_case_line3_bound,
+    worst_case_triangle_bound,
+    yannakakis_bound,
+)
+from repro.theory.lower_bounds import (
+    acyclic_lower_bound,
+    corollary2_lower_bound,
+    estimate_j_line3,
+    exact_j_line3,
+    estimate_j_triangle,
+    line3_lower_bound,
+    min_load_from_j,
+    triangle_lower_bound,
+)
+
+__all__ = [
+    "l_cartesian",
+    "l_instance",
+    "l_binhc",
+    "yannakakis_bound",
+    "k_star",
+    "theorem4_bound",
+    "corollary1_bound",
+    "theorem5_bound",
+    "theorem7_bound",
+    "worst_case_line3_bound",
+    "worst_case_triangle_bound",
+    "line3_lower_bound",
+    "acyclic_lower_bound",
+    "corollary2_lower_bound",
+    "triangle_lower_bound",
+    "estimate_j_line3",
+    "exact_j_line3",
+    "estimate_j_triangle",
+    "min_load_from_j",
+]

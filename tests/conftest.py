@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.instance import Instance
+from repro.mpc import Cluster, distribute_instance
+from repro.query import catalog
+from repro.ram.yannakakis import yannakakis
+
+
+@pytest.fixture
+def line3_query():
+    return catalog.line3()
+
+
+@pytest.fixture
+def star3_query():
+    return catalog.star_join(3)
+
+
+@pytest.fixture
+def triangle_query():
+    return catalog.triangle()
+
+
+def oracle_rows(instance: Instance) -> set:
+    """Full join results per the RAM Yannakakis oracle (canonical order)."""
+    return set(yannakakis(instance).rows)
+
+
+def run_mpc(instance: Instance, algorithm_fn, p: int = 8, **kwargs):
+    """Distribute an instance, run an algorithm function, return (rows, report).
+
+    ``algorithm_fn(group, query, rels, **kwargs)`` must return a
+    DistRelation.
+    """
+    cluster = Cluster(p)
+    group = cluster.root_group()
+    rels = distribute_instance(instance, group)
+    result = algorithm_fn(group, instance.query, rels, **kwargs)
+    return set(result.all_rows()), cluster.snapshot()
+
+
+def assert_matches_oracle(instance: Instance, algorithm_fn, p: int = 8, **kwargs):
+    """Run the algorithm and compare its emitted rows with the oracle."""
+    got, report = run_mpc(instance, algorithm_fn, p=p, **kwargs)
+    expected = oracle_rows(instance)
+    assert got == expected, (
+        f"result mismatch: {len(got)} vs {len(expected)} rows; "
+        f"missing={sorted(expected - got)[:3]} extra={sorted(got - expected)[:3]}"
+    )
+    return report

@@ -1,0 +1,324 @@
+"""Tests for Section 6: counting, LinearAggroYannakakis, join-aggregate."""
+
+import pytest
+
+from repro.core.aggregates import (
+    aggregate_out,
+    aggregate_total,
+    annotated_reduce,
+    mpc_count,
+    mpc_group_by_count,
+    mpc_subset_sizes,
+)
+from repro.core.runner import mpc_join_aggregate, mpc_output_size
+from repro.data.generators import (
+    add_dangling,
+    matching_instance,
+    random_instance,
+    star_instance,
+)
+from repro.mpc import Cluster, distribute_instance
+from repro.query import catalog
+from repro.query.ghd import output_join_tree
+from repro.ram.yannakakis import group_by_count, join_size, subset_join_sizes, yannakakis
+from repro.semiring import BOOLEAN, COUNT, MIN_TROPICAL, SUM_PRODUCT
+
+
+class TestMpcCount:
+    @pytest.mark.parametrize("name", ["binary", "line3", "star3", "fork", "line5"])
+    def test_matches_oracle(self, name):
+        q = catalog.CATALOG[name]
+        inst = random_instance(q, 60, 6, seed=71)
+        cl = Cluster(8)
+        g = cl.root_group()
+        assert mpc_count(g, q, distribute_instance(inst, g)) == join_size(inst)
+
+    def test_with_dangling(self):
+        inst = add_dangling(matching_instance(catalog.line3(), 30), 10, seed=72)
+        cl = Cluster(4)
+        g = cl.root_group()
+        assert mpc_count(g, inst.query, distribute_instance(inst, g)) == 30
+
+    def test_zero(self):
+        from repro.data.instance import Instance
+        from repro.data.relation import Relation
+
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(1, 2)]),
+                "R2": Relation("R2", ("B", "C"), [(7, 8)]),
+            },
+        )
+        cl = Cluster(2)
+        g = cl.root_group()
+        assert mpc_count(g, q, distribute_instance(inst, g)) == 0
+
+    def test_linear_load_corollary4(self):
+        """Corollary 4: count load ~ IN/p even when OUT is enormous."""
+        from repro.data.generators import line_trap_instance
+
+        p = 8
+        inst = line_trap_instance(3, 2400, 200000)  # OUT ~ 80x IN
+        cl = Cluster(p)
+        g = cl.root_group()
+        cnt = mpc_count(g, inst.query, distribute_instance(inst, g))
+        assert cnt == join_size(inst)
+        assert cl.snapshot().load <= 15 * inst.input_size / p + 40 * p
+
+
+class TestGroupByCount:
+    def test_matches_oracle(self):
+        q = catalog.line3()
+        inst = random_instance(q, 80, 6, seed=73)
+        cl = Cluster(8)
+        g = cl.root_group()
+        parts = mpc_group_by_count(g, q, distribute_instance(inst, g), ("B",))
+        got = {k: v for part in parts for k, v in part}
+        assert got == group_by_count(inst, ("B",))
+
+    def test_requires_covering_relation(self):
+        from repro.errors import QueryError
+
+        q = catalog.line3()
+        inst = matching_instance(q, 5)
+        cl = Cluster(2)
+        g = cl.root_group()
+        with pytest.raises(QueryError):
+            mpc_group_by_count(g, q, distribute_instance(inst, g), ("A", "D"))
+
+
+class TestSubsetSizes:
+    def test_matches_eq2_on_hierarchical(self):
+        """On dangling-free hierarchical instances the S-join sizes equal
+        |Q(R, S)| (Theorem 2 proof) — the eq. 2 statistics."""
+        inst = star_instance(2, 4, 3)
+        cl = Cluster(4)
+        g = cl.root_group()
+        got = mpc_subset_sizes(g, inst.query, distribute_instance(inst, g))
+        assert got == subset_join_sizes(inst)
+
+    def test_matches_ram_join_sizes(self):
+        """In general the statistic is the subset *join* size."""
+        from repro.ram.joins import multi_join
+
+        inst = matching_instance(catalog.line3(), 25)
+        cl = Cluster(4)
+        g = cl.root_group()
+        got = mpc_subset_sizes(g, inst.query, distribute_instance(inst, g))
+        for s, cnt in got.items():
+            expected = len(multi_join([inst[n] for n in sorted(s)]))
+            assert cnt == expected, s
+
+    def test_star_subsets(self):
+        inst = star_instance(2, 4, 3)
+        cl = Cluster(4)
+        g = cl.root_group()
+        got = mpc_subset_sizes(g, inst.query, distribute_instance(inst, g))
+        assert got[frozenset({"R1"})] == 12
+        assert got[frozenset({"R1", "R2"})] == 4 * 9
+
+
+class TestAggregateOut:
+    def _annotated_rels(self, inst, group):
+        return distribute_instance(inst.with_uniform_annotations(COUNT), group, annotate=True)
+
+    def test_residual_attrs_are_output_only(self):
+        q = catalog.line3()
+        inst = random_instance(q, 50, 5, seed=74).without_dangling()
+        cl = Cluster(4)
+        g = cl.root_group()
+        rels = self._annotated_rels(inst, g)
+        scaffold = output_join_tree(q, frozenset({"A", "B"}))
+        residual = aggregate_out(g, scaffold, rels, COUNT)
+        for rel in residual.values():
+            real = [a for a in rel.attrs if not a.startswith("#")]
+            assert set(real) <= {"A", "B"}
+
+    def test_counts_preserved(self):
+        """Sum of residual annotations (joined) equals the true group counts."""
+        q = catalog.line3()
+        inst = random_instance(q, 50, 5, seed=75)
+        res = mpc_join_aggregate(q, {"B"}, inst.with_uniform_annotations(COUNT), COUNT, p=4)
+        expected = {k: v for k, v in group_by_count(inst, ("B",)).items()}
+        got = dict(zip(res.relation.rows, res.relation.annotations))
+        assert got == {k: v for k, v in expected.items()}
+
+
+class TestJoinAggregate:
+    @pytest.mark.parametrize(
+        "outputs", [set(), {"A"}, {"B"}, {"A", "B"}, {"B", "C"}, {"A", "B", "C"}]
+    )
+    def test_line3_count_groupings(self, outputs):
+        q = catalog.line3()
+        inst = random_instance(q, 70, 6, seed=76)
+        ann = inst.with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(q, outputs, ann, COUNT, p=8)
+        if not outputs:
+            assert res.scalar == join_size(inst)
+        else:
+            expected = group_by_count(inst, tuple(sorted(outputs)))
+            got = dict(zip(res.relation.rows, res.relation.annotations))
+            assert got == expected
+
+    def test_full_output_is_plain_join(self):
+        q = catalog.line3()
+        inst = random_instance(q, 50, 6, seed=77)
+        ann = inst.with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(q, q.attributes, ann, COUNT, p=4)
+        assert set(res.relation.rows) == set(yannakakis(inst).rows)
+        assert all(w == 1 for w in res.relation.annotations)
+
+    def test_non_free_connex_rejected(self):
+        from repro.errors import QueryError
+
+        q = catalog.line3()
+        inst = matching_instance(q, 10).with_uniform_annotations(COUNT)
+        with pytest.raises(QueryError):
+            mpc_join_aggregate(q, {"A", "D"}, inst, COUNT, p=4)
+
+    def test_unannotated_rejected(self):
+        from repro.errors import QueryError
+
+        q = catalog.line3()
+        inst = matching_instance(q, 10)
+        with pytest.raises(QueryError):
+            mpc_join_aggregate(q, {"A"}, inst, COUNT, p=4)
+
+    def test_min_tropical_shortest_path_flavor(self):
+        """min-plus aggregation: cheapest 2-hop cost per source.
+
+        Note y = {A, C} would *not* be free-connex on the binary join (it
+        adds a triangle edge — boolean matrix multiplication); y = {A} is.
+        """
+        from repro.data.instance import Instance
+        from repro.data.relation import Relation
+
+        q = catalog.binary_join()
+        r1 = Relation(
+            "R1", ("A", "B"),
+            [("s", "m1"), ("s", "m2")],
+            annotations=[1.0, 5.0], semiring=MIN_TROPICAL,
+        )
+        r2 = Relation(
+            "R2", ("B", "C"),
+            [("m1", "t"), ("m2", "t")],
+            annotations=[10.0, 2.0], semiring=MIN_TROPICAL,
+        )
+        inst = Instance(q, {"R1": r1, "R2": r2})
+        res = mpc_join_aggregate(q, {"A"}, inst, MIN_TROPICAL, p=4)
+        got = dict(zip(res.relation.rows, res.relation.annotations))
+        assert got == {("s",): 7.0}  # min(1+10, 5+2)
+
+    def test_endpoint_projection_not_free_connex(self):
+        """y = {A, C} on the binary join is rejected (matrix product)."""
+        from repro.errors import QueryError
+
+        q = catalog.binary_join()
+        inst = matching_instance(q, 5).with_uniform_annotations(COUNT)
+        with pytest.raises(QueryError):
+            mpc_join_aggregate(q, {"A", "C"}, inst, COUNT, p=4)
+
+    def test_boolean_semiring(self):
+        q = catalog.line3()
+        inst = random_instance(q, 40, 5, seed=78)
+        ann = inst.with_uniform_annotations(BOOLEAN)
+        res = mpc_join_aggregate(q, {"A"}, ann, BOOLEAN, p=4)
+        expected = {k for k in group_by_count(inst, ("A",))}
+        assert set(res.relation.rows) == expected
+        assert all(w is True for w in res.relation.annotations)
+
+    def test_sum_product_weighted(self):
+        import random as rnd
+
+        q = catalog.binary_join()
+        inst = random_instance(q, 40, 5, seed=79)
+        rng = rnd.Random(0)
+        from repro.data.instance import Instance
+        from repro.data.relation import Relation
+
+        rels = {}
+        weights = {}
+        for n, rel in inst.relations.items():
+            ws = [float(rng.randint(1, 5)) for _ in rel.rows]
+            weights[n] = dict(zip(rel.rows, ws))
+            rels[n] = Relation(n, rel.attrs, rel.rows, ws, SUM_PRODUCT)
+        ann = Instance(q, rels)
+        res = mpc_join_aggregate(q, {"B"}, ann, SUM_PRODUCT, p=4)
+        # RAM reference.
+        full = yannakakis(ann)
+        expected = {}
+        for row, w in zip(full.rows, full.annotations):
+            b = (row[full.positions(("B",))[0]],)
+            expected[b] = expected.get(b, 0.0) + w
+        got = dict(zip(res.relation.rows, res.relation.annotations))
+        assert got == pytest.approx(expected)
+
+    def test_out_hierarchical_dispatch(self):
+        q = catalog.line3()
+        inst = random_instance(q, 50, 5, seed=80)
+        ann = inst.with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(q, {"A", "B"}, ann, COUNT, p=4)
+        assert res.meta["downstream"] == "rhierarchical"
+
+    def test_disconnected_component_scalar(self):
+        """A component with no output attrs multiplies into every result."""
+        from repro.data.instance import Instance
+        from repro.data.relation import Relation
+        from repro.query.hypergraph import Hypergraph
+
+        q = Hypergraph({"R1": ("A", "B"), "R2": ("X",)})
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(1, 2), (3, 4)]),
+                "R2": Relation("R2", ("X",), [(7,), (8,), (9,)]),
+            },
+        ).with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(q, {"A"}, inst, COUNT, p=4)
+        got = dict(zip(res.relation.rows, res.relation.annotations))
+        assert got == {(1,): 3, (3,): 3}
+
+    def test_star_group_by_hub(self):
+        q = catalog.star_join(3)
+        inst = star_instance(3, 5, 3)
+        ann = inst.with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(q, {"Z"}, ann, COUNT, p=8)
+        got = dict(zip(res.relation.rows, res.relation.annotations))
+        assert got == group_by_count(inst, ("Z",))
+
+
+class TestAnnotatedReduce:
+    def test_annotations_folded_not_lost(self):
+        q = catalog.simple_r_hierarchical()
+        inst = matching_instance(q, 6)
+        ann = inst.with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(q, set(), ann, COUNT, p=4)
+        assert res.scalar == 6
+
+    def test_weighted_contained_relation(self):
+        from repro.data.instance import Instance
+        from repro.data.relation import Relation
+
+        q = catalog.simple_r_hierarchical()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A",), [(1,)], annotations=[2], semiring=COUNT),
+                "R2": Relation("R2", ("A", "B"), [(1, 5)], annotations=[3], semiring=COUNT),
+                "R3": Relation("R3", ("B",), [(5,)], annotations=[7], semiring=COUNT),
+            },
+        )
+        res = mpc_join_aggregate(q, set(), inst, COUNT, p=2)
+        assert res.scalar == 2 * 3 * 7
+
+
+class TestOutputSizePrimitive:
+    def test_matches_and_linear(self):
+        from repro.data.generators import line_trap_instance
+
+        inst = line_trap_instance(3, 1500, 30000)
+        cnt, rep = mpc_output_size(inst.query, inst, 8)
+        assert cnt == join_size(inst)
+        assert rep.load <= 15 * inst.input_size / 8 + 40 * 8

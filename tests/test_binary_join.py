@@ -1,0 +1,126 @@
+"""Tests for the output-optimal binary join."""
+
+import math
+
+import pytest
+
+from repro.data.generators import binary_out_controlled, matching_instance, random_instance
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.mpc import Cluster, distribute_instance
+from repro.core.binary_join import binary_join
+from repro.query import catalog
+from tests.conftest import oracle_rows
+
+
+def run_binary(inst, p=8):
+    cl = Cluster(p)
+    g = cl.root_group()
+    rels = distribute_instance(inst, g)
+    res = binary_join(g, rels["R1"], rels["R2"])
+    # Canonicalize column order for oracle comparison.
+    order = tuple(sorted(res.attrs))
+    idx = [res.attrs.index(a) for a in order]
+    got = {tuple(r[i] for i in idx) for r in res.all_rows()}
+    return got, cl.snapshot()
+
+
+class TestCorrectness:
+    def test_matching(self):
+        inst = matching_instance(catalog.binary_join(), 50)
+        got, _ = run_binary(inst)
+        assert got == oracle_rows(inst)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random(self, seed):
+        inst = random_instance(catalog.binary_join(), 150, 12, seed=seed)
+        got, _ = run_binary(inst)
+        assert got == oracle_rows(inst)
+
+    def test_controlled_output(self):
+        inst = binary_out_controlled(500, 4000)
+        got, _ = run_binary(inst)
+        assert got == oracle_rows(inst)
+
+    def test_empty_result(self):
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(1, 2)]),
+                "R2": Relation("R2", ("B", "C"), [(3, 4)]),
+            },
+        )
+        got, rep = run_binary(inst)
+        assert got == set()
+
+    def test_single_heavy_key(self):
+        """One join value produces the entire (quadratic) output."""
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(i, "hot") for i in range(80)]),
+                "R2": Relation("R2", ("B", "C"), [("hot", i) for i in range(80)]),
+            },
+        )
+        got, rep = run_binary(inst)
+        assert got == oracle_rows(inst)
+        assert len(got) == 6400
+
+    def test_cartesian_fallback(self):
+        q = catalog.cartesian_product(2)
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("X1",), [(i,) for i in range(10)]),
+                "R2": Relation("R2", ("X2",), [(j,) for j in range(7)]),
+            },
+        )
+        cl = Cluster(4)
+        g = cl.root_group()
+        rels = distribute_instance(inst, g)
+        res = binary_join(g, rels["R1"], rels["R2"])
+        assert res.total_size() == 70
+
+
+class TestLoadBounds:
+    @pytest.mark.parametrize("out_target", [1000, 10000, 40000])
+    def test_load_tracks_bound(self, out_target):
+        """Load stays within a constant of IN/p + sqrt(OUT/p) (skew-free)."""
+        p = 16
+        inst = binary_out_controlled(2000, out_target)
+        got, rep = run_binary(inst, p=p)
+        out = len(got)
+        bound = inst.input_size / p + math.sqrt(out / p)
+        assert rep.load <= 12 * bound + 30 * p
+
+    def test_skewed_instance_still_bounded(self):
+        p = 16
+        q = catalog.binary_join()
+        rows1 = [(i, "hot") for i in range(500)] + [
+            (i, f"b{i % 50}") for i in range(500)
+        ]
+        rows2 = [("hot", i) for i in range(500)] + [
+            (f"b{i % 50}", i) for i in range(500)
+        ]
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), rows1),
+                "R2": Relation("R2", ("B", "C"), rows2),
+            },
+        )
+        got, rep = run_binary(inst, p=p)
+        assert got == oracle_rows(inst)
+        bound = inst.input_size / p + math.sqrt(len(got) / p)
+        assert rep.load <= 12 * bound + 30 * p
+
+    def test_no_duplicate_emissions(self):
+        inst = binary_out_controlled(600, 5000)
+        cl = Cluster(8)
+        g = cl.root_group()
+        rels = distribute_instance(inst, g)
+        res = binary_join(g, rels["R1"], rels["R2"])
+        rows = res.all_rows()
+        assert len(rows) == len(set(rows))

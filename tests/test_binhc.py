@@ -1,0 +1,84 @@
+"""Tests for BinHC (Section 3.1): correctness and instance-optimality ratio."""
+
+import pytest
+
+from repro.core.binhc import binhc_join
+from repro.data.generators import (
+    add_dangling,
+    cartesian_instance,
+    forest_instance,
+    matching_instance,
+    random_instance,
+    star_instance,
+)
+from repro.query import catalog
+from repro.theory.bounds import l_instance
+from tests.conftest import assert_matches_oracle
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "name", ["binary", "star3", "q1_tall_flat", "q2_hierarchical", "cartesian3"]
+    )
+    def test_random_instances(self, name):
+        q = catalog.CATALOG[name]
+        inst = random_instance(q, 60, 6, seed=61)
+        assert_matches_oracle(inst, binhc_join)
+
+    def test_skewed_instance(self):
+        inst = forest_instance(catalog.q2_hierarchical(), 3, skew=6.0)
+        assert_matches_oracle(inst, binhc_join)
+
+    def test_line3_still_correct(self):
+        """Correct (if not optimal) outside the tall-flat class."""
+        inst = random_instance(catalog.line3(), 60, 8, seed=62)
+        assert_matches_oracle(inst, binhc_join)
+
+    def test_dangling_tuples_still_correct(self):
+        inst = add_dangling(star_instance(3, 5, 3), 15, seed=63)
+        assert_matches_oracle(inst, binhc_join)
+
+    def test_multiround_variant(self):
+        inst = add_dangling(star_instance(3, 5, 3), 15, seed=64)
+        assert_matches_oracle(inst, binhc_join, remove_dangling_first=True)
+
+    def test_cartesian_products(self):
+        inst = cartesian_instance([20, 10, 5])
+        assert_matches_oracle(inst, binhc_join)
+
+    def test_no_duplicate_emissions(self):
+        from repro.mpc import Cluster, distribute_instance
+
+        inst = random_instance(catalog.star_join(3), 80, 6, seed=65)
+        cl = Cluster(8)
+        g = cl.root_group()
+        res = binhc_join(g, inst.query, distribute_instance(inst, g))
+        rows = res.all_rows()
+        assert len(rows) == len(set(rows))
+
+
+class TestOptimality:
+    def test_polylog_ratio_on_tall_flat(self):
+        """Theorem 1: load within polylog of IN/p + L_instance."""
+        import math
+
+        p = 8
+        inst = forest_instance(catalog.q1_tall_flat(), 3, skew=4.0)
+        rep = assert_matches_oracle(inst, binhc_join, p=p)
+        bound = inst.input_size / p + l_instance(inst.query, inst, p)
+        polylog = math.log2(max(4, inst.input_size)) ** 2
+        assert rep.load <= 10 * polylog * bound + 30 * p
+
+    def test_dangling_hurts_one_round(self):
+        """Koutris-Suciu: with dangling tuples the one-round load grows;
+        removing them first (multi-round) brings it back down."""
+        p = 8
+        base = star_instance(3, 4, 6)
+        dirty = add_dangling(base, 400, seed=66)
+        one_round = assert_matches_oracle(dirty, binhc_join, p=p)
+        multi_round = assert_matches_oracle(
+            dirty, binhc_join, p=p, remove_dangling_first=True
+        )
+        # The reducer pass costs linear load; the one-round run must ship
+        # dangling garbage into the hypercube grids.
+        assert multi_round.load <= one_round.load * 2

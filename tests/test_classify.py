@@ -1,0 +1,132 @@
+"""Tests for the Figure 1 classification hierarchy."""
+
+import pytest
+
+from repro.query import catalog
+from repro.query.classify import (
+    JoinClass,
+    classify,
+    is_acyclic,
+    is_hierarchical,
+    is_r_hierarchical,
+    is_tall_flat,
+    tall_flat_order,
+)
+from repro.query.hypergraph import Hypergraph
+
+#: Expected finest class per catalog query (paper Section 1.4 examples).
+EXPECTED = {
+    "binary": JoinClass.TALL_FLAT,
+    "line3": JoinClass.ACYCLIC,
+    "line4": JoinClass.ACYCLIC,
+    "line5": JoinClass.ACYCLIC,
+    "star3": JoinClass.TALL_FLAT,
+    "star4": JoinClass.TALL_FLAT,
+    "cartesian2": JoinClass.TALL_FLAT,
+    "cartesian3": JoinClass.TALL_FLAT,
+    "q1_tall_flat": JoinClass.TALL_FLAT,
+    "q2_hierarchical": JoinClass.HIERARCHICAL,
+    "q2_r_hierarchical": JoinClass.R_HIERARCHICAL,
+    "simple_r_hierarchical": JoinClass.R_HIERARCHICAL,
+    "triangle": JoinClass.CYCLIC,
+    "fork": JoinClass.ACYCLIC,
+    "broom": JoinClass.ACYCLIC,
+    "two_ears": JoinClass.ACYCLIC,
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(EXPECTED.items()))
+def test_catalog_classification(name, expected):
+    assert classify(catalog.CATALOG[name]) == expected
+
+
+class TestInclusions:
+    """Figure 1: each class contains the previous one."""
+
+    def test_tall_flat_implies_hierarchical(self):
+        for q in catalog.CATALOG.values():
+            if is_tall_flat(q):
+                assert is_hierarchical(q), q.name
+
+    def test_hierarchical_implies_r_hierarchical(self):
+        for q in catalog.CATALOG.values():
+            if is_hierarchical(q):
+                assert is_r_hierarchical(q), q.name
+
+    def test_r_hierarchical_implies_acyclic(self):
+        for q in catalog.CATALOG.values():
+            if is_r_hierarchical(q):
+                assert is_acyclic(q), q.name
+
+    def test_inclusions_are_strict(self):
+        """Witnesses that each inclusion in Figure 1 is strict."""
+        q2 = catalog.q2_hierarchical()
+        assert is_hierarchical(q2) and not is_tall_flat(q2)
+        q2r = catalog.q2_r_hierarchical()
+        assert is_r_hierarchical(q2r) and not is_hierarchical(q2r)
+        l3 = catalog.line3()
+        assert is_acyclic(l3) and not is_r_hierarchical(l3)
+        tri = catalog.triangle()
+        assert not is_acyclic(tri)
+
+
+class TestTallFlat:
+    def test_order_of_q1(self):
+        """Paper's Q1 has stem x1..x3 (x4..x6 flat)."""
+        order = tall_flat_order(catalog.q1_tall_flat())
+        assert order is not None
+        stem, flat = order
+        assert stem == ["x1", "x2", "x3"]
+        assert sorted(flat) == ["x4", "x5", "x6"]
+
+    def test_binary_join_is_tall_flat(self):
+        """Section 1.3: the binary join admits instance-optimal BinHC."""
+        order = tall_flat_order(catalog.binary_join())
+        assert order is not None
+        stem, flat = order
+        assert stem == ["B"]
+        assert sorted(flat) == ["A", "C"]
+
+    def test_cartesian_products_are_tall_flat(self):
+        assert is_tall_flat(catalog.cartesian_product(3))
+
+    def test_q2_not_tall_flat(self):
+        assert tall_flat_order(catalog.q2_hierarchical()) is None
+
+    def test_two_relation_wide_product_tall_flat(self):
+        q = Hypergraph({"R1": ("A", "B"), "R2": ("C", "D")})
+        assert is_tall_flat(q)
+
+
+class TestHierarchical:
+    def test_paper_example_r_hier_not_hier(self):
+        """R1(A) x R2(A,B) x R3(B) from Section 1.4."""
+        q = catalog.simple_r_hierarchical()
+        assert not is_hierarchical(q)
+        assert is_r_hierarchical(q)
+
+    def test_reduction_makes_q2_extension_hierarchical(self):
+        q = catalog.q2_r_hierarchical()
+        reduced, _ = q.reduce()
+        assert is_hierarchical(reduced)
+        assert set(reduced.edge_names) == {"R1", "R2", "R3"}
+
+    def test_line3_reduced_is_itself(self):
+        q = catalog.line3()
+        reduced, _ = q.reduce()
+        assert reduced == q
+        assert not is_hierarchical(reduced)
+
+
+class TestJoinClassOrdering:
+    def test_intenum_ordering_matches_inclusion(self):
+        assert JoinClass.TALL_FLAT < JoinClass.HIERARCHICAL
+        assert JoinClass.HIERARCHICAL < JoinClass.R_HIERARCHICAL
+        assert JoinClass.R_HIERARCHICAL < JoinClass.ACYCLIC
+        assert JoinClass.ACYCLIC < JoinClass.CYCLIC
+
+    def test_classify_monotone_under_reduce(self):
+        """Reducing a query never moves it to a larger class."""
+        for q in catalog.CATALOG.values():
+            reduced, _ = q.reduce()
+            assert classify(reduced) <= classify(q), q.name

@@ -1,0 +1,123 @@
+"""Tests for edge covers, packings, AGM bounds, and Lemma 1."""
+
+import math
+
+import pytest
+
+from repro.query import catalog
+from repro.query.covers import (
+    agm_bound,
+    fractional_edge_cover_number,
+    fractional_edge_packing_number,
+    integral_edge_cover,
+    maximum_edge_packing,
+    minimize_agm,
+)
+from repro.query.hypergraph import Hypergraph
+
+
+class TestFractionalCover:
+    def test_line3_cover_is_two(self):
+        res = fractional_edge_cover_number(catalog.line3())
+        assert res.total == pytest.approx(2.0, abs=1e-6)
+
+    def test_triangle_cover_is_three_halves(self):
+        res = fractional_edge_cover_number(catalog.triangle())
+        assert res.total == pytest.approx(1.5, abs=1e-6)
+
+    def test_cover_constraints_hold(self):
+        q = catalog.fork_join()
+        res = fractional_edge_cover_number(q)
+        for x in q.attributes:
+            covered = sum(res.weights[e] for e in q.edges_with(x))
+            assert covered >= 1 - 1e-6
+
+    def test_single_relation(self):
+        res = fractional_edge_cover_number(Hypergraph({"R1": ("A", "B")}))
+        assert res.total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestFractionalPacking:
+    def test_triangle_packing_is_three_halves(self):
+        res = fractional_edge_packing_number(catalog.triangle())
+        assert res.total == pytest.approx(1.5, abs=1e-6)
+
+    def test_line3_packing_is_two(self):
+        res = fractional_edge_packing_number(catalog.line3())
+        assert res.total == pytest.approx(2.0, abs=1e-6)
+
+    def test_packing_constraints_hold(self):
+        q = catalog.broom_join()
+        res = fractional_edge_packing_number(q)
+        for x in q.attributes:
+            packed = sum(res.weights[e] for e in q.edges_with(x))
+            assert packed <= 1 + 1e-6
+
+    def test_saturating_packing(self):
+        q = catalog.line3()
+        res = maximum_edge_packing(q, saturate=frozenset({"B"}))
+        assert res is not None
+        assert res.weights["R1"] + res.weights["R2"] >= 1 - 1e-6
+
+    def test_saturation_infeasible_returns_none(self):
+        # An edge contained in the saturated set carries weight 0 (paper's
+        # convention), so a lone edge cannot saturate its own attribute.
+        q = Hypergraph({"R1": ("A",)})
+        res = maximum_edge_packing(q, saturate=frozenset({"A"}))
+        assert res is None
+
+
+class TestLemma1:
+    """Acyclic joins have integral edge cover number."""
+
+    @pytest.mark.parametrize(
+        "name", [n for n in sorted(catalog.CATALOG) if n != "triangle"]
+    )
+    def test_integral_cover_matches_lp(self, name):
+        q = catalog.CATALOG[name]
+        cover = integral_edge_cover(q)
+        lp = fractional_edge_cover_number(q)
+        assert len(cover) == pytest.approx(lp.total, abs=1e-6)
+
+    def test_cover_is_actually_covering(self):
+        q = catalog.fork_join()
+        cover = integral_edge_cover(q)
+        covered = set()
+        for e in cover:
+            covered |= q.attrs_of(e)
+        assert covered == q.attributes
+
+    def test_triangle_fractional_gap(self):
+        """The triangle's LP optimum (1.5) is strictly below any integral
+        cover (2) — the gap Lemma 1 rules out for acyclic joins."""
+        lp = fractional_edge_cover_number(catalog.triangle())
+        assert lp.total < 2.0
+
+
+class TestAGM:
+    def test_binary_join_agm(self):
+        q = catalog.binary_join()
+        sizes = {"R1": 100, "R2": 100}
+        assert agm_bound(q, sizes) == pytest.approx(100 * 100, rel=0.01)
+
+    def test_triangle_agm_sqrt_product(self):
+        q = catalog.triangle()
+        sizes = {"R1": 64, "R2": 64, "R3": 64}
+        assert agm_bound(q, sizes) == pytest.approx(64 ** 1.5, rel=0.01)
+
+    def test_agm_upper_bounds_actual_output(self):
+        from repro.data.generators import random_instance
+        from repro.ram.yannakakis import join_size
+
+        q = catalog.line3()
+        inst = random_instance(q, 60, 6, seed=1)
+        sizes = {n: len(inst[n]) for n in q.edge_names}
+        assert join_size(inst) <= agm_bound(q, sizes) * 1.01
+
+    def test_minimize_agm_is_cover(self):
+        q = catalog.line3()
+        res = minimize_agm(q, {"R1": 10, "R2": 1000, "R3": 10})
+        for x in q.attributes:
+            assert sum(res.weights[e] for e in q.edges_with(x)) >= 1 - 1e-6
+        # The expensive middle relation should carry little weight.
+        assert res.weights["R2"] <= 0.5

@@ -1,0 +1,93 @@
+"""Tests for attribute forests (paper Figure 2)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import catalog
+from repro.query.forests import attribute_forest
+from repro.query.hypergraph import Hypergraph
+
+
+class TestFigure2:
+    """The paper's Figure 2 forests for Q1 and Q2, regenerated."""
+
+    def test_q1_forest_shape(self):
+        forest = attribute_forest(catalog.q1_tall_flat())
+        assert forest.roots == ["x1"]
+        assert forest.parent["x2"] == "x1"
+        assert forest.parent["x3"] == "x2"
+        assert {forest.parent[x] for x in ("x4", "x5", "x6")} == {"x3"}
+
+    def test_q2_forest_shape(self):
+        forest = attribute_forest(catalog.q2_hierarchical())
+        assert forest.roots == ["x1"]
+        assert forest.parent["x2"] == "x1"
+        assert forest.parent["x3"] == "x1"
+        assert forest.parent["x4"] == "x3"
+        assert forest.parent["x5"] == "x3"
+
+
+class TestForestStructure:
+    def test_non_hierarchical_raises(self):
+        with pytest.raises(QueryError):
+            attribute_forest(catalog.line3())
+
+    def test_cartesian_product_has_k_trees(self):
+        forest = attribute_forest(catalog.cartesian_product(3))
+        assert forest.num_trees() == 3
+
+    def test_star_is_single_tree(self):
+        forest = attribute_forest(catalog.star_join(4))
+        assert forest.roots == ["Z"]
+        assert forest.num_trees() == 1
+
+    def test_descendant_iff_edge_set_containment(self):
+        q = catalog.q2_hierarchical()
+        forest = attribute_forest(q)
+        for x in q.attributes:
+            for anc in forest.ancestors(x):
+                assert q.edges_with(x) <= q.edges_with(anc)
+
+    def test_tree_attrs_partition(self):
+        q = catalog.cartesian_product(3)
+        forest = attribute_forest(q)
+        seen = set()
+        for root in forest.roots:
+            attrs = forest.tree_attrs(root)
+            assert not (attrs & seen)
+            seen |= attrs
+        assert seen == q.attributes
+
+    def test_tree_edges_cover_all(self):
+        q = Hypergraph({"R1": ("A", "B"), "R2": ("C",)})
+        forest = attribute_forest(q)
+        all_edges = set()
+        for root in forest.roots:
+            all_edges |= forest.tree_edges(root)
+        assert all_edges == {"R1", "R2"}
+
+    def test_edge_leaf_on_reduced_query(self):
+        q, _ = catalog.q2_r_hierarchical().reduce()
+        forest = attribute_forest(q)
+        for name in q.edge_names:
+            leaf = forest.edge_leaf(name)
+            # The edge is exactly the leaf plus its ancestors.
+            assert set(forest.path_to_root(leaf)) == q.attrs_of(name)
+
+    def test_equal_edge_sets_chain(self):
+        """Attributes with identical E_x chain deterministically."""
+        q = Hypergraph({"R1": ("A", "B", "C")})
+        forest = attribute_forest(q)
+        assert forest.num_trees() == 1
+        # A chain of three: each node has at most one child.
+        assert all(len(ch) <= 1 for ch in forest.children.values())
+
+    def test_height(self):
+        forest = attribute_forest(catalog.q1_tall_flat())
+        assert forest.height() == 4  # x1-x2-x3-{x4,x5,x6}
+
+    def test_path_to_root_starts_at_attr(self):
+        forest = attribute_forest(catalog.q2_hierarchical())
+        path = forest.path_to_root("x4")
+        assert path[0] == "x4"
+        assert path[-1] == "x1"

@@ -1,0 +1,131 @@
+"""Tests for workload generators: IN/OUT targets and structure."""
+
+import pytest
+
+from repro.data.generators import (
+    add_dangling,
+    binary_out_controlled,
+    cartesian_instance,
+    forest_instance,
+    line_trap_instance,
+    matching_instance,
+    random_instance,
+    star_instance,
+)
+from repro.errors import InstanceError
+from repro.query import catalog
+from repro.ram.yannakakis import join_size
+
+
+class TestMatching:
+    def test_out_equals_n(self):
+        for n in (1, 10, 50):
+            inst = matching_instance(catalog.line3(), n)
+            assert join_size(inst) == n
+
+    def test_works_on_any_query(self):
+        inst = matching_instance(catalog.q1_tall_flat(), 5)
+        assert join_size(inst) == 5
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        a = random_instance(catalog.line3(), 30, 5, seed=7)
+        b = random_instance(catalog.line3(), 30, 5, seed=7)
+        assert all(set(a[n].rows) == set(b[n].rows) for n in a)
+
+    def test_seed_changes_instance(self):
+        a = random_instance(catalog.line3(), 30, 5, seed=1)
+        b = random_instance(catalog.line3(), 30, 5, seed=2)
+        assert any(set(a[n].rows) != set(b[n].rows) for n in a)
+
+    def test_per_relation_sizes(self):
+        inst = random_instance(
+            catalog.binary_join(), {"R1": 10, "R2": 20}, 100, seed=0
+        )
+        # Sampling with replacement dedupes, so sizes are upper bounds.
+        assert len(inst["R1"]) <= 10 and len(inst["R2"]) <= 20
+
+
+class TestForest:
+    def test_out_is_product_of_fanouts(self):
+        inst = forest_instance(catalog.q2_hierarchical(), 2)
+        assert join_size(inst) == 2 ** 5
+
+    def test_per_attr_fanouts(self):
+        fan = {"Z": 4, "X1": 2, "X2": 3}
+        inst = forest_instance(catalog.star_join(2), fan)
+        assert join_size(inst) == 4 * 2 * 3
+
+    def test_dangling_free(self):
+        inst = forest_instance(catalog.q1_tall_flat(), 2)
+        assert inst.is_dangling_free()
+
+    def test_skew_increases_root_degree(self):
+        smooth = forest_instance(catalog.star_join(2), 4, skew=1.0)
+        skewed = forest_instance(catalog.star_join(2), 4, skew=8.0)
+        assert skewed["R1"].degrees(("Z",)) != smooth["R1"].degrees(("Z",))
+        assert max(skewed["R1"].degrees(("Z",)).values()) > max(
+            smooth["R1"].degrees(("Z",)).values()
+        )
+
+    def test_non_hierarchical_raises(self):
+        with pytest.raises(InstanceError):
+            forest_instance(catalog.line3(), 2)
+
+
+class TestLineTrap:
+    def test_in_out_targets(self):
+        inst = line_trap_instance(3, 3000, 30000)
+        assert abs(inst.input_size - 3000) / 3000 < 0.2
+        assert abs(join_size(inst) - 30000) / 30000 < 0.2
+
+    def test_intermediate_asymmetry(self):
+        """R1 x R2 is OUT-sized while R2 x R3 stays linear (Figure 3)."""
+        from repro.ram.joins import natural_join
+
+        inst = line_trap_instance(3, 1200, 12000, direction="forward")
+        r12 = natural_join(inst["R1"], inst["R2"])
+        r23 = natural_join(inst["R2"], inst["R3"])
+        assert len(r12) >= 5 * len(r23)
+
+    def test_backward_mirrors(self):
+        fwd = line_trap_instance(3, 1200, 6000, direction="forward")
+        bwd = line_trap_instance(3, 1200, 6000, direction="backward")
+        assert join_size(fwd) == join_size(bwd)
+
+    def test_doubled_has_both_directions(self):
+        inst = line_trap_instance(3, 1200, 6000, doubled=True)
+        assert join_size(inst) == 2 * join_size(line_trap_instance(3, 1200, 6000))
+
+    def test_longer_chains(self):
+        inst = line_trap_instance(5, 2000, 10000)
+        assert join_size(inst) > 0
+        assert len(inst.query.edge_names) == 5
+
+    def test_out_range_validated(self):
+        with pytest.raises(InstanceError):
+            line_trap_instance(3, 300, 300000000)
+
+    def test_dangling_free(self):
+        assert line_trap_instance(3, 900, 9000).is_dangling_free()
+
+
+class TestOthers:
+    def test_binary_out_controlled(self):
+        inst = binary_out_controlled(1000, 10000)
+        assert abs(join_size(inst) - 10000) / 10000 < 0.5
+
+    def test_cartesian_sizes(self):
+        inst = cartesian_instance([5, 6, 7])
+        assert join_size(inst) == 5 * 6 * 7
+
+    def test_star_out(self):
+        inst = star_instance(3, 4, 5)
+        assert join_size(inst) == 4 * 5 ** 3
+
+    def test_add_dangling_preserves_out(self):
+        base = star_instance(2, 3, 2)
+        dirty = add_dangling(base, 10, seed=3)
+        assert join_size(dirty) == join_size(base)
+        assert dirty.input_size == base.input_size + 10 * len(base.relations)

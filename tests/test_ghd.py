@@ -1,0 +1,118 @@
+"""Tests for free-connex scaffolding (paper Section 6)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import catalog
+from repro.query.ghd import (
+    OUTPUT_EDGE,
+    is_free_connex,
+    is_out_hierarchical,
+    output_join_tree,
+    residual_output_query,
+)
+from repro.query.hypergraph import Hypergraph
+
+
+class TestFreeConnex:
+    def test_full_output_always_free_connex(self):
+        for name in ["line3", "star3", "fork", "q1_tall_flat"]:
+            q = catalog.CATALOG[name]
+            assert is_free_connex(q, q.attributes)
+
+    def test_empty_output_free_connex_iff_acyclic(self):
+        assert is_free_connex(catalog.line3(), set())
+        assert not is_free_connex(catalog.triangle(), set())
+
+    def test_line3_prefix_outputs(self):
+        q = catalog.line3()
+        assert is_free_connex(q, {"A"})
+        assert is_free_connex(q, {"A", "B"})
+        assert is_free_connex(q, {"A", "B", "C"})
+        assert is_free_connex(q, {"B", "C"})
+
+    def test_line3_endpoints_not_free_connex(self):
+        """pi_{A,D}(line3) is the classic non-free-connex projection."""
+        assert not is_free_connex(catalog.line3(), {"A", "D"})
+
+    def test_unknown_output_attr_raises(self):
+        with pytest.raises(QueryError):
+            is_free_connex(catalog.line3(), {"Z"})
+
+    def test_cyclic_never_free_connex(self):
+        assert not is_free_connex(catalog.triangle(), {"A"})
+
+
+class TestOutputJoinTree:
+    def test_virtual_root(self):
+        scaffold = output_join_tree(catalog.line3(), {"A", "B"})
+        assert scaffold.has_virtual_root
+        assert scaffold.tree.root == OUTPUT_EDGE
+        scaffold.tree.validate()
+
+    def test_empty_output_has_real_root(self):
+        scaffold = output_join_tree(catalog.line3(), set())
+        assert not scaffold.has_virtual_root
+
+    def test_non_free_connex_raises(self):
+        with pytest.raises(QueryError):
+            output_join_tree(catalog.line3(), {"A", "D"})
+
+    def test_real_nodes_bottom_up_excludes_virtual(self):
+        scaffold = output_join_tree(catalog.line3(), {"B"})
+        nodes = scaffold.real_nodes_bottom_up()
+        assert OUTPUT_EDGE not in nodes
+        assert sorted(nodes) == ["R1", "R2", "R3"]
+
+    def test_top_attr_node_output_attr_is_root(self):
+        scaffold = output_join_tree(catalog.line3(), {"B"})
+        assert scaffold.top_attr_node("B") == OUTPUT_EDGE
+
+    def test_top_attr_node_private_attr(self):
+        scaffold = output_join_tree(catalog.line3(), {"B"})
+        assert scaffold.top_attr_node("A") == "R1"
+
+
+class TestResidualQuery:
+    def test_residual_edges_projected(self):
+        scaffold = output_join_tree(catalog.line3(), {"A", "B", "C"})
+        res = residual_output_query(scaffold)
+        assert res.attributes == {"A", "B", "C"}
+        assert res.is_acyclic()
+
+    def test_residual_full_output_is_original(self):
+        q = catalog.line3()
+        scaffold = output_join_tree(q, q.attributes)
+        res = residual_output_query(scaffold)
+        assert res.attributes == q.attributes
+
+    def test_residual_empty_output_raises(self):
+        scaffold = output_join_tree(catalog.line3(), set())
+        with pytest.raises(QueryError):
+            residual_output_query(scaffold)
+
+
+class TestOutHierarchical:
+    def test_group_by_single_attr_is_out_hierarchical(self):
+        assert is_out_hierarchical(catalog.line3(), {"A"})
+        assert is_out_hierarchical(catalog.line3(), {"B"})
+
+    def test_line3_prefix_ab_not_out_hierarchical(self):
+        # Residual on {A, B} is the single edge {A,B} plus {B} -> r-hier.
+        assert is_out_hierarchical(catalog.line3(), {"A", "B"})
+
+    def test_full_line3_not_out_hierarchical(self):
+        assert not is_out_hierarchical(catalog.line3(), catalog.line3().attributes)
+
+    def test_star_join_everything_out_hierarchical(self):
+        q = catalog.star_join(3)
+        assert is_out_hierarchical(q, {"Z"})
+        assert is_out_hierarchical(q, {"Z", "X1"})
+        assert is_out_hierarchical(q, q.attributes)
+
+    def test_non_free_connex_not_out_hierarchical(self):
+        assert not is_out_hierarchical(catalog.line3(), {"A", "D"})
+
+    def test_hierarchical_query_full_output(self):
+        q = catalog.q2_hierarchical()
+        assert is_out_hierarchical(q, q.attributes)

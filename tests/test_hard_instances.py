@@ -1,0 +1,119 @@
+"""Tests for the paper's lower-bound instance constructions."""
+
+import math
+
+import pytest
+
+from repro.data.hard_instances import (
+    embed_line3,
+    line3_random_hard,
+    rhier_extremal,
+    triangle_random_hard,
+    yannakakis_trap,
+    yannakakis_trap_doubled,
+)
+from repro.errors import InstanceError
+from repro.query import catalog
+from repro.ram.joins import multi_join
+from repro.ram.yannakakis import join_size, subset_join_sizes
+
+
+class TestYannakakisTrap:
+    def test_shapes(self):
+        inst = yannakakis_trap(1500, 15000)
+        assert abs(join_size(inst) - 15000) / 15000 < 0.2
+
+    def test_doubled_symmetric(self):
+        inst = yannakakis_trap_doubled(3000, 30000)
+        from repro.ram.joins import natural_join
+
+        r12 = natural_join(inst["R1"], inst["R2"])
+        r23 = natural_join(inst["R2"], inst["R3"])
+        # Figure 3: both intermediates are now OUT-scale.
+        assert len(r12) > join_size(inst) / 4
+        assert len(r23) > join_size(inst) / 4
+
+
+class TestLine3RandomHard:
+    def test_in_out_close_to_targets(self):
+        inst = line3_random_hard(3000, 12000, seed=0)
+        assert abs(inst.input_size - 3000) / 3000 < 0.25
+        assert abs(join_size(inst) - 12000) / 12000 < 0.35
+
+    def test_group_structure(self):
+        """Each B value owns exactly tau R1-tuples (the proof's groups)."""
+        inst = line3_random_hard(900, 2700, seed=1)
+        n = 900 // 3
+        tau = max(1, round(math.sqrt(2700 / n)))
+        degs = inst["R1"].degrees(("B",))
+        assert set(degs.values()) == {tau}
+
+    def test_out_below_in_rejected(self):
+        with pytest.raises(InstanceError):
+            line3_random_hard(3000, 10, seed=0)
+
+    def test_deterministic(self):
+        a = line3_random_hard(600, 1800, seed=5)
+        b = line3_random_hard(600, 1800, seed=5)
+        assert set(a["R2"].rows) == set(b["R2"].rows)
+
+
+class TestTriangleRandomHard:
+    def test_sizes(self):
+        inst = triangle_random_hard(3000, 9000, seed=0)
+        assert abs(inst.input_size - 3000) / 3000 < 0.25
+
+    def test_output_close_to_target(self):
+        inst = triangle_random_hard(1500, 4500, seed=2)
+        full = multi_join([inst.relations[n] for n in inst.query.edge_names])
+        assert abs(len(full) - 4500) / 4500 < 0.4
+
+    def test_agm_range_enforced(self):
+        with pytest.raises(InstanceError):
+            triangle_random_hard(300, 10**9, seed=0)
+
+    def test_bipartite_sides_complete(self):
+        inst = triangle_random_hard(900, 2700, seed=1)
+        n = 900 // 3
+        tau = max(1, round(2700 / n))
+        assert len(inst["R2"]) == tau * (n // tau)
+        assert len(inst["R3"]) == tau * (n // tau)
+
+
+class TestRhierExtremal:
+    def test_theorem4_tightness_structure(self):
+        """|join of C_{k*-1}| = IN^{k*-1} and |join of C_{k*}| = OUT."""
+        q = catalog.cartesian_product(3)
+        in_size, out_size = 50, 50 * 50 * 20
+        inst = rhier_extremal(q, in_size, out_size)
+        sizes = subset_join_sizes(inst)
+        values = set(sizes.values())
+        assert in_size ** 2 in values
+        assert out_size in values or join_size(inst) in values
+
+    def test_out_too_large_raises(self):
+        with pytest.raises(InstanceError):
+            rhier_extremal(catalog.cartesian_product(2), 10, 10**9)
+
+    def test_star_query(self):
+        inst = rhier_extremal(catalog.star_join(3), 40, 1600)
+        assert join_size(inst) >= 1600 * 0.5
+
+
+class TestEmbedLine3:
+    @pytest.mark.parametrize("name", ["fork", "broom", "two_ears", "line4"])
+    def test_embedding_preserves_line3_results(self, name):
+        q = catalog.CATALOG[name]
+        inst = embed_line3(q, 600, 1800, seed=3)
+        hard = line3_random_hard(600, 1800, seed=3)
+        # Theorem 8: the embedded join's output size equals the line-3's.
+        assert join_size(inst) == join_size(hard)
+
+    def test_r_hierarchical_rejected(self):
+        with pytest.raises(InstanceError):
+            embed_line3(catalog.star_join(3), 600, 1800)
+
+    def test_input_stays_linear(self):
+        q = catalog.broom_join()
+        inst = embed_line3(q, 900, 2700, seed=4)
+        assert inst.input_size < 3 * 900

@@ -1,0 +1,149 @@
+"""Tests for HyperCube: shares, Cartesian products, and general joins."""
+
+import math
+
+import pytest
+
+from repro.core.hypercube import (
+    hypercube_cartesian,
+    hypercube_join,
+    optimal_cartesian_shares,
+    optimal_join_shares,
+)
+from repro.data.generators import cartesian_instance, random_instance
+from repro.mpc import Cluster, distribute_instance
+from repro.query import catalog
+from repro.theory.bounds import l_cartesian
+from tests.conftest import oracle_rows
+
+
+class TestShares:
+    def test_cartesian_shares_within_budget(self):
+        shares = optimal_cartesian_shares([100, 100, 100], 64)
+        assert math.prod(shares) <= 64
+
+    def test_cartesian_shares_balance(self):
+        shares = optimal_cartesian_shares([1000, 1000], 16)
+        assert shares == [4, 4]
+
+    def test_skewed_sizes_get_skewed_shares(self):
+        shares = optimal_cartesian_shares([10000, 10], 16)
+        assert shares[0] > shares[1]
+
+    def test_tiny_relation_share_capped(self):
+        shares = optimal_cartesian_shares([1, 1000], 16)
+        assert shares[0] == 1
+
+    def test_join_shares_within_budget(self):
+        q = catalog.triangle()
+        shares = optimal_join_shares(q, {"R1": 100, "R2": 100, "R3": 100}, 27)
+        assert math.prod(shares.values()) <= 27
+
+    def test_join_shares_symmetric_triangle(self):
+        q = catalog.triangle()
+        shares = optimal_join_shares(q, {"R1": 500, "R2": 500, "R3": 500}, 27)
+        assert len(set(shares.values())) == 1  # symmetric query, equal shares
+
+
+class TestCartesian:
+    @pytest.mark.parametrize("sizes", [[10, 10], [50, 5, 2], [7, 7, 7, 2]])
+    def test_correctness(self, sizes):
+        inst = cartesian_instance(sizes)
+        cl = Cluster(8)
+        g = cl.root_group()
+        rels = distribute_instance(inst, g)
+        res = hypercube_cartesian(g, [rels[n] for n in inst.query.edge_names])
+        assert res.total_size() == math.prod(sizes)
+        order = tuple(sorted(res.attrs))
+        idx = [res.attrs.index(a) for a in order]
+        got = {tuple(r[i] for i in idx) for r in res.all_rows()}
+        assert got == oracle_rows(inst)
+
+    def test_instance_optimal_load(self):
+        """Load within a constant factor of L_Cartesian (eq. 1) — the
+        HyperCube instance-optimality the paper builds on."""
+        p = 16
+        sizes = [2000, 40, 40]
+        inst = cartesian_instance(sizes)
+        cl = Cluster(p)
+        g = cl.root_group()
+        rels = distribute_instance(inst, g)
+        hypercube_cartesian(g, [rels[n] for n in inst.query.edge_names])
+        bound = l_cartesian(sizes, p)
+        assert cl.snapshot().load <= 10 * bound + 20 * p
+
+    def test_empty_factor_gives_empty(self):
+        inst = cartesian_instance([5, 1])
+        cl = Cluster(4)
+        g = cl.root_group()
+        rels = distribute_instance(inst, g)
+        rels["R2"].parts = [[] for _ in range(4)]
+        res = hypercube_cartesian(g, [rels["R1"], rels["R2"]])
+        assert res.total_size() == 0
+
+    def test_overlapping_schemas_rejected(self):
+        from repro.errors import MPCError
+
+        inst = cartesian_instance([3, 3])
+        cl = Cluster(2)
+        g = cl.root_group()
+        rels = distribute_instance(inst, g)
+        with pytest.raises(MPCError):
+            hypercube_cartesian(g, [rels["R1"], rels["R1"]])
+
+
+class TestHypercubeJoin:
+    @pytest.mark.parametrize("name", ["binary", "line3", "star3"])
+    def test_acyclic_correctness(self, name):
+        q = catalog.CATALOG[name]
+        inst = random_instance(q, 80, 8, seed=21)
+        cl = Cluster(8)
+        g = cl.root_group()
+        res = hypercube_join(g, q, distribute_instance(inst, g))
+        assert set(res.all_rows()) == oracle_rows(inst)
+
+    def test_triangle_correctness(self):
+        from repro.ram.joins import multi_join
+
+        q = catalog.triangle()
+        inst = random_instance(q, 100, 8, seed=22)
+        cl = Cluster(8)
+        g = cl.root_group()
+        res = hypercube_join(g, q, distribute_instance(inst, g))
+        full = multi_join([inst[n] for n in q.edge_names])
+        expected = set()
+        for row in full.rows:
+            d = dict(zip(full.attrs, row))
+            expected.add(tuple(d[a] for a in sorted(d)))
+        assert set(res.all_rows()) == expected
+
+    def test_each_result_emitted_once(self):
+        q = catalog.triangle()
+        inst = random_instance(q, 120, 6, seed=23)
+        cl = Cluster(8)
+        g = cl.root_group()
+        res = hypercube_join(g, q, distribute_instance(inst, g))
+        rows = res.all_rows()
+        assert len(rows) == len(set(rows))
+
+    def test_share_product_exceeding_group_raises(self):
+        from repro.errors import MPCError
+
+        q = catalog.binary_join()
+        inst = random_instance(q, 10, 4, seed=0)
+        cl = Cluster(4)
+        g = cl.root_group()
+        with pytest.raises(MPCError):
+            hypercube_join(
+                g, q, distribute_instance(inst, g), {"A": 3, "B": 3, "C": 3}
+            )
+
+    def test_explicit_shares_respected(self):
+        q = catalog.binary_join()
+        inst = random_instance(q, 60, 6, seed=24)
+        cl = Cluster(9)
+        g = cl.root_group()
+        res = hypercube_join(
+            g, q, distribute_instance(inst, g), {"A": 1, "B": 9, "C": 1}
+        )
+        assert set(res.all_rows()) == oracle_rows(inst)

@@ -1,0 +1,101 @@
+"""Tests for instances and their statistics."""
+
+import pytest
+
+from repro.data.generators import add_dangling, matching_instance, random_instance
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.errors import InstanceError
+from repro.query import catalog
+from repro.semiring import COUNT
+
+
+class TestConstruction:
+    def test_missing_relation_raises(self):
+        q = catalog.line3()
+        with pytest.raises(InstanceError):
+            Instance(q, {"R1": Relation("R1", ("A", "B"), [])})
+
+    def test_extra_relation_raises(self):
+        q = catalog.binary_join()
+        rels = {
+            "R1": Relation("R1", ("A", "B"), []),
+            "R2": Relation("R2", ("B", "C"), []),
+            "R3": Relation("R3", ("C", "D"), []),
+        }
+        with pytest.raises(InstanceError):
+            Instance(q, rels)
+
+    def test_schema_mismatch_raises(self):
+        q = catalog.binary_join()
+        rels = {
+            "R1": Relation("R1", ("A", "X"), []),
+            "R2": Relation("R2", ("B", "C"), []),
+        }
+        with pytest.raises(InstanceError):
+            Instance(q, rels)
+
+    def test_input_size(self):
+        inst = matching_instance(catalog.line3(), 10)
+        assert inst.input_size == 30
+
+    def test_getitem_unknown_raises(self):
+        inst = matching_instance(catalog.line3(), 3)
+        with pytest.raises(InstanceError):
+            inst["R9"]
+
+
+class TestDangling:
+    def test_matching_instance_dangling_free(self):
+        inst = matching_instance(catalog.line3(), 10)
+        assert inst.is_dangling_free()
+
+    def test_added_dangling_detected(self):
+        inst = add_dangling(matching_instance(catalog.line3(), 10), 5, seed=1)
+        assert not inst.is_dangling_free()
+
+    def test_without_dangling_restores(self):
+        base = matching_instance(catalog.line3(), 10)
+        dirty = add_dangling(base, 5, seed=1)
+        clean = dirty.without_dangling()
+        assert clean.input_size == base.input_size
+        assert clean.output_size() == base.output_size()
+
+    def test_without_dangling_preserves_output(self):
+        inst = random_instance(catalog.fork_join(), 50, 5, seed=2)
+        clean = inst.without_dangling()
+        assert clean.output_size() == inst.output_size()
+
+    def test_empty_relation_kills_everything(self):
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(1, 2)]),
+                "R2": Relation("R2", ("B", "C"), []),
+            },
+        )
+        clean = inst.without_dangling()
+        assert clean.input_size == 0
+
+
+class TestStatistics:
+    def test_output_size_cached(self):
+        inst = matching_instance(catalog.line3(), 7)
+        assert inst.output_size() == 7
+        assert inst.output_size() == 7  # cached path
+
+    def test_degrees(self):
+        inst = matching_instance(catalog.binary_join(), 5)
+        assert inst.max_degree("R1", ("B",)) == 1
+
+    def test_with_uniform_annotations(self):
+        inst = matching_instance(catalog.line3(), 4).with_uniform_annotations(COUNT)
+        assert inst.annotated
+        assert all(r.annotated for r in inst.relations.values())
+
+    def test_subset(self):
+        inst = matching_instance(catalog.line3(), 4)
+        sub = inst.subset(["R1", "R2"])
+        assert set(sub.query.edge_names) == {"R1", "R2"}
+        assert sub.input_size == 8

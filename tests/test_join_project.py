@@ -1,0 +1,52 @@
+"""Tests for join-project (conjunctive) queries via the Boolean semiring."""
+
+import pytest
+
+from repro.core.runner import mpc_join_project
+from repro.data.generators import matching_instance, random_instance
+from repro.errors import QueryError
+from repro.query import catalog
+from repro.ram.yannakakis import yannakakis
+
+
+def ram_projection(instance, attrs):
+    full = yannakakis(instance)
+    pos = full.positions(tuple(sorted(attrs)))
+    return {tuple(row[i] for i in pos) for row in full.rows}
+
+
+class TestJoinProject:
+    @pytest.mark.parametrize("outputs", [{"A"}, {"A", "B"}, {"B", "C"}])
+    def test_line3_projections(self, outputs):
+        q = catalog.line3()
+        inst = random_instance(q, 70, 6, seed=131)
+        res = mpc_join_project(q, outputs, inst, p=8)
+        assert set(res.relation.rows) == ram_projection(inst, outputs)
+        assert all(w is True for w in res.relation.annotations)
+
+    def test_star_projection(self):
+        q = catalog.star_join(3)
+        inst = random_instance(q, 50, 5, seed=132)
+        res = mpc_join_project(q, {"Z", "X1"}, inst, p=4)
+        assert set(res.relation.rows) == ram_projection(inst, {"Z", "X1"})
+
+    def test_projection_is_distinct(self):
+        q = catalog.line3()
+        inst = matching_instance(q, 30)
+        res = mpc_join_project(q, {"A"}, inst, p=4)
+        rows = list(res.relation.rows)
+        assert len(rows) == len(set(rows)) == 30
+
+    def test_non_free_connex_rejected(self):
+        q = catalog.line3()
+        inst = matching_instance(q, 10)
+        with pytest.raises(QueryError):
+            mpc_join_project(q, {"A", "D"}, inst, p=4)
+
+    def test_projection_smaller_than_join(self):
+        """The aggregated output can be far below |Q(R)| (Theorem 9's point)."""
+        from repro.data.generators import line_trap_instance
+
+        inst = line_trap_instance(3, 900, 9000)
+        res = mpc_join_project(inst.query, {"X0"}, inst, p=8)
+        assert len(res.relation) < inst.output_size() / 10

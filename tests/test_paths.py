@@ -1,0 +1,84 @@
+"""Tests for minimal paths and the Lemma 2 dichotomy."""
+
+import pytest
+
+from repro.query import catalog
+from repro.query.classify import is_acyclic, is_r_hierarchical
+from repro.query.hypergraph import Hypergraph
+from repro.query.paths import (
+    covering_edge,
+    has_minimal_path_of_length_3,
+    is_minimal_path,
+    minimal_path_of_length_3,
+)
+
+
+class TestCoveringEdge:
+    def test_found(self):
+        assert covering_edge(catalog.line3(), {"A", "B"}) == "R1"
+
+    def test_not_found(self):
+        assert covering_edge(catalog.line3(), {"A", "C"}) is None
+
+    def test_single_attr(self):
+        assert covering_edge(catalog.line3(), {"C"}) in ("R2", "R3")
+
+
+class TestMinimalPath:
+    def test_line3_canonical_path(self):
+        q = catalog.line3()
+        path = minimal_path_of_length_3(q)
+        assert path is not None
+        assert is_minimal_path(q, path)
+        assert set(path) == {"A", "B", "C", "D"}
+
+    def test_witness_has_no_skipping_edges(self):
+        q = catalog.fork_join()
+        path = minimal_path_of_length_3(q)
+        assert path is not None
+        x1, x2, x3, x4 = path
+        assert covering_edge(q, {x1, x3}) is None
+        assert covering_edge(q, {x1, x4}) is None
+        assert covering_edge(q, {x2, x4}) is None
+
+    def test_is_minimal_path_rejects_duplicates(self):
+        q = catalog.line3()
+        assert not is_minimal_path(q, ("A", "B", "A", "D"))
+
+    def test_is_minimal_path_rejects_non_path(self):
+        q = catalog.line3()
+        assert not is_minimal_path(q, ("A", "C", "B", "D"))
+
+    def test_short_query_has_no_path(self):
+        assert minimal_path_of_length_3(catalog.binary_join()) is None
+
+
+class TestLemma2:
+    """Acyclic join is non-r-hierarchical iff it has a minimal 3-path."""
+
+    @pytest.mark.parametrize("name", sorted(catalog.CATALOG))
+    def test_dichotomy_on_catalog(self, name):
+        q = catalog.CATALOG[name]
+        if not is_acyclic(q):
+            pytest.skip("Lemma 2 applies to acyclic joins")
+        assert has_minimal_path_of_length_3(q) == (not is_r_hierarchical(q))
+
+    def test_dichotomy_on_constructed_queries(self):
+        cases = [
+            Hypergraph({"R1": ("A", "B", "C"), "R2": ("B", "C", "D"), "R3": ("C", "D", "E")}),
+            Hypergraph({"R1": ("A", "B"), "R2": ("A", "C"), "R3": ("A", "D")}),
+            Hypergraph({"R1": ("A", "B"), "R2": ("B", "C"), "R3": ("B", "D")}),
+            Hypergraph({"R0": ("A", "B", "C"), "R1": ("A", "B"), "R2": ("B", "C")}),
+        ]
+        for q in cases:
+            if not is_acyclic(q):
+                continue
+            assert has_minimal_path_of_length_3(q) == (not is_r_hierarchical(q)), q
+
+    def test_line4_contains_multiple_witnesses(self):
+        q = catalog.line_join(4)
+        path = minimal_path_of_length_3(q)
+        assert path is not None
+        # Any window of 4 consecutive line attributes is a witness.
+        assert is_minimal_path(q, ("X0", "X1", "X2", "X3"))
+        assert is_minimal_path(q, ("X1", "X2", "X3", "X4"))

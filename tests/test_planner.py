@@ -1,0 +1,120 @@
+"""Tests for the MPC-aware Yannakakis planner."""
+
+import pytest
+
+from repro.core.planner import (
+    best_yannakakis_plan,
+    enumerate_fold_orders,
+    plan_quality,
+)
+from repro.core.yannakakis import yannakakis_mpc
+from repro.data.generators import line_trap_instance, matching_instance, random_instance
+from repro.errors import QueryError
+from repro.mpc import Cluster, distribute_instance
+from repro.query import catalog
+from tests.conftest import assert_matches_oracle, oracle_rows
+
+
+class TestEnumeration:
+    def test_line3_orders_are_connected(self):
+        orders = enumerate_fold_orders(catalog.line3())
+        q = catalog.line3()
+        for order in orders:
+            for k in range(2, len(order) + 1):
+                prefix_attrs = [q.attrs_of(n) for n in order[:k]]
+                # Each newly added relation shares an attribute with the prefix.
+                joined = set().union(*prefix_attrs[:-1])
+                assert joined & prefix_attrs[-1], order
+
+    def test_line3_has_four_orders(self):
+        # R1->R2->R3, R2->{R1,R3} x2, R3->R2->R1.
+        orders = enumerate_fold_orders(catalog.line3())
+        assert len(orders) == 4
+
+    def test_every_order_is_a_permutation(self):
+        q = catalog.fork_join()
+        for order in enumerate_fold_orders(q):
+            assert sorted(order) == sorted(q.edge_names)
+
+    def test_limit_respected(self):
+        orders = enumerate_fold_orders(catalog.broom_join(), limit=3)
+        assert len(orders) <= 3
+
+
+class TestBestPlan:
+    def test_picks_the_good_direction_on_trap(self):
+        """Figure 3: the planner must avoid the OUT-sized intermediate."""
+        inst = line_trap_instance(3, 1500, 45000, direction="forward")
+        cl = Cluster(8)
+        g = cl.root_group()
+        rels = distribute_instance(inst, g)
+        choice = best_yannakakis_plan(g, inst.query, rels)
+        # Forward trap: R1 x R2 is OUT-sized; the plan must not start there.
+        assert set(choice.order[:2]) != {"R1", "R2"}
+        assert choice.max_intermediate < 0.2 * inst.output_size()
+
+    def test_planned_run_beats_bad_plan(self):
+        from repro.core.yannakakis import left_deep_plan
+
+        inst = line_trap_instance(3, 1500, 45000, direction="forward")
+        cl = Cluster(8)
+        g = cl.root_group()
+        rels = distribute_instance(inst, g)
+        choice = best_yannakakis_plan(g, inst.query, rels)
+
+        good = assert_matches_oracle(
+            inst, yannakakis_mpc, p=8, plan=choice.plan
+        )
+        bad = assert_matches_oracle(
+            inst, yannakakis_mpc, p=8, plan=left_deep_plan(["R1", "R2", "R3"])
+        )
+        assert good.load < 0.6 * bad.load
+
+    def test_cyclic_rejected(self):
+        inst = random_instance(catalog.triangle(), 10, 3, seed=1)
+        cl = Cluster(2)
+        g = cl.root_group()
+        with pytest.raises(QueryError):
+            best_yannakakis_plan(g, inst.query, distribute_instance(inst, g))
+
+    def test_correctness_of_chosen_plan(self):
+        inst = random_instance(catalog.broom_join(), 40, 5, seed=123)
+        cl = Cluster(4)
+        g = cl.root_group()
+        rels = distribute_instance(inst, g)
+        choice = best_yannakakis_plan(g, inst.query, rels)
+        res = yannakakis_mpc(g, inst.query, rels, plan=choice.plan)
+        assert set(res.all_rows()) == oracle_rows(inst)
+
+    def test_planning_cost_is_linear(self):
+        inst = line_trap_instance(3, 4000, 40000)
+        p = 8
+        cl = Cluster(p)
+        g = cl.root_group()
+        best_yannakakis_plan(g, inst.query, distribute_instance(inst, g))
+        # Counting passes only: no OUT-sized shuffles during planning.
+        assert cl.snapshot().load < 20 * inst.input_size / p + 50 * p
+
+
+class TestPlanQuality:
+    def test_trap_gap_detected(self):
+        inst = line_trap_instance(3, 1500, 45000, direction="forward")
+        cl = Cluster(8)
+        g = cl.root_group()
+        q = plan_quality(g, inst.query, distribute_instance(inst, g))
+        assert q["worst"] > 5 * q["best"]
+
+    def test_doubled_trap_all_orders_bad(self):
+        """Figure 3 (full): even the best order has an OUT-scale intermediate."""
+        inst = line_trap_instance(3, 1500, 22000, doubled=True)
+        cl = Cluster(8)
+        g = cl.root_group()
+        q = plan_quality(g, inst.query, distribute_instance(inst, g))
+        assert q["best"] > 0.4 * inst.output_size()
+
+    def test_uniform_instance_orders_similar(self):
+        inst = matching_instance(catalog.line3(), 100)
+        cl = Cluster(4)
+        g = cl.root_group()
+        q = plan_quality(g, inst.query, distribute_instance(inst, g))
+        assert q["worst"] == q["best"]

@@ -1,0 +1,227 @@
+"""Tests for the Section 2 MPC primitives."""
+
+import random
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.mpc import Cluster, distribute_relation
+from repro.mpc.primitives import (
+    global_sum,
+    multi_numbering,
+    multi_search,
+    orderable,
+    sample_sort,
+    semi_join,
+    sum_by_key,
+)
+
+
+def spread(items, p):
+    return [list(items[i::p]) for i in range(p)]
+
+
+class TestOrderable:
+    def test_mixed_types_sortable(self):
+        vals = [3, "b", None, (1, "x"), 2.5, b"z", True]
+        keys = sorted(orderable(v) for v in vals)
+        assert len(keys) == len(vals)
+
+    def test_unorderable_raises(self):
+        with pytest.raises(TypeError):
+            orderable({"a": 1})
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p", [1, 2, 5, 16])
+    def test_globally_sorted(self, p):
+        rng = random.Random(p)
+        items = [rng.randrange(1000) for _ in range(700)]
+        cl = Cluster(p)
+        parts = sample_sort(cl.root_group(), spread(items, p), lambda x: x, "s")
+        flat = [it for part in parts for _ok, _uid, it in part]
+        assert flat == sorted(items) or sorted(flat) == sorted(items)
+        # Global order: max of part i <= min of part i+1.
+        keys = [[ok for ok, _u, _i in part] for part in parts]
+        for a, b in zip(keys, keys[1:]):
+            if a and b:
+                assert a[-1] <= b[0]
+
+    def test_balanced_under_heavy_key(self):
+        """Equal keys split across servers (uid tiebreak): no server gets
+        everything even when one key dominates."""
+        p = 8
+        items = ["heavy"] * 4000 + [f"k{i}" for i in range(100)]
+        cl = Cluster(p)
+        parts = sample_sort(cl.root_group(), spread(items, p), lambda x: x, "s")
+        sizes = [len(part) for part in parts]
+        assert max(sizes) <= 2 * (len(items) // p) + 64
+
+    def test_empty_input(self):
+        cl = Cluster(4)
+        parts = sample_sort(cl.root_group(), [[], [], [], []], lambda x: x, "s")
+        assert all(not part for part in parts)
+
+    def test_load_linear(self):
+        p = 8
+        n = 4000
+        items = list(range(n))
+        cl = Cluster(p)
+        sample_sort(cl.root_group(), spread(items, p), lambda x: x, "s")
+        # ~n/p per server plus O(p) sampling traffic.
+        assert cl.snapshot().load <= 3 * (n // p) + 10 * p
+
+
+class TestSumByKey:
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_matches_reference(self, p):
+        rng = random.Random(p)
+        pairs = [(f"k{rng.randrange(40)}", rng.randrange(5)) for _ in range(900)]
+        pairs += [("skew", 1)] * 700
+        cl = Cluster(p)
+        parts = sum_by_key(cl.root_group(), spread(pairs, p))
+        got = {}
+        for part in parts:
+            for k, v in part:
+                assert k not in got, "duplicate key emitted"
+                got[k] = v
+        expected = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+        assert got == expected
+
+    def test_custom_operator_max(self):
+        pairs = [("a", 3), ("a", 9), ("b", 1)]
+        cl = Cluster(2)
+        parts = sum_by_key(cl.root_group(), spread(pairs, 2), plus=max)
+        got = dict(kv for part in parts for kv in part)
+        assert got == {"a": 9, "b": 1}
+
+    def test_single_spanning_key(self):
+        """One key covering every server exercises the whole chain logic."""
+        p = 6
+        pairs = [("only", 1)] * 600
+        cl = Cluster(p)
+        parts = sum_by_key(cl.root_group(), spread(pairs, p))
+        got = [kv for part in parts for kv in part]
+        assert got == [("only", 600)]
+
+    def test_empty(self):
+        cl = Cluster(3)
+        parts = sum_by_key(cl.root_group(), [[], [], []])
+        assert all(not p_ for p_ in parts)
+
+
+class TestMultiNumbering:
+    @pytest.mark.parametrize("p", [1, 4, 9])
+    def test_consecutive_numbers_per_key(self, p):
+        rng = random.Random(p)
+        pairs = [(f"k{rng.randrange(6)}", i) for i in range(500)]
+        cl = Cluster(p)
+        parts = multi_numbering(cl.root_group(), spread(pairs, p))
+        per_key = {}
+        payloads = set()
+        for part in parts:
+            for k, payload, num in part:
+                per_key.setdefault(k, []).append(num)
+                payloads.add((k, payload))
+        for k, nums in per_key.items():
+            assert sorted(nums) == list(range(1, len(nums) + 1)), k
+        assert payloads == set(pairs)
+
+    def test_single_key_spanning_everything(self):
+        p = 5
+        pairs = [("x", i) for i in range(333)]
+        cl = Cluster(p)
+        parts = multi_numbering(cl.root_group(), spread(pairs, p))
+        nums = sorted(n for part in parts for _k, _p, n in part)
+        assert nums == list(range(1, 334))
+
+
+class TestMultiSearch:
+    @pytest.mark.parametrize("p", [1, 2, 7])
+    def test_predecessor_semantics(self, p):
+        rng = random.Random(p)
+        ys = sorted(rng.sample(range(10000), 120))
+        xs = rng.sample(range(10000), 300)
+        cl = Cluster(p)
+        res = multi_search(
+            cl.root_group(),
+            spread([(x, None) for x in xs], p),
+            spread([(y, y) for y in ys], p),
+        )
+        import bisect
+
+        found = {}
+        for part in res:
+            for xk, _xp, pk, _pv in part:
+                found[xk] = pk
+        for x in xs:
+            i = bisect.bisect_right(ys, x)
+            assert found[x] == (ys[i - 1] if i else None)
+
+    def test_ties_resolve_to_y(self):
+        cl = Cluster(2)
+        res = multi_search(
+            cl.root_group(),
+            [[(5, "x")], []],
+            [[(5, "y")], []],
+        )
+        rows = [r for part in res for r in part]
+        assert rows == [(5, "x", 5, "y")]
+
+    def test_no_y_gives_none(self):
+        cl = Cluster(2)
+        res = multi_search(cl.root_group(), [[(1, "x")], []], [[], []])
+        rows = [r for part in res for r in part]
+        assert rows == [(1, "x", None, None)]
+
+
+class TestSemiJoin:
+    def test_matches_ram(self):
+        from repro.ram.joins import semi_join as ram_semi
+
+        r1 = Relation("R1", ("A", "B"), [(i, i % 7) for i in range(200)])
+        r2 = Relation("R2", ("B", "C"), [(b, 0) for b in (1, 3, 5)])
+        cl = Cluster(4)
+        g = cl.root_group()
+        got = semi_join(g, distribute_relation(r1, g), distribute_relation(r2, g))
+        assert set(got.all_rows()) == set(ram_semi(r1, r2).rows)
+
+    def test_no_shared_attrs_empty_filter(self):
+        r1 = Relation("R1", ("A",), [(1,), (2,)])
+        r2 = Relation("R2", ("B",), [])
+        cl = Cluster(2)
+        g = cl.root_group()
+        got = semi_join(g, distribute_relation(r1, g), distribute_relation(r2, g))
+        assert got.total_size() == 0
+
+    def test_no_shared_attrs_nonempty_filter(self):
+        r1 = Relation("R1", ("A",), [(1,), (2,)])
+        r2 = Relation("R2", ("B",), [(9,)])
+        cl = Cluster(2)
+        g = cl.root_group()
+        got = semi_join(g, distribute_relation(r1, g), distribute_relation(r2, g))
+        assert set(got.all_rows()) == {(1,), (2,)}
+
+    def test_linear_load(self):
+        n, p = 4000, 8
+        r1 = Relation("R1", ("A", "B"), [(i, i % 100) for i in range(n)])
+        r2 = Relation("R2", ("B", "C"), [(b, 0) for b in range(50)])
+        cl = Cluster(p)
+        g = cl.root_group()
+        semi_join(g, distribute_relation(r1, g), distribute_relation(r2, g))
+        assert cl.snapshot().load <= 4 * (n + 50) // p + 20 * p
+
+
+class TestGlobalSum:
+    def test_basic(self):
+        cl = Cluster(4)
+        assert global_sum(cl.root_group(), [1, 2, 3, 4]) == 10
+
+    def test_wrong_arity(self):
+        from repro.errors import MPCError
+
+        cl = Cluster(4)
+        with pytest.raises(MPCError):
+            global_sum(cl.root_group(), [1, 2])

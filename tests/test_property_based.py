@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Strategy sizes are kept small: the point is adversarial structure, not
+volume.  Each property pins an invariant the paper's machinery relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import auto_algorithm, mpc_join
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.mpc import Cluster
+from repro.mpc.hashing import stable_hash
+from repro.mpc.packing import parallel_packing
+from repro.mpc.primitives import multi_numbering, multi_search, sum_by_key
+from repro.query import catalog
+from repro.query.classify import JoinClass, classify, is_r_hierarchical
+from repro.query.hypergraph import Hypergraph, gyo_reduction, join_tree
+from repro.query.paths import has_minimal_path_of_length_3
+from repro.ram.yannakakis import join_size, yannakakis
+from repro.semiring import COUNT
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Random hypergraph strategy: 2-5 edges over up to 6 attributes.
+# ----------------------------------------------------------------------
+@st.composite
+def hypergraphs(draw):
+    n_attrs = draw(st.integers(2, 6))
+    attrs = [f"x{i}" for i in range(n_attrs)]
+    n_edges = draw(st.integers(2, 5))
+    edges = {}
+    for i in range(n_edges):
+        size = draw(st.integers(1, min(3, n_attrs)))
+        subset = draw(
+            st.lists(st.sampled_from(attrs), min_size=size, max_size=size, unique=True)
+        )
+        edges[f"R{i}"] = tuple(subset)
+    return Hypergraph(edges, name="random")
+
+
+@st.composite
+def small_instances(draw):
+    """A small random instance of a random catalog query."""
+    name = draw(
+        st.sampled_from(
+            ["binary", "line3", "star3", "fork", "simple_r_hierarchical", "cartesian2"]
+        )
+    )
+    query = catalog.CATALOG[name]
+    dom = draw(st.integers(1, 4))
+    rels = {}
+    for edge in query.edge_names:
+        attrs = tuple(sorted(query.attrs_of(edge)))
+        n_rows = draw(st.integers(0, 12))
+        rows = [
+            tuple(draw(st.integers(0, dom)) for _ in attrs) for _ in range(n_rows)
+        ]
+        rels[edge] = Relation(edge, attrs, rows)
+    return Instance(query, rels)
+
+
+class TestHypergraphProperties:
+    @SETTINGS
+    @given(hypergraphs())
+    def test_reduce_idempotent(self, q):
+        reduced, _ = q.reduce()
+        again, witness = reduced.reduce()
+        assert witness == {}
+        assert again == reduced
+
+    @SETTINGS
+    @given(hypergraphs())
+    def test_gyo_consistent_with_join_tree(self, q):
+        if gyo_reduction(q) is None:
+            return
+        tree = join_tree(q)
+        tree.validate()
+
+    @SETTINGS
+    @given(hypergraphs())
+    def test_lemma2_dichotomy(self, q):
+        """Acyclic and non-r-hierarchical iff a minimal 3-path exists."""
+        if gyo_reduction(q) is None:
+            return
+        assert has_minimal_path_of_length_3(q) == (not is_r_hierarchical(q))
+
+    @SETTINGS
+    @given(hypergraphs())
+    def test_classification_consistent(self, q):
+        cls = classify(q)
+        if cls == JoinClass.CYCLIC:
+            assert gyo_reduction(q) is None
+        else:
+            assert gyo_reduction(q) is not None
+
+    @SETTINGS
+    @given(hypergraphs())
+    def test_residual_of_acyclic_stays_acyclic(self, q):
+        """Removing attributes preserves alpha-acyclicity (used by Q_x)."""
+        if gyo_reduction(q) is None:
+            return
+        for attr in sorted(q.attributes):
+            rest = q.attributes - {attr}
+            if not rest:
+                continue
+            residual = q.residual({attr})
+            assert residual.is_acyclic()
+
+
+class TestPrimitiveProperties:
+    @SETTINGS
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(-5, 5)), max_size=120
+        ),
+        st.integers(1, 7),
+    )
+    def test_sum_by_key(self, pairs, p):
+        cl = Cluster(p)
+        parts = [pairs[i::p] for i in range(p)]
+        res = sum_by_key(cl.root_group(), parts)
+        got = {}
+        for part in res:
+            for k, v in part:
+                assert k not in got
+                got[k] = v
+        expected: dict = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+        assert got == expected
+
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 5), max_size=80),
+        st.integers(1, 6),
+    )
+    def test_multi_numbering_is_permutation(self, keys, p):
+        pairs = [(k, i) for i, k in enumerate(keys)]
+        cl = Cluster(p)
+        parts = [pairs[i::p] for i in range(p)]
+        res = multi_numbering(cl.root_group(), parts)
+        per_key: dict = {}
+        for part in res:
+            for k, _payload, num in part:
+                per_key.setdefault(k, []).append(num)
+        for k, nums in per_key.items():
+            assert sorted(nums) == list(range(1, len(nums) + 1))
+
+    @SETTINGS
+    @given(
+        st.lists(st.integers(0, 1000), max_size=60),
+        st.lists(st.integers(0, 1000), max_size=60, unique=True),
+        st.integers(1, 5),
+    )
+    def test_multi_search_predecessors(self, xs, ys, p):
+        import bisect
+
+        ys_sorted = sorted(ys)
+        cl = Cluster(p)
+        res = multi_search(
+            cl.root_group(),
+            [[(x, None) for x in xs[i::p]] for i in range(p)],
+            [[(y, y) for y in ys[i::p]] for i in range(p)],
+        )
+        for part in res:
+            for xk, _xp, pk, _pv in part:
+                i = bisect.bisect_right(ys_sorted, xk)
+                assert pk == (ys_sorted[i - 1] if i else None)
+
+    @SETTINGS
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+            max_size=60,
+        ),
+        st.integers(1, 6),
+    )
+    def test_parallel_packing_invariants(self, weights, p):
+        items = [(i, w) for i, w in enumerate(weights)]
+        cl = Cluster(p)
+        assign, n_groups = parallel_packing(
+            cl.root_group(), [items[i::p] for i in range(p)]
+        )
+        totals: dict = {}
+        seen = set()
+        for part in assign:
+            for iid, gid in part:
+                assert iid not in seen
+                seen.add(iid)
+                totals[gid] = totals.get(gid, 0.0) + weights[iid]
+        assert seen == set(range(len(weights)))
+        assert all(w <= 1 + 1e-9 for w in totals.values())
+        assert sum(1 for w in totals.values() if w < 0.5) <= 1
+
+    @SETTINGS
+    @given(st.integers(), st.integers(0, 100))
+    def test_stable_hash_pure(self, v, salt):
+        assert stable_hash(v, salt) == stable_hash(v, salt)
+
+
+class TestJoinProperties:
+    @SETTINGS
+    @given(small_instances(), st.integers(1, 8))
+    def test_auto_join_matches_oracle(self, inst, p):
+        res = mpc_join(inst.query, inst, p=p)
+        expected = set(yannakakis(inst).rows)
+        assert res.row_set() == expected
+
+    @SETTINGS
+    @given(small_instances())
+    def test_yannakakis_matches_oracle(self, inst):
+        res = mpc_join(inst.query, inst, p=4, algorithm="yannakakis")
+        assert res.row_set() == set(yannakakis(inst).rows)
+
+    @SETTINGS
+    @given(small_instances())
+    def test_binhc_matches_oracle(self, inst):
+        res = mpc_join(inst.query, inst, p=4, algorithm="binhc-multiround")
+        assert res.row_set() == set(yannakakis(inst).rows)
+
+    @SETTINGS
+    @given(small_instances())
+    def test_out_size_consistency(self, inst):
+        """OUT from the MPC count primitive == oracle == emitted rows."""
+        from repro.core.runner import mpc_output_size
+
+        cnt, _ = mpc_output_size(inst.query, inst, 4)
+        assert cnt == join_size(inst)
+
+    @SETTINGS
+    @given(small_instances())
+    def test_count_aggregate_equals_out(self, inst):
+        from repro.core.runner import mpc_join_aggregate
+
+        ann = inst.with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(inst.query, set(), ann, COUNT, p=4)
+        assert res.scalar == join_size(inst)
+
+
+class TestLoadProperties:
+    @SETTINGS
+    @given(small_instances(), st.integers(2, 8))
+    def test_load_never_exceeds_trivial(self, inst, p):
+        """No algorithm ships more than a constant times all data to one
+        server across its O(1) phases."""
+        res = mpc_join(inst.query, inst, p=p)
+        out = res.output_size
+        assert res.report.load <= 60 * (inst.input_size + out + p)
+
+    @SETTINGS
+    @given(small_instances())
+    def test_l_instance_lower_bounds_out_shape(self, inst):
+        from repro.theory.bounds import l_instance
+
+        p = 4
+        li = l_instance(inst.query, inst, p)
+        out = join_size(inst)
+        m = len(inst.query.edge_names)
+        assert li >= (out / p) ** (1.0 / m) - 1e-9

@@ -1,0 +1,184 @@
+"""Tests for the RAM-model reference algorithms (the oracle itself)."""
+
+import itertools
+
+import pytest
+
+from repro.data.generators import matching_instance, random_instance
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.query import catalog
+from repro.ram.joins import anti_join, multi_join, natural_join, semi_join
+from repro.ram.yannakakis import (
+    group_by_count,
+    join_size,
+    subset_join_sizes,
+    yannakakis,
+)
+from repro.semiring import COUNT, MIN_TROPICAL
+
+
+def brute_force_join(instance: Instance) -> set:
+    """Exhaustive join over all attribute assignments (tiny instances only)."""
+    q = instance.query
+    attrs = sorted(q.attributes)
+    domains = {a: set() for a in attrs}
+    for n in q.edge_names:
+        rel = instance[n]
+        for i, a in enumerate(rel.attrs):
+            for row in rel.rows:
+                domains[a].add(row[i])
+    results = set()
+    for combo in itertools.product(*(sorted(domains[a], key=repr) for a in attrs)):
+        assignment = dict(zip(attrs, combo))
+        ok = True
+        for n in q.edge_names:
+            rel = instance[n]
+            wanted = tuple(assignment[a] for a in rel.attrs)
+            if wanted not in set(rel.rows):
+                ok = False
+                break
+        if ok:
+            results.add(combo)
+    return results
+
+
+class TestJoins:
+    def test_natural_join_basic(self):
+        r1 = Relation("R1", ("A", "B"), [(1, 2), (3, 4)])
+        r2 = Relation("R2", ("B", "C"), [(2, 5), (2, 6)])
+        j = natural_join(r1, r2)
+        assert set(j.rows) == {(1, 2, 5), (1, 2, 6)}
+
+    def test_natural_join_no_shared_is_product(self):
+        r1 = Relation("R1", ("A",), [(1,), (2,)])
+        r2 = Relation("R2", ("B",), [(3,)])
+        j = natural_join(r1, r2)
+        assert set(j.rows) == {(1, 3), (2, 3)}
+
+    def test_annotated_join_multiplies(self):
+        r1 = Relation("R1", ("A",), [(1,)], annotations=[2], semiring=COUNT)
+        r2 = Relation("R2", ("A",), [(1,)], annotations=[3], semiring=COUNT)
+        j = natural_join(r1, r2)
+        assert j.annotation_map()[(1,)] == 6
+
+    def test_annotated_mixed_raises(self):
+        from repro.errors import SchemaError
+
+        r1 = Relation("R1", ("A",), [(1,)], annotations=[2], semiring=COUNT)
+        r2 = Relation("R2", ("A",), [(1,)])
+        with pytest.raises(SchemaError):
+            natural_join(r1, r2)
+
+    def test_semi_join(self):
+        r1 = Relation("R1", ("A", "B"), [(1, 2), (3, 4)])
+        r2 = Relation("R2", ("B",), [(2,)])
+        assert set(semi_join(r1, r2).rows) == {(1, 2)}
+
+    def test_semi_join_empty_filter_no_shared(self):
+        r1 = Relation("R1", ("A",), [(1,)])
+        r2 = Relation("R2", ("B",), [])
+        assert len(semi_join(r1, r2)) == 0
+
+    def test_anti_join(self):
+        r1 = Relation("R1", ("A", "B"), [(1, 2), (3, 4)])
+        r2 = Relation("R2", ("B",), [(2,)])
+        assert set(anti_join(r1, r2).rows) == {(3, 4)}
+
+    def test_multi_join_fold(self):
+        inst = matching_instance(catalog.line3(), 5)
+        j = multi_join([inst[n] for n in inst.query.edge_names])
+        assert len(j) == 5
+
+
+class TestYannakakis:
+    @pytest.mark.parametrize(
+        "name", ["binary", "line3", "star3", "fork", "q2_hierarchical"]
+    )
+    def test_matches_brute_force(self, name):
+        q = catalog.CATALOG[name]
+        inst = random_instance(q, 12, 3, seed=11)
+        assert set(yannakakis(inst).rows) == brute_force_join(inst)
+
+    def test_annotated_results(self):
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation(
+                    "R1", ("A", "B"), [(1, 2)], annotations=[5.0],
+                    semiring=MIN_TROPICAL,
+                ),
+                "R2": Relation(
+                    "R2", ("B", "C"), [(2, 3)], annotations=[7.0],
+                    semiring=MIN_TROPICAL,
+                ),
+            },
+        )
+        res = yannakakis(inst)
+        assert res.annotation_map()[(1, 2, 3)] == 12.0
+
+
+class TestJoinSize:
+    @pytest.mark.parametrize("name", ["line3", "fork", "star3", "line5", "broom"])
+    def test_counts_match_materialization(self, name):
+        q = catalog.CATALOG[name]
+        inst = random_instance(q, 25, 4, seed=13)
+        assert join_size(inst) == len(yannakakis(inst).rows)
+
+    def test_zero_output(self):
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(1, 2)]),
+                "R2": Relation("R2", ("B", "C"), [(9, 9)]),
+            },
+        )
+        assert join_size(inst) == 0
+
+    def test_counts_with_dangling(self):
+        from repro.data.generators import add_dangling
+
+        base = matching_instance(catalog.line3(), 8)
+        assert join_size(add_dangling(base, 5, seed=1)) == 8
+
+
+class TestSubsetSizes:
+    def test_matching_line3(self):
+        inst = matching_instance(catalog.line3(), 9)
+        sizes = subset_join_sizes(inst)
+        assert all(v == 9 for v in sizes.values())
+        assert len(sizes) == 7  # 2^3 - 1 subsets
+
+    def test_full_subset_is_out(self):
+        inst = random_instance(catalog.line3(), 20, 4, seed=3)
+        sizes = subset_join_sizes(inst)
+        full = frozenset(inst.query.edge_names)
+        assert sizes[full] == join_size(inst.without_dangling())
+
+    def test_monotone_under_union_of_attrs(self):
+        """Subsets covering more attributes have at least as many combos."""
+        inst = random_instance(catalog.line3(), 20, 4, seed=4)
+        sizes = subset_join_sizes(inst)
+        assert sizes[frozenset({"R1", "R2"})] >= sizes[frozenset({"R1"})]
+
+
+class TestGroupByCount:
+    def test_matches_materialization(self):
+        q = catalog.line3()
+        inst = random_instance(q, 30, 4, seed=5)
+        full = yannakakis(inst)
+        pos = full.positions(("B",))
+        expected = {}
+        for row in full.rows:
+            k = (row[pos[0]],)
+            expected[k] = expected.get(k, 0) + 1
+        assert group_by_count(inst, ("B",)) == expected
+
+    def test_group_attrs_not_in_root(self):
+        """Falls back to materialization when no relation holds all attrs."""
+        q = catalog.line3()
+        inst = matching_instance(q, 6)
+        res = group_by_count(inst, ("A", "D"))
+        assert sum(res.values()) == 6

@@ -1,0 +1,189 @@
+"""Property tests over *generated* query shapes (beyond the catalog).
+
+Random acyclic queries are built edge-by-edge along a random join tree
+(each new edge shares a random subset of an existing edge plus fresh
+attributes — the construction is acyclic by ear decomposition).  Random
+hierarchical queries are built from random attribute forests (edges =
+root-to-leaf paths).  Every algorithm must agree with the oracle on every
+generated shape.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.acyclic import acyclic_join
+from repro.core.binhc import binhc_join
+from repro.core.rhierarchical import rhierarchical_join
+from repro.core.runner import mpc_join
+from repro.core.yannakakis import yannakakis_mpc
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.mpc import Cluster, distribute_instance
+from repro.query.classify import classify, is_hierarchical, is_r_hierarchical, JoinClass
+from repro.query.hypergraph import Hypergraph
+from repro.ram.yannakakis import yannakakis
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def acyclic_queries(draw):
+    """Random acyclic hypergraph grown along a join tree."""
+    n_edges = draw(st.integers(2, 5))
+    counter = [0]
+
+    def fresh(k: int) -> list[str]:
+        out = [f"x{counter[0] + i}" for i in range(k)]
+        counter[0] += k
+        return out
+
+    edges: dict[str, frozenset[str]] = {
+        "R0": frozenset(fresh(draw(st.integers(1, 3))))
+    }
+    for i in range(1, n_edges):
+        parent = draw(st.sampled_from(sorted(edges)))
+        parent_attrs = sorted(edges[parent])
+        k_shared = draw(st.integers(0, len(parent_attrs)))
+        shared = parent_attrs[:k_shared]
+        new = fresh(draw(st.integers(0 if shared else 1, 2)))
+        attrs = frozenset(shared + new)
+        if not attrs:
+            attrs = frozenset(fresh(1))
+        edges[f"R{i}"] = attrs
+    return Hypergraph(edges, name="grown")
+
+
+@st.composite
+def hierarchical_queries(draw):
+    """Random hierarchical hypergraph from a random attribute forest."""
+    n_attrs = draw(st.integers(2, 6))
+    parent: dict[int, int | None] = {0: None}
+    for i in range(1, n_attrs):
+        parent[i] = draw(st.integers(-1, i - 1))
+        if parent[i] == -1:
+            parent[i] = None
+
+    def path(i: int) -> list[str]:
+        out = []
+        cur: int | None = i
+        while cur is not None:
+            out.append(f"x{cur}")
+            cur = parent[cur]
+        return out
+
+    leaves = [i for i in range(n_attrs) if i not in {p for p in parent.values()}]
+    if not leaves:
+        leaves = [n_attrs - 1]
+    edges = {f"R{j}": tuple(path(i)) for j, i in enumerate(leaves)}
+    return Hypergraph(edges, name="forest-grown")
+
+
+@st.composite
+def instance_for(draw, query: Hypergraph):
+    dom = draw(st.integers(1, 4))
+    rels = {}
+    for edge in query.edge_names:
+        attrs = tuple(sorted(query.attrs_of(edge)))
+        n_rows = draw(st.integers(0, 10))
+        rows = [
+            tuple(draw(st.integers(0, dom)) for _ in attrs)
+            for _ in range(n_rows)
+        ]
+        rels[edge] = Relation(edge, attrs, rows)
+    return Instance(query, rels)
+
+
+def run(inst, fn, p=4, **kw):
+    cl = Cluster(p)
+    g = cl.root_group()
+    res = fn(g, inst.query, distribute_instance(inst, g), **kw)
+    return set(res.all_rows())
+
+
+class TestGrownAcyclic:
+    @SETTINGS
+    @given(st.data())
+    def test_construction_is_acyclic(self, data):
+        q = data.draw(acyclic_queries())
+        assert q.is_acyclic()
+
+    @SETTINGS
+    @given(st.data())
+    def test_acyclic_algorithm(self, data):
+        q = data.draw(acyclic_queries())
+        inst = data.draw(instance_for(q))
+        assert run(inst, acyclic_join) == set(yannakakis(inst).rows)
+
+    @SETTINGS
+    @given(st.data())
+    def test_yannakakis(self, data):
+        q = data.draw(acyclic_queries())
+        inst = data.draw(instance_for(q))
+        assert run(inst, yannakakis_mpc) == set(yannakakis(inst).rows)
+
+    @SETTINGS
+    @given(st.data())
+    def test_binhc_multiround(self, data):
+        q = data.draw(acyclic_queries())
+        inst = data.draw(instance_for(q))
+        got = run(inst, binhc_join, remove_dangling_first=True)
+        assert got == set(yannakakis(inst).rows)
+
+    @SETTINGS
+    @given(st.data())
+    def test_auto_dispatch(self, data):
+        q = data.draw(acyclic_queries())
+        inst = data.draw(instance_for(q))
+        res = mpc_join(q, inst, p=4)
+        assert res.row_set() == set(yannakakis(inst).rows)
+
+
+class TestGrownHierarchical:
+    @SETTINGS
+    @given(st.data())
+    def test_construction_is_hierarchical(self, data):
+        q = data.draw(hierarchical_queries())
+        assert is_hierarchical(q)
+
+    @SETTINGS
+    @given(st.data())
+    def test_rhierarchical_algorithm(self, data):
+        q = data.draw(hierarchical_queries())
+        inst = data.draw(instance_for(q))
+        assert run(inst, rhierarchical_join) == set(yannakakis(inst).rows)
+
+    @SETTINGS
+    @given(st.data())
+    def test_classification_at_most_r_hier(self, data):
+        q = data.draw(hierarchical_queries())
+        assert classify(q) <= JoinClass.R_HIERARCHICAL
+
+    @SETTINGS
+    @given(st.data())
+    def test_acyclic_solver_handles_them_too(self, data):
+        q = data.draw(hierarchical_queries())
+        inst = data.draw(instance_for(q))
+        assert run(inst, acyclic_join) == set(yannakakis(inst).rows)
+
+
+class TestCrossAlgorithmAgreement:
+    @SETTINGS
+    @given(st.data())
+    def test_all_algorithms_agree(self, data):
+        """Independent implementations must produce identical result sets."""
+        q = data.draw(acyclic_queries())
+        inst = data.draw(instance_for(q))
+        results = [
+            run(inst, yannakakis_mpc),
+            run(inst, acyclic_join),
+            run(inst, binhc_join, remove_dangling_first=True),
+        ]
+        if is_r_hierarchical(q):
+            results.append(run(inst, rhierarchical_join))
+        assert all(r == results[0] for r in results)

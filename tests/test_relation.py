@@ -1,0 +1,104 @@
+"""Tests for schema-carrying relations."""
+
+import pytest
+
+from repro.data.relation import Relation, project_row
+from repro.errors import SchemaError
+from repro.semiring import COUNT, MIN_TROPICAL
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Relation("R", ("A", "B"), [(1, 2), (3, 4)])
+        assert len(r) == 2
+        assert (1, 2) in r
+
+    def test_deduplication(self):
+        r = Relation("R", ("A",), [(1,), (1,), (2,)])
+        assert len(r) == 2
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", "B"), [(1,)])
+
+    def test_duplicate_attrs_raise(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A", "A"), [])
+
+    def test_annotations_need_semiring(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A",), [(1,)], annotations=[1])
+
+    def test_annotation_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A",), [(1,)], annotations=[1, 2], semiring=COUNT)
+
+    def test_duplicate_rows_combine_annotations(self):
+        r = Relation("R", ("A",), [(1,), (1,)], annotations=[2, 3], semiring=COUNT)
+        assert len(r) == 1
+        assert r.annotation_map()[(1,)] == 5
+
+    def test_duplicate_rows_combine_with_min(self):
+        r = Relation(
+            "R", ("A",), [(1,), (1,)], annotations=[2.0, 3.0], semiring=MIN_TROPICAL
+        )
+        assert r.annotation_map()[(1,)] == 2.0
+
+
+class TestOperations:
+    def test_project(self):
+        r = Relation("R", ("A", "B"), [(1, 2), (1, 3)])
+        p = r.project(("A",))
+        assert set(p.rows) == {(1,)}
+
+    def test_project_annotated_combines(self):
+        r = Relation(
+            "R", ("A", "B"), [(1, 2), (1, 3)], annotations=[1, 1], semiring=COUNT
+        )
+        p = r.project(("A",))
+        assert p.annotation_map()[(1,)] == 2
+
+    def test_project_missing_attr_raises(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A",), [(1,)]).project(("B",))
+
+    def test_select(self):
+        r = Relation("R", ("A", "B"), [(1, 2), (3, 4)])
+        s = r.select(lambda t: t["A"] == 1)
+        assert set(s.rows) == {(1, 2)}
+
+    def test_restrict(self):
+        r = Relation("R", ("A", "B"), [(1, 2), (3, 4), (5, 6)])
+        s = r.restrict({(1,), (5,)}, ("A",))
+        assert set(s.rows) == {(1, 2), (5, 6)}
+
+    def test_reordered(self):
+        r = Relation("R", ("A", "B"), [(1, 2)])
+        s = r.reordered(("B", "A"))
+        assert s.rows == ((2, 1),)
+        assert s.attrs == ("B", "A")
+
+    def test_reorder_wrong_attrs_raises(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A",), [(1,)]).reordered(("B",))
+
+    def test_equality_ignores_column_order(self):
+        r1 = Relation("R", ("A", "B"), [(1, 2)])
+        r2 = Relation("R", ("B", "A"), [(2, 1)])
+        assert r1 == r2
+
+    def test_degrees(self):
+        r = Relation("R", ("A", "B"), [(1, 2), (1, 3), (4, 5)])
+        assert r.degrees(("A",)) == {(1,): 2, (4,): 1}
+
+    def test_with_annotations_uniform(self):
+        r = Relation("R", ("A",), [(1,), (2,)]).with_annotations(COUNT)
+        assert r.annotated
+        assert set(r.annotations) == {1}
+
+    def test_annotation_map_requires_annotations(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ("A",), [(1,)]).annotation_map()
+
+    def test_project_row(self):
+        assert project_row((10, 20, 30), (2, 0)) == (30, 10)

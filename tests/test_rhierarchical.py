@@ -1,0 +1,120 @@
+"""Tests for the instance-optimal r-hierarchical algorithm (Section 3.2)."""
+
+import pytest
+
+from repro.core.rhierarchical import rhierarchical_join
+from repro.data.generators import (
+    add_dangling,
+    cartesian_instance,
+    forest_instance,
+    matching_instance,
+    random_instance,
+    star_instance,
+)
+from repro.errors import QueryError
+from repro.query import catalog
+from repro.theory.bounds import l_instance
+from tests.conftest import assert_matches_oracle
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "name",
+        ["binary", "star3", "star4", "q1_tall_flat", "q2_hierarchical",
+         "q2_r_hierarchical", "simple_r_hierarchical", "cartesian2", "cartesian3"],
+    )
+    def test_random_instances(self, name):
+        q = catalog.CATALOG[name]
+        inst = random_instance(q, 50, 5, seed=41)
+        assert_matches_oracle(inst, rhierarchical_join)
+
+    def test_forest_instances(self):
+        for skew in (1.0, 4.0):
+            inst = forest_instance(catalog.q2_hierarchical(), 3, skew=skew)
+            assert_matches_oracle(inst, rhierarchical_join)
+
+    def test_star_with_heavy_hub(self):
+        inst = star_instance(3, 2, 12)  # two hubs, large fanout -> heavy
+        assert_matches_oracle(inst, rhierarchical_join)
+
+    def test_cartesian_products(self):
+        for sizes in ([30, 30], [100, 5, 2], [12, 12, 12]):
+            inst = cartesian_instance(sizes)
+            assert_matches_oracle(inst, rhierarchical_join)
+
+    def test_with_dangling(self):
+        inst = add_dangling(star_instance(3, 5, 3), 20, seed=42)
+        assert_matches_oracle(inst, rhierarchical_join)
+
+    def test_non_r_hierarchical_rejected(self):
+        inst = matching_instance(catalog.line3(), 10)
+        from repro.mpc import Cluster, distribute_instance
+
+        cl = Cluster(4)
+        g = cl.root_group()
+        with pytest.raises(QueryError):
+            rhierarchical_join(g, inst.query, distribute_instance(inst, g))
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 16])
+    def test_various_cluster_sizes(self, p):
+        inst = star_instance(3, 6, 4)
+        assert_matches_oracle(inst, rhierarchical_join, p=p)
+
+    def test_single_relation(self):
+        from repro.query.hypergraph import Hypergraph
+        from repro.data.instance import Instance
+        from repro.data.relation import Relation
+
+        q = Hypergraph({"R1": ("A", "B")})
+        inst = Instance(q, {"R1": Relation("R1", ("A", "B"), [(1, 2), (3, 4)])})
+        assert_matches_oracle(inst, rhierarchical_join)
+
+    def test_mixed_heavy_light_hub(self):
+        """Hub values straddling the light/heavy threshold (Case 1 split)."""
+        from repro.data.instance import Instance
+        from repro.data.relation import Relation
+
+        q = catalog.star_join(2)
+        rows1 = [("hot", f"x{i}") for i in range(60)] + [
+            (f"z{j}", f"x{j}") for j in range(30)
+        ]
+        rows2 = [("hot", f"y{i}") for i in range(60)] + [
+            (f"z{j}", f"y{j}") for j in range(30)
+        ]
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("X1", "Z"), [(b, a) for a, b in rows1]),
+                "R2": Relation("R2", ("X2", "Z"), [(b, a) for a, b in rows2]),
+            },
+        )
+        assert_matches_oracle(inst, rhierarchical_join)
+
+
+class TestInstanceOptimality:
+    """Theorem 3: load = O(IN/p + L_instance(p, R))."""
+
+    RATIO_CAP = 40  # generous constant; the point is independence from skew
+
+    @pytest.mark.parametrize("skew", [1.0, 2.0, 8.0])
+    def test_ratio_bounded_across_skew(self, skew):
+        p = 8
+        inst = forest_instance(catalog.q2_hierarchical(), 4, skew=skew)
+        rep = assert_matches_oracle(inst, rhierarchical_join, p=p)
+        bound = inst.input_size / p + l_instance(inst.query, inst, p)
+        assert rep.load <= self.RATIO_CAP * bound + 30 * p
+
+    def test_cartesian_ratio(self):
+        p = 8
+        inst = cartesian_instance([400, 20, 20])
+        rep = assert_matches_oracle(inst, rhierarchical_join, p=p)
+        bound = inst.input_size / p + l_instance(inst.query, inst, p)
+        assert rep.load <= self.RATIO_CAP * bound + 30 * p
+
+    def test_budget_override(self):
+        inst = star_instance(3, 6, 4)
+        rep = assert_matches_oracle(
+            inst, rhierarchical_join, p=4, budget=10**9
+        )
+        # A huge budget means everything is light: still correct.
+        assert rep.load > 0

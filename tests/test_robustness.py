@@ -1,0 +1,192 @@
+"""Robustness: degenerate shapes, adversarial values, failure paths.
+
+Every public algorithm must either produce oracle-identical results or
+raise a typed :mod:`repro.errors` exception — never crash or silently
+mis-answer — on empty relations, singleton domains, unicode values,
+mixed-type columns, and p larger than the data.
+"""
+
+import pytest
+
+from repro.core.runner import ALGORITHMS, mpc_join, mpc_join_aggregate
+from repro.data.generators import matching_instance, random_instance
+from repro.data.instance import Instance
+from repro.data.relation import Relation
+from repro.query import catalog
+from repro.ram.yannakakis import yannakakis
+from repro.semiring import COUNT
+
+JOIN_ALGOS = ["yannakakis", "line3", "acyclic", "binhc-multiround", "wc-line3"]
+
+
+def expect_oracle(inst, algorithm, p=4):
+    res = mpc_join(inst.query, inst, p=p, algorithm=algorithm)
+    assert res.row_set() == set(yannakakis(inst).rows), algorithm
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("algorithm", JOIN_ALGOS)
+    def test_all_relations_empty(self, algorithm):
+        q = catalog.line3()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), []),
+                "R2": Relation("R2", ("B", "C"), []),
+                "R3": Relation("R3", ("C", "D"), []),
+            },
+        )
+        expect_oracle(inst, algorithm)
+
+    @pytest.mark.parametrize("algorithm", JOIN_ALGOS)
+    def test_one_relation_empty(self, algorithm):
+        q = catalog.line3()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(1, 2)]),
+                "R2": Relation("R2", ("B", "C"), []),
+                "R3": Relation("R3", ("C", "D"), [(3, 4)]),
+            },
+        )
+        expect_oracle(inst, algorithm)
+
+    @pytest.mark.parametrize("algorithm", JOIN_ALGOS)
+    def test_single_tuple_everywhere(self, algorithm):
+        inst = matching_instance(catalog.line3(), 1)
+        expect_oracle(inst, algorithm)
+
+    @pytest.mark.parametrize("algorithm", JOIN_ALGOS)
+    def test_p_larger_than_data(self, algorithm):
+        inst = matching_instance(catalog.line3(), 3)
+        expect_oracle(inst, algorithm, p=16)
+
+    def test_single_value_domain(self):
+        """Everything joins with everything: OUT = n^3 on one key."""
+        q = catalog.line3()
+        n = 12
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(i, 0) for i in range(n)]),
+                "R2": Relation("R2", ("B", "C"), [(0, 0)]),
+                "R3": Relation("R3", ("C", "D"), [(0, i) for i in range(n)]),
+            },
+        )
+        for algorithm in JOIN_ALGOS:
+            expect_oracle(inst, algorithm)
+
+
+class TestAdversarialValues:
+    def test_unicode_and_whitespace_values(self):
+        q = catalog.binary_join()
+        rows1 = [("ключ", "b 1"), ("", "b\t2"), ("naïve", "b 1")]
+        rows2 = [("b 1", "x"), ("b\t2", "émoji 🎉")]
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), rows1),
+                "R2": Relation("R2", ("B", "C"), rows2),
+            },
+        )
+        for algorithm in ("yannakakis", "binhc", "acyclic"):
+            expect_oracle(inst, algorithm)
+
+    def test_mixed_type_join_column(self):
+        """Ints and strings in one column must sort and join correctly."""
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(1, 1), (2, "1"), (3, None)]),
+                "R2": Relation("R2", ("B", "C"), [(1, "int"), ("1", "str"), (None, "none")]),
+            },
+        )
+        expect_oracle(inst, "yannakakis")
+        expect_oracle(inst, "acyclic")
+
+    def test_negative_and_large_numbers(self):
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(-(2**70), 0), (5, 2**80)]),
+                "R2": Relation("R2", ("B", "C"), [(0, -1), (2**80, 7)]),
+            },
+        )
+        expect_oracle(inst, "yannakakis")
+
+    def test_tuple_valued_cells(self):
+        """forest_instance produces tuple-typed values; joins must cope."""
+        from repro.data.generators import forest_instance
+
+        inst = forest_instance(catalog.q2_hierarchical(), 2)
+        expect_oracle(inst, "rhierarchical")
+
+
+class TestAggregateRobustness:
+    def test_empty_instance_total(self):
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), []),
+                "R2": Relation("R2", ("B", "C"), []),
+            },
+        ).with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(q, set(), inst, COUNT, p=4)
+        assert res.scalar == 0
+
+    def test_empty_instance_group_by(self):
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), []),
+                "R2": Relation("R2", ("B", "C"), []),
+            },
+        ).with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(q, {"A"}, inst, COUNT, p=4)
+        assert len(res.relation) == 0
+
+    def test_all_dangling_group_by(self):
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), [(1, 2)]),
+                "R2": Relation("R2", ("B", "C"), [(9, 9)]),
+            },
+        ).with_uniform_annotations(COUNT)
+        res = mpc_join_aggregate(q, {"A"}, inst, COUNT, p=4)
+        assert len(res.relation) == 0
+
+
+class TestErrorPaths:
+    def test_unknown_algorithm_is_query_error(self):
+        from repro.errors import QueryError
+
+        inst = matching_instance(catalog.line3(), 2)
+        with pytest.raises(QueryError):
+            mpc_join(inst.query, inst, p=2, algorithm="nope")
+
+    def test_all_errors_share_base_class(self):
+        from repro import errors
+
+        for name in (
+            "QueryError",
+            "CyclicQueryError",
+            "SchemaError",
+            "InstanceError",
+            "MPCError",
+            "AllocationError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_algorithm_list_all_runnable_on_matching_line3(self):
+        inst = matching_instance(catalog.line3(), 6)
+        for algorithm in ALGORITHMS:
+            if algorithm in ("wc-triangle", "rhierarchical"):
+                continue  # wrong query class for line3
+            res = mpc_join(inst.query, inst, p=4, algorithm=algorithm)
+            assert res.row_set() == set(yannakakis(inst).rows), algorithm

@@ -1,0 +1,76 @@
+"""Load scaling in p: more servers must mean less load per server.
+
+Each theorem predicts how the load falls as p grows (1/p for the linear
+terms, 1/sqrt(p) for the output terms, p^{-2/3} for the triangle grid).
+These tests sweep p at fixed workloads and check the direction and rough
+magnitude of the decrease.
+"""
+
+import pytest
+
+from repro.core.runner import mpc_join, mpc_output_size
+from repro.data.generators import line_trap_instance, star_instance
+from repro.data.hard_instances import triangle_random_hard
+from repro.query import catalog
+
+
+class TestPScaling:
+    def test_count_scales_linearly(self):
+        inst = line_trap_instance(3, 12000, 48000)
+        loads = {}
+        for p in (4, 16):
+            _cnt, rep = mpc_output_size(inst.query, inst, p)
+            loads[p] = rep.load
+        # 4x servers -> ~4x less load (linear primitive), generous slack.
+        assert loads[16] < 0.45 * loads[4]
+
+    def test_yannakakis_scales_linearly(self):
+        inst = line_trap_instance(3, 8000, 64000)
+        loads = {}
+        for p in (4, 16):
+            res = mpc_join(inst.query, inst, p=p, algorithm="yannakakis")
+            loads[p] = res.report.load
+        assert loads[16] < 0.5 * loads[4]
+
+    def test_line3_load_decreases_with_p(self):
+        inst = line_trap_instance(3, 6000, 240000, doubled=True)
+        loads = {}
+        for p in (4, 16):
+            res = mpc_join(inst.query, inst, p=p, algorithm="line3")
+            loads[p] = res.report.load
+        # Between 1/sqrt(p) and 1/p: must at least halve for 4x servers.
+        assert loads[16] < 0.7 * loads[4]
+
+    def test_rhierarchical_load_decreases_with_p(self):
+        # Large enough that IN/p dominates the fixed coordination constants.
+        inst = star_instance(3, 400, 5)
+        loads = {}
+        for p in (2, 8):
+            res = mpc_join(inst.query, inst, p=p, algorithm="rhierarchical")
+            loads[p] = res.report.load
+        assert loads[8] < 0.8 * loads[2]
+
+    def test_triangle_grid_scaling(self):
+        inst = triangle_random_hard(6000, 24000, seed=141)
+        loads = {}
+        for p in (8, 64):
+            res = mpc_join(inst.query, inst, p=p, algorithm="wc-triangle")
+            loads[p] = res.report.load
+        # 8x servers -> p^{2/3} = 4x less load.
+        assert loads[64] < 0.45 * loads[8]
+
+    def test_p1_equals_ram_total(self):
+        """On one server nothing needs to move after the initial placement
+        except coordination constants."""
+        inst = line_trap_instance(3, 1200, 4800)
+        res = mpc_join(inst.query, inst, p=1, algorithm="yannakakis")
+        assert res.report.load == 0  # self-messages are free
+
+    def test_monotone_in_p_generally(self):
+        inst = line_trap_instance(3, 6000, 24000)
+        prev = None
+        for p in (2, 4, 8, 16):
+            res = mpc_join(inst.query, inst, p=p, algorithm="line3")
+            if prev is not None:
+                assert res.report.load < 1.3 * prev  # never blows up with p
+            prev = res.report.load

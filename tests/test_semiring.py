@@ -1,0 +1,92 @@
+"""Semiring law tests (paper Section 6 prerequisites)."""
+
+import pytest
+
+from repro.semiring.semirings import (
+    ALL_SEMIRINGS,
+    BOOLEAN,
+    COUNT,
+    MAX_TROPICAL,
+    MIN_TROPICAL,
+    SUM_PRODUCT,
+)
+
+SAMPLES = {
+    "count": [0, 1, 2, 5, 7],
+    "sum_product": [0.0, 1.0, 2.5, -3.0],
+    "min_tropical": [0.0, 1.5, 7.0, float("inf")],
+    "max_tropical": [0.0, 1.5, 7.0, float("-inf")],
+    "boolean": [True, False],
+}
+
+
+@pytest.mark.parametrize("sr", ALL_SEMIRINGS, ids=lambda s: s.name)
+class TestSemiringLaws:
+    def test_plus_identity(self, sr):
+        for a in SAMPLES[sr.name]:
+            assert sr.plus(sr.zero, a) == a
+            assert sr.plus(a, sr.zero) == a
+
+    def test_times_identity(self, sr):
+        for a in SAMPLES[sr.name]:
+            assert sr.times(sr.one, a) == a
+            assert sr.times(a, sr.one) == a
+
+    def test_zero_annihilates(self, sr):
+        for a in SAMPLES[sr.name]:
+            assert sr.times(sr.zero, a) == sr.zero
+
+    def test_plus_commutative(self, sr):
+        vals = SAMPLES[sr.name]
+        for a in vals:
+            for b in vals:
+                assert sr.plus(a, b) == sr.plus(b, a)
+
+    def test_times_commutative(self, sr):
+        vals = SAMPLES[sr.name]
+        for a in vals:
+            for b in vals:
+                assert sr.times(a, b) == sr.times(b, a)
+
+    def test_plus_associative(self, sr):
+        vals = SAMPLES[sr.name][:3]
+        for a in vals:
+            for b in vals:
+                for c in vals:
+                    assert sr.plus(sr.plus(a, b), c) == sr.plus(a, sr.plus(b, c))
+
+    def test_distributivity(self, sr):
+        vals = [v for v in SAMPLES[sr.name][:3]]
+        for a in vals:
+            for b in vals:
+                for c in vals:
+                    left = sr.times(a, sr.plus(b, c))
+                    right = sr.plus(sr.times(a, b), sr.times(a, c))
+                    assert left == right
+
+
+class TestFolds:
+    def test_plus_all(self):
+        assert COUNT.plus_all([1, 2, 3]) == 6
+        assert COUNT.plus_all([]) == 0
+
+    def test_times_all(self):
+        assert COUNT.times_all([2, 3, 4]) == 24
+        assert COUNT.times_all([]) == 1
+
+    def test_min_tropical_semantics(self):
+        """min-plus: plus picks minima, times adds costs."""
+        assert MIN_TROPICAL.plus(3.0, 5.0) == 3.0
+        assert MIN_TROPICAL.times(3.0, 5.0) == 8.0
+
+    def test_max_tropical_semantics(self):
+        assert MAX_TROPICAL.plus(3.0, 5.0) == 5.0
+        assert MAX_TROPICAL.times(3.0, 5.0) == 8.0
+
+    def test_boolean_semantics(self):
+        assert BOOLEAN.plus(False, True) is True
+        assert BOOLEAN.times(False, True) is False
+
+    def test_sum_product(self):
+        assert SUM_PRODUCT.plus_all([0.5, 1.5]) == 2.0
+        assert SUM_PRODUCT.times_all([2.0, 3.0]) == 6.0

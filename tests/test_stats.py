@@ -1,0 +1,84 @@
+"""Tests for the instance statistics module."""
+
+import pytest
+
+from repro.data.generators import line_trap_instance, matching_instance, star_instance
+from repro.data.stats import degree_summary, instance_report
+from repro.query import catalog
+
+
+class TestDegreeSummary:
+    def test_uniform(self):
+        inst = matching_instance(catalog.binary_join(), 10)
+        s = degree_summary(inst, "R1", "B")
+        assert s.distinct == 10
+        assert s.max_degree == 1
+        assert s.skew == pytest.approx(1.0)
+
+    def test_skewed(self):
+        inst = star_instance(2, 2, 10)  # two hubs, fanout 10
+        s = degree_summary(inst, "R1", "Z")
+        assert s.max_degree == 10
+        assert s.distinct == 2
+
+    def test_empty_relation(self):
+        from repro.data.instance import Instance
+        from repro.data.relation import Relation
+
+        q = catalog.binary_join()
+        inst = Instance(
+            q,
+            {
+                "R1": Relation("R1", ("A", "B"), []),
+                "R2": Relation("R2", ("B", "C"), []),
+            },
+        )
+        s = degree_summary(inst, "R1", "B")
+        assert s.distinct == 0 and s.skew == 0.0
+
+
+class TestInstanceReport:
+    def test_fields(self):
+        inst = line_trap_instance(3, 900, 9000)
+        rep = instance_report(inst)
+        assert rep.query_class == "ACYCLIC"
+        assert rep.in_size == inst.input_size
+        assert rep.out_size == inst.output_size()
+        assert rep.tau_line3 == pytest.approx((rep.out_size / rep.in_size) ** 0.5, rel=0.01)
+
+    def test_only_join_attributes_profiled(self):
+        inst = matching_instance(catalog.line3(), 5)
+        rep = instance_report(inst)
+        profiled = {(d.relation, d.attr) for d in rep.degrees}
+        # A and D appear in one relation each: not join attributes.
+        assert all(attr in ("B", "C") for _rel, attr in profiled)
+
+    def test_heavy_counts_match_threshold(self):
+        inst = line_trap_instance(3, 900, 9000)
+        rep = instance_report(inst)
+        tau = rep.tau_line3
+        for (rel, attr), heavy in rep.heavy_counts.items():
+            degs = inst.degrees(rel, (attr,))
+            assert heavy == sum(1 for d in degs.values() if d > tau)
+
+    def test_summary_renders(self):
+        inst = matching_instance(catalog.line3(), 5)
+        text = instance_report(inst).summary()
+        assert "class=ACYCLIC" in text
+        assert "IN=15" in text
+
+    def test_max_skew_orders_instances(self):
+        from repro.data.generators import forest_instance
+
+        smooth = instance_report(matching_instance(catalog.line3(), 60))
+        skewed = instance_report(
+            forest_instance(catalog.q2_hierarchical(), 3, skew=6.0)
+        )
+        assert skewed.max_skew() > smooth.max_skew()
+
+    def test_trap_is_structurally_hard_not_skewed(self):
+        """Figure 3's trap has uniform degrees: its difficulty is the
+        domain-size structure, not skew — worth asserting explicitly."""
+        rep = instance_report(line_trap_instance(3, 600, 6000))
+        assert rep.max_skew() == pytest.approx(1.0)
+        assert rep.out_size > 5 * rep.in_size

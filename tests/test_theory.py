@@ -1,0 +1,233 @@
+"""Tests for the bound formulas and lower-bound evaluators."""
+
+import math
+
+import pytest
+
+from repro.data.generators import cartesian_instance, matching_instance, random_instance
+from repro.data.hard_instances import line3_random_hard, triangle_random_hard
+from repro.query import catalog
+from repro.theory.bounds import (
+    corollary1_bound,
+    k_star,
+    l_binhc,
+    l_cartesian,
+    l_instance,
+    theorem4_bound,
+    theorem5_bound,
+    worst_case_line3_bound,
+    worst_case_triangle_bound,
+    yannakakis_bound,
+)
+from repro.theory.lower_bounds import (
+    corollary2_lower_bound,
+    estimate_j_line3,
+    estimate_j_triangle,
+    line3_lower_bound,
+    min_load_from_j,
+    triangle_lower_bound,
+)
+
+
+class TestLCartesian:
+    def test_two_equal_sets(self):
+        # max over {N/p, (N^2/p)^(1/2)}
+        assert l_cartesian([100, 100], 16) == pytest.approx(
+            max(100 / 16, math.sqrt(100 * 100 / 16))
+        )
+
+    def test_skewed_sets_dominated_by_largest(self):
+        """The paper's intro example: skew raises the bound."""
+        balanced = l_cartesian([100, 100, 10000], 16)
+        skewed = l_cartesian([1, 10000, 10000], 16)
+        assert skewed > balanced
+
+    def test_singleton(self):
+        assert l_cartesian([50], 10) == pytest.approx(5.0)
+
+
+class TestLInstance:
+    def test_matching_line3(self):
+        inst = matching_instance(catalog.line3(), 64)
+        # Every subset has 64 combos: max over (64/p)^(1/k).
+        got = l_instance(inst.query, inst, 4)
+        assert got == pytest.approx(16.0)
+
+    def test_increases_with_skew(self):
+        from repro.data.generators import forest_instance
+
+        smooth = forest_instance(catalog.q2_hierarchical(), 3, skew=1.0)
+        skewed = forest_instance(catalog.q2_hierarchical(), 3, skew=6.0)
+        q = catalog.q2_hierarchical()
+        assert l_instance(q, skewed, 8) >= l_instance(q, smooth, 8)
+
+    def test_cartesian_consistency(self):
+        """On Cartesian products the two bound formulas agree."""
+        sizes = [40, 20, 10]
+        inst = cartesian_instance(sizes)
+        assert l_instance(inst.query, inst, 8) == pytest.approx(
+            l_cartesian(sizes, 8)
+        )
+
+    def test_lower_bounds_any_out(self):
+        inst = random_instance(catalog.line3(), 50, 6, seed=91)
+        out = inst.output_size()
+        li = l_instance(inst.query, inst, 8)
+        assert li >= (out / 8) ** (1 / 3) - 1e-9
+
+
+class TestLBinHC:
+    def test_theorem1_tall_flat(self):
+        """Theorem 1: L_BinHC = O(L_instance) on tall-flat joins."""
+        from repro.data.generators import forest_instance
+
+        q = catalog.q1_tall_flat()
+        for skew in (1.0, 4.0):
+            inst = forest_instance(q, 2, skew=skew)
+            lb = l_binhc(q, inst, 8)
+            li = l_instance(q, inst, 8)
+            assert lb <= 4 * li + 1
+
+    def test_theorem2_r_hier_dangling_free(self):
+        from repro.data.generators import star_instance
+
+        q = catalog.star_join(3)
+        inst = star_instance(3, 6, 4)
+        assert l_binhc(q, inst, 8) <= 4 * l_instance(q, inst, 8) + 1
+
+    def test_positive_on_nonempty(self):
+        inst = matching_instance(catalog.binary_join(), 32)
+        assert l_binhc(inst.query, inst, 4) > 0
+
+
+class TestClosedForms:
+    def test_k_star(self):
+        assert k_star(100, 99) == 1
+        assert k_star(100, 100) == 1
+        assert k_star(100, 101) == 2
+        assert k_star(100, 10**4 + 1) == 3
+
+    def test_theorem4_interpolates(self):
+        p = 16
+        # k* = 1: linear in both terms.
+        assert theorem4_bound(1000, 500, p) == pytest.approx(1000 / p + 500 / p)
+        # k* = 2: IN/p + sqrt(OUT/p).
+        assert theorem4_bound(1000, 10**6, p) == pytest.approx(
+            1000 / p + math.sqrt(10**6 / p)
+        )
+        # k* = 3: IN/sqrt(p) + (OUT/p)^(1/3).
+        assert theorem4_bound(1000, 10**8, p) == pytest.approx(
+            1000 / math.sqrt(p) + (10**8 / p) ** (1 / 3)
+        )
+
+    def test_corollary1_dominates_theorem4(self):
+        """Corollary 1 is the (looser) clean form: Thm4 <= ~Cor1 for OUT<=IN^2."""
+        for out in (10**3, 10**4, 10**5, 10**6):
+            t4 = theorem4_bound(1000, out, 16)
+            c1 = corollary1_bound(1000, out, 16)
+            assert t4 <= 3 * c1 + 1
+
+    def test_theorem5_between_linear_and_yannakakis(self):
+        in_size, out, p = 1000, 50000, 16
+        t5 = theorem5_bound(in_size, out, p)
+        assert in_size / p <= t5 <= yannakakis_bound(in_size, out, p) + 1
+
+    def test_bounds_monotone_in_out(self):
+        for f in (theorem5_bound, corollary1_bound, yannakakis_bound):
+            assert f(1000, 2000, 8) <= f(1000, 20000, 8)
+
+
+class TestLowerBoundFormulas:
+    def test_line3_lb_caps_at_worst_case(self):
+        in_size, p = 10000, 16
+        lb_huge_out = line3_lower_bound(in_size, in_size * p * 100, p)
+        assert lb_huge_out == pytest.approx(worst_case_line3_bound(in_size, p))
+
+    def test_line3_lb_crossover_near_p_in(self):
+        """The min switches branches around OUT = p * IN (log-factor slack)."""
+        in_size, p = 10000, 16
+        log_in = math.log2(in_size)
+        small = line3_lower_bound(in_size, in_size, p)
+        at_cross = line3_lower_bound(in_size, p * in_size * log_in, p)
+        assert small < at_cross * 1.01
+        assert at_cross == pytest.approx(worst_case_line3_bound(in_size, p))
+
+    def test_corollary2_gap(self):
+        """Corollary 2: LB >> L_instance = IN/p once sqrt(p) >> log IN."""
+        in_size, p = 10**6, 4096
+        assert corollary2_lower_bound(in_size, p) > 3 * (in_size / p)
+
+    def test_corollary2_gap_grows_with_p(self):
+        in_size = 10**6
+        ratios = [
+            corollary2_lower_bound(in_size, p) / (in_size / p)
+            for p in (64, 256, 1024, 4096)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_triangle_lb_branches(self):
+        in_size, p = 30000, 64
+        small_out = triangle_lower_bound(in_size, in_size, p)
+        big_out = triangle_lower_bound(in_size, int(in_size ** 1.4), p)
+        assert small_out <= big_out + 1e-9
+        assert big_out == pytest.approx(worst_case_triangle_bound(in_size, p))
+
+
+class TestJEstimators:
+    def test_line3_j_monotone_in_load(self):
+        inst = line3_random_hard(1500, 7500, seed=92)
+        j1 = estimate_j_line3(inst, 50, seed=1)
+        j2 = estimate_j_line3(inst, 400, seed=1)
+        assert j2 >= j1
+
+    def test_line3_counting_argument(self):
+        """p * J(L) >= OUT forces L >= ~ the Theorem 6 bound shape."""
+        inst = line3_random_hard(1500, 7500, seed=93)
+        out = inst.output_size()
+        p = 8
+        need = min_load_from_j(
+            out, p, lambda load: estimate_j_line3(inst, load, seed=2, trials=8),
+            hi=inst.input_size,
+        )
+        assert need > 1  # some real load is required
+        # And it cannot exceed what trivially suffices (IN tuples).
+        assert need <= inst.input_size
+
+    def test_triangle_j_monotone(self):
+        inst = triangle_random_hard(1500, 4500, seed=94)
+        assert estimate_j_triangle(inst, 500, seed=1) >= estimate_j_triangle(
+            inst, 50, seed=1
+        )
+
+
+class TestExactJ:
+    def test_estimator_never_exceeds_exact(self):
+        """The greedy/random estimator is a true lower bound on J(L)."""
+        from repro.theory.lower_bounds import exact_j_line3
+
+        inst = line3_random_hard(90, 270, seed=95)  # 10 groups per side
+        for load in (6, 15, 30):
+            exact = exact_j_line3(inst, load)
+            assert exact is not None
+            approx = estimate_j_line3(inst, load, seed=7, trials=12)
+            assert approx <= exact
+
+    def test_exact_monotone_in_load(self):
+        from repro.theory.lower_bounds import exact_j_line3
+
+        inst = line3_random_hard(90, 270, seed=96)
+        values = [exact_j_line3(inst, load) for load in (6, 15, 30)]
+        assert values == sorted(values)
+
+    def test_exact_bails_on_large_instances(self):
+        from repro.theory.lower_bounds import exact_j_line3
+
+        inst = line3_random_hard(3000, 12000, seed=97)
+        assert exact_j_line3(inst, 100, max_groups=12) is None
+
+    def test_exact_zero_when_load_below_one_group(self):
+        from repro.theory.lower_bounds import exact_j_line3
+
+        inst = line3_random_hard(90, 270, seed=98)
+        tau = max(inst["R1"].degrees(("B",)).values())
+        assert exact_j_line3(inst, tau - 1) == 0

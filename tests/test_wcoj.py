@@ -1,0 +1,97 @@
+"""Tests for the worst-case-optimal comparators."""
+
+import math
+
+import pytest
+
+from repro.core.wcoj import line3_worst_case, triangle_worst_case
+from repro.data.generators import line_trap_instance, matching_instance, random_instance
+from repro.data.hard_instances import triangle_random_hard
+from repro.errors import QueryError
+from repro.mpc import Cluster, distribute_instance
+from repro.query import catalog
+from tests.conftest import assert_matches_oracle
+
+
+def triangle_oracle(inst):
+    from repro.ram.joins import multi_join
+
+    full = multi_join([inst[n] for n in inst.query.edge_names])
+    out = set()
+    for row in full.rows:
+        d = dict(zip(full.attrs, row))
+        out.add(tuple(d[a] for a in sorted(d)))
+    return out
+
+
+class TestLine3WorstCase:
+    def test_correctness(self):
+        inst = line_trap_instance(3, 900, 9000)
+        assert_matches_oracle(inst, line3_worst_case, p=16)
+
+    def test_random(self):
+        inst = random_instance(catalog.line3(), 100, 8, seed=101)
+        assert_matches_oracle(inst, line3_worst_case, p=9)
+
+    def test_load_scales_as_in_over_sqrt_p(self):
+        # Wide join-attribute domains so the hash grid can balance (the
+        # trap instance's tiny middle domain would floor the load).
+        inst = random_instance(catalog.line3(), 4000, 1500, seed=100)
+        loads = {}
+        for p in (4, 16, 64):
+            cl = Cluster(p)
+            g = cl.root_group()
+            line3_worst_case(g, inst.query, distribute_instance(inst, g))
+            loads[p] = cl.snapshot().load
+        # Quadrupling p should roughly halve the load (1/sqrt(p)).
+        assert loads[16] < 0.8 * loads[4]
+        assert loads[64] < 0.8 * loads[16]
+
+    def test_rejects_non_line3(self):
+        inst = matching_instance(catalog.star_join(3), 5)
+        cl = Cluster(4)
+        g = cl.root_group()
+        with pytest.raises(QueryError):
+            line3_worst_case(g, inst.query, distribute_instance(inst, g))
+
+
+class TestTriangleWorstCase:
+    def test_correctness_random(self):
+        inst = random_instance(catalog.triangle(), 150, 10, seed=102)
+        cl = Cluster(8)
+        g = cl.root_group()
+        res = triangle_worst_case(g, inst.query, distribute_instance(inst, g))
+        assert set(res.all_rows()) == triangle_oracle(inst)
+
+    def test_correctness_hard_instance(self):
+        inst = triangle_random_hard(900, 2700, seed=103)
+        cl = Cluster(27)
+        g = cl.root_group()
+        res = triangle_worst_case(g, inst.query, distribute_instance(inst, g))
+        assert set(res.all_rows()) == triangle_oracle(inst)
+
+    def test_load_scales_as_p_to_two_thirds(self):
+        inst = triangle_random_hard(6000, 50000, seed=104)
+        loads = {}
+        for p in (8, 64):
+            cl = Cluster(p)
+            g = cl.root_group()
+            triangle_worst_case(g, inst.query, distribute_instance(inst, g))
+            loads[p] = cl.snapshot().load
+        # p x8 => load should drop by ~4 (p^{2/3}); allow slack.
+        assert loads[64] < 0.45 * loads[8]
+
+    def test_rejects_non_triangle(self):
+        inst = matching_instance(catalog.line3(), 5)
+        cl = Cluster(8)
+        g = cl.root_group()
+        with pytest.raises(QueryError):
+            triangle_worst_case(g, inst.query, distribute_instance(inst, g))
+
+    def test_no_duplicates(self):
+        inst = random_instance(catalog.triangle(), 120, 8, seed=105)
+        cl = Cluster(27)
+        g = cl.root_group()
+        res = triangle_worst_case(g, inst.query, distribute_instance(inst, g))
+        rows = res.all_rows()
+        assert len(rows) == len(set(rows))

@@ -1,0 +1,99 @@
+"""Tests for the MPC Yannakakis baseline and join plans."""
+
+import pytest
+
+from repro.core.yannakakis import default_plan, left_deep_plan, yannakakis_mpc
+from repro.data.generators import (
+    add_dangling,
+    line_trap_instance,
+    matching_instance,
+    random_instance,
+)
+from repro.errors import QueryError
+from repro.query import catalog
+from tests.conftest import assert_matches_oracle
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "name", ["binary", "line3", "line4", "star3", "fork", "broom", "q1_tall_flat"]
+    )
+    def test_random_instances(self, name):
+        q = catalog.CATALOG[name]
+        inst = random_instance(q, 60, 6, seed=31)
+        assert_matches_oracle(inst, yannakakis_mpc)
+
+    def test_with_dangling_tuples(self):
+        inst = add_dangling(matching_instance(catalog.line3(), 50), 20, seed=32)
+        assert_matches_oracle(inst, yannakakis_mpc)
+
+    def test_trap_instance(self):
+        inst = line_trap_instance(3, 900, 9000)
+        assert_matches_oracle(inst, yannakakis_mpc)
+
+
+class TestPlans:
+    def test_default_plan_covers_all_relations(self):
+        plan = default_plan(catalog.broom_join())
+
+        def leaves(node):
+            if isinstance(node, str):
+                return [node]
+            return leaves(node[0]) + leaves(node[1])
+
+        assert sorted(leaves(plan)) == sorted(catalog.broom_join().edge_names)
+
+    def test_left_deep_plan(self):
+        plan = left_deep_plan(["R1", "R2", "R3"])
+        assert plan == (("R1", "R2"), "R3")
+
+    def test_empty_plan_raises(self):
+        with pytest.raises(QueryError):
+            left_deep_plan([])
+
+    def test_plan_must_cover_query(self):
+        inst = matching_instance(catalog.line3(), 5)
+        from repro.mpc import Cluster, distribute_instance
+
+        cl = Cluster(2)
+        g = cl.root_group()
+        with pytest.raises(QueryError):
+            yannakakis_mpc(
+                g, inst.query, distribute_instance(inst, g), plan=("R1", "R2")
+            )
+
+    def test_both_orders_agree(self):
+        inst = line_trap_instance(3, 600, 3000)
+        fwd = left_deep_plan(["R1", "R2", "R3"])
+        bwd = ("R1", ("R2", "R3"))
+        r1 = assert_matches_oracle(inst, yannakakis_mpc, plan=fwd)
+        r2 = assert_matches_oracle(inst, yannakakis_mpc, plan=bwd)
+        assert r1.load > 0 and r2.load > 0
+
+    def test_join_order_matters_in_mpc(self):
+        """Section 4.1 / Figure 3: on the trap instance the plan shuffling
+        the OUT-sized intermediate pays substantially more."""
+        inst = line_trap_instance(3, 1500, 45000, direction="forward")
+        bad = assert_matches_oracle(
+            inst, yannakakis_mpc, p=8, plan=left_deep_plan(["R1", "R2", "R3"])
+        )
+        good = assert_matches_oracle(
+            inst, yannakakis_mpc, p=8, plan=("R1", ("R2", "R3"))
+        )
+        assert bad.load > 2 * good.load
+
+    def test_doubled_trap_defeats_both_orders(self):
+        """Figure 3 (full): no single order is good on the doubled trap."""
+        inst = line_trap_instance(3, 1500, 22000, doubled=True)
+        loads = []
+        for plan in (left_deep_plan(["R1", "R2", "R3"]), ("R1", ("R2", "R3"))):
+            rep = assert_matches_oracle(inst, yannakakis_mpc, p=8, plan=plan)
+            loads.append(rep.load)
+        out_over_p = 2 * 22000 / 8
+        assert min(loads) > 0.5 * out_over_p
+
+
+class TestReduceFirst:
+    def test_skipping_reducer_still_correct_on_clean_input(self):
+        inst = matching_instance(catalog.line3(), 30)
+        assert_matches_oracle(inst, yannakakis_mpc, reduce_first=False)
