@@ -1,0 +1,165 @@
+"""Substrate wall-clock benchmark: cached vs cache-bypassed primitives.
+
+Measures the cross-primitive performance layer of :mod:`repro.mpc.substrate`
+(key-encoding cache, sorted-run cache, fused primitives) against the same
+code with every cache bypassed, on two workloads:
+
+* ``repeated_primitives`` — the paper's Section-2 primitive sequence that
+  the acyclic/Theorem-7 solver issues over and over on the same relations
+  (degree attachment, degree tables, predecessor lookups, per-key
+  numbering, semi-joins) at p=8;
+* ``acyclic_join_p8`` — the full output-optimal acyclic join end-to-end on
+  a ``bench_thm7_acyclic``-style line-trap workload.
+
+Both paths must produce identical outputs and identical ledger numbers
+(load, step-max, steps) — the script refuses to write results otherwise;
+the wall-clock ratio is the only thing allowed to differ.
+
+Run:  python benchmarks/bench_substrate.py [--quick] [output.json]
+Writes ``BENCH_substrate.json`` (repo root by default).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.core.runner import mpc_join
+from repro.data.generators import line_trap_instance
+from repro.data.relation import Relation
+from repro.mpc import Cluster, cache_disabled, distribute_relation
+from repro.mpc.primitives import (
+    attach_degrees,
+    count_by_key,
+    number_rows,
+    search_rows,
+    semi_join,
+)
+
+P = 8
+
+
+def _repeated_primitives(n: int, reps: int):
+    rng = random.Random(7)
+    rows = [(rng.randrange(max(2, n // 15)), rng.randrange(max(2, n // 60)))
+            for _ in range(n)]
+    keys = max(2, n // 60)
+    rel_ram = Relation("R", ("A", "B"), rows)
+    flt_ram = Relation("F", ("B", "C"), [(b, 0) for b in range(0, keys, 2)])
+
+    def run():
+        cl = Cluster(P)
+        g = cl.root_group()
+        rel = distribute_relation(rel_ram, g)
+        flt = distribute_relation(flt_ram, g)
+        outputs = []
+        for rep in range(reps):
+            outputs.append(attach_degrees(g, rel, ("B",), f"deg{rep}"))
+            table = count_by_key(g, rel, ("B",), f"cnt{rep}")
+            outputs.append(table)
+            outputs.append(search_rows(g, rel, ("B",), table, f"sr{rep}"))
+            outputs.append(number_rows(g, rel, ("A",), f"num{rep}"))
+            outputs.append(semi_join(g, rel, flt, f"sj{rep}").parts)
+        return outputs, cl.snapshot()
+
+    return run
+
+
+def _acyclic_join(n: int, out_target: int):
+    inst = line_trap_instance(4, n, out_target, doubled=True)
+
+    def run():
+        res = mpc_join(inst.query, inst, p=P, algorithm="acyclic")
+        return (res.relation.attrs, res.relation.parts), res.report
+
+    return run
+
+
+def _time_both(run, timing_reps: int):
+    """Best-of-N wall clock for the cached and bypassed paths."""
+    cached_s = bypassed_s = float("inf")
+    out_c = rep_c = out_u = rep_u = None
+    for _ in range(timing_reps):
+        t0 = time.perf_counter()
+        out_c, rep_c = run()
+        cached_s = min(cached_s, time.perf_counter() - t0)
+        with cache_disabled():
+            t0 = time.perf_counter()
+            out_u, rep_u = run()
+            bypassed_s = min(bypassed_s, time.perf_counter() - t0)
+    return cached_s, bypassed_s, (out_c, rep_c), (out_u, rep_u)
+
+
+def bench(quick: bool = False) -> dict:
+    if quick:
+        workloads = {
+            "repeated_primitives": (_repeated_primitives(6000, 4), 2),
+            "acyclic_join_p8": (_acyclic_join(1200, 8000), 2),
+        }
+    else:
+        workloads = {
+            "repeated_primitives": (_repeated_primitives(30000, 6), 3),
+            "acyclic_join_p8": (_acyclic_join(4000, 64000), 3),
+        }
+
+    results = []
+    for name, (run, timing_reps) in workloads.items():
+        cached_s, bypassed_s, (out_c, rep_c), (out_u, rep_u) = _time_both(
+            run, timing_reps
+        )
+        ledger_c = {
+            "load": rep_c.load, "step_max": rep_c.max_step_load,
+            "steps": rep_c.steps,
+        }
+        ledger_u = {
+            "load": rep_u.load, "step_max": rep_u.max_step_load,
+            "steps": rep_u.steps,
+        }
+        ledger_equal = (
+            ledger_c == ledger_u
+            and rep_c.totals == rep_u.totals
+            and rep_c.by_label == rep_u.by_label
+        )
+        outputs_equal = out_c == out_u
+        if not (ledger_equal and outputs_equal):
+            raise AssertionError(
+                f"substrate cache changed behaviour on {name!r}: "
+                f"ledger_equal={ledger_equal} outputs_equal={outputs_equal}"
+            )
+        results.append(
+            {
+                "workload": name,
+                "p": P,
+                "cached_seconds": round(cached_s, 4),
+                "bypassed_seconds": round(bypassed_s, 4),
+                "speedup": round(bypassed_s / cached_s, 3),
+                "ledger": ledger_c,
+                "ledger_equal": ledger_equal,
+                "outputs_equal": outputs_equal,
+            }
+        )
+        print(
+            f"{name:22s} cached {cached_s:7.3f}s  bypassed {bypassed_s:7.3f}s"
+            f"  speedup {bypassed_s / cached_s:5.2f}x  ledger/outputs ok"
+        )
+    return {"p": P, "quick": quick, "workloads": results}
+
+
+def main(argv: list[str]) -> None:
+    quick = "--quick" in argv
+    paths = [a for a in argv if not a.startswith("-")]
+    out_path = Path(paths[0]) if paths else Path(__file__).parent.parent / "BENCH_substrate.json"
+    data = bench(quick=quick)
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    slow = [w for w in data["workloads"]
+            if w["workload"] == "repeated_primitives" and w["speedup"] < 2.0]
+    if slow:
+        print("WARNING: repeated-primitive speedup below the 2x target", slow)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

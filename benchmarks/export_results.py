@@ -88,6 +88,30 @@ def corollary4_sweep() -> list[dict]:
     return series
 
 
+def substrate_speedup() -> list[dict]:
+    """Before/after wall-clock comparison of the mpc substrate caches.
+
+    "Before" is the *same* (fused) primitive code with every substrate
+    cache bypassed — it isolates the caching layer's gain, not the full
+    distance to the pre-substrate primitives (the fusion itself is not
+    un-doable at runtime).  Ledger numbers and outputs are verified
+    identical between the two paths by the benchmark itself.
+    """
+    from bench_substrate import bench
+
+    rows = bench(quick=True)["workloads"]
+    header = f"{'workload':24s} {'before (s)':>11s} {'after (s)':>10s} {'speedup':>8s}"
+    print("\n=== substrate: before/after wall-clock ===")
+    print(header)
+    print("-" * len(header))
+    for w in rows:
+        print(
+            f"{w['workload']:24s} {w['bypassed_seconds']:11.3f} "
+            f"{w['cached_seconds']:10.3f} {w['speedup']:7.2f}x"
+        )
+    return rows
+
+
 def classification_census() -> list[dict]:
     return [
         {
@@ -106,6 +130,7 @@ EXPORTS = {
     "thm5_out_sweep": thm5_sweep,
     "thm6_crossover": thm6_sweep,
     "cor4_linear_count": corollary4_sweep,
+    "substrate_speedup": substrate_speedup,
 }
 
 

@@ -35,7 +35,14 @@ from repro.errors import QueryError
 from repro.mpc.dangling import reduce_instance, remove_dangling
 from repro.mpc.distrel import DistRelation
 from repro.mpc.group import Group
-from repro.mpc.primitives import multi_search, semi_join, sum_by_key
+from repro.mpc.primitives import (
+    attach_degrees,
+    count_by_key,
+    multi_search,
+    search_rows,
+    semi_join,
+)
+from repro.mpc.substrate import key_encoder
 from repro.query.hypergraph import Hypergraph, join_tree
 
 __all__ = ["acyclic_join"]
@@ -113,25 +120,21 @@ def _solve(
     }
 
     # ---- Step 1: heavy/light split of every child relation. ------------
+    # attach_degrees fuses the count + lookup into one sort pass; its run
+    # is typically already cached from the OUT computation's fold over the
+    # same separator.
     heavy: dict[str, DistRelation] = {}
     light: dict[str, DistRelation] = {}
     light_deg_tables: dict[str, list[list[tuple[Any, int]]]] = {}
     for ei in children:
         rel = rels[ei]
-        pos = rel.positions(seps[ei])
-        pair_parts = [
-            [(project_row(row, pos), 1) for row in part] for part in rel.parts
-        ]
-        degs = sum_by_key(group, pair_parts, label=f"{label}/d{depth}/deg-{ei}")
-        x_parts = [
-            [(project_row(row, pos), row) for row in part] for part in rel.parts
-        ]
-        found = multi_search(group, x_parts, degs, f"{label}/d{depth}/split-{ei}")
+        withdeg = attach_degrees(
+            group, rel, seps[ei], f"{label}/d{depth}/deg-{ei}"
+        )
         h_parts, l_parts = [], []
-        for part in found:
+        for part in withdeg:
             hp, lp = [], []
-            for key, row, pk, d in part:
-                deg = d if pk == key else 0
+            for row, deg in part:
                 if deg >= tau:
                     hp.append(row)
                 else:
@@ -140,13 +143,8 @@ def _solve(
             l_parts.append(lp)
         heavy[ei] = DistRelation(ei, rel.attrs, h_parts)
         light[ei] = DistRelation(ei, rel.attrs, l_parts)
-        light_deg_tables[ei] = sum_by_key(
-            group,
-            [
-                [(project_row(row, light[ei].positions(seps[ei])), 1) for row in part]
-                for part in light[ei].parts
-            ],
-            label=f"{label}/d{depth}/ldeg-{ei}",
+        light_deg_tables[ei] = count_by_key(
+            group, light[ei], seps[ei], label=f"{label}/d{depth}/ldeg-{ei}"
         )
 
     fold_order = _fold_order(tree, e0, e_bar)
@@ -175,20 +173,31 @@ def _solve(
         pieces.append(_align(final, schema))
 
     # ---- Step 3: the all-light pattern. ---------------------------------
-    # Split R(e0) by the product of its children's light degrees.
+    # Split R(e0) by the product of its children's light degrees.  The
+    # first lookup rides r0's cached sorted run; the later ones thread the
+    # rearranged intermediates through the generic multi-search (with r0's
+    # fast key encoder — the keys are still r0 projections).
     r0 = rels[e0]
     prod_parts: list[list[tuple[Row, float]]] = [
         [(row, 1.0) for row in part] for part in r0.parts
     ]
-    for ei in children:
+    for idx, ei in enumerate(children):
         pos_sep = r0.positions(seps[ei])
-        x_parts = [
-            [(project_row(row, pos_sep), (row, pr)) for row, pr in part]
-            for part in prod_parts
-        ]
-        found = multi_search(
-            group, x_parts, light_deg_tables[ei], f"{label}/d{depth}/prod-{ei}"
-        )
+        if idx == 0:
+            found = search_rows(
+                group, r0, seps[ei], light_deg_tables[ei],
+                f"{label}/d{depth}/prod-{ei}", payloads=prod_parts,
+            )
+        else:
+            x_parts = [
+                [(project_row(row, pos_sep), (row, pr)) for row, pr in part]
+                for part in prod_parts
+            ]
+            found = multi_search(
+                group, x_parts, light_deg_tables[ei],
+                f"{label}/d{depth}/prod-{ei}",
+                encoder=key_encoder(r0, pos_sep),
+            )
         prod_parts = [
             [
                 (row, pr * (d if pk == key else 0))

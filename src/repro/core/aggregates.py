@@ -28,10 +28,12 @@ from repro.mpc.distrel import DistRelation
 from repro.mpc.group import Group
 from repro.mpc.primitives import (
     coordinator_for,
+    fold_by_key,
     global_sum,
     multi_search,
     sum_by_key,
 )
+from repro.mpc.substrate import key_encoder, pair_key_encoder
 from repro.query.ghd import OUTPUT_EDGE, OutputJoinTree
 from repro.query.hypergraph import Hypergraph, join_tree
 from repro.semiring import Semiring
@@ -76,6 +78,7 @@ def _fold_to_root(
     """
     tree = join_tree(query, root=root)
     working = {n: weights[n] for n in weights}
+    modified: set[str] = set()
     for node in tree.bottom_up():
         par = tree.parent[node]
         if par is None:
@@ -84,15 +87,25 @@ def _fold_to_root(
         child_rel = rels[node]
         if shared:
             pos_c = child_rel.positions(shared)
-            agg = sum_by_key(
-                group,
-                [
-                    [(project_row(row, pos_c), w) for row, w in part]
-                    for part in working[node]
-                ],
-                plus=plus,
-                label=f"{label}/agg-{node}",
-            )
+            if node not in modified:
+                # Pristine leaf: its pairs still align with the relation's
+                # parts, so the aggregation fuses onto the (cached) run.
+                agg = fold_by_key(
+                    group, child_rel, shared, plus=plus,
+                    label=f"{label}/agg-{node}",
+                    values=[[w for _row, w in part] for part in working[node]],
+                )
+            else:
+                agg = sum_by_key(
+                    group,
+                    [
+                        [(project_row(row, pos_c), w) for row, w in part]
+                        for part in working[node]
+                    ],
+                    plus=plus,
+                    label=f"{label}/agg-{node}",
+                    encoder=key_encoder(child_rel, pos_c),
+                )
             par_rel = rels[par]
             pos_p = par_rel.positions(shared)
             found = multi_search(
@@ -103,6 +116,7 @@ def _fold_to_root(
                 ],
                 agg,
                 f"{label}/fold-{node}",
+                encoder=pair_key_encoder(par_rel, pos_p, child_rel, pos_c),
             )
             working[par] = [
                 [
@@ -112,6 +126,7 @@ def _fold_to_root(
                 ]
                 for part in found
             ]
+            modified.add(par)
         else:
             # Disconnected glue edge: the child contributes a scalar factor.
             partials = []
@@ -123,11 +138,14 @@ def _fold_to_root(
             non_empty = [w for w in partials if w is not None]
             if not non_empty:
                 working[par] = [[] for _ in range(group.size)]
+                modified.add(par)
                 continue
             total = non_empty[0]
             for w in non_empty[1:]:
                 total = plus(total, w)
             group.broadcast([total], f"{label}/scalar-{node}")
+            # Scaling in place keeps the pairs aligned with the relation's
+            # parts, so the parent still counts as pristine for fusing.
             working[par] = [
                 [(row, times(w, total)) for row, w in part]
                 for part in working[par]
@@ -299,7 +317,10 @@ def annotated_reduce(
             [(project_row(row, p_pos), row) for row in part]
             for part in parent.parts
         ]
-        found = multi_search(group, x_parts, y_parts, f"{label}/{removed}")
+        found = multi_search(
+            group, x_parts, y_parts, f"{label}/{removed}",
+            encoder=pair_key_encoder(parent, p_pos, child, c_pos),
+        )
         new_parts = []
         for part in found:
             rows = []
@@ -364,14 +385,10 @@ def aggregate_out(
 
         if keep:
             keep_pos = rel.positions(keep)
-            agg = sum_by_key(
-                group,
-                [
-                    [(project_row(row, keep_pos), row[wpos]) for row in part]
-                    for part in rel.parts
-                ],
-                plus=semiring.plus,
+            agg = fold_by_key(
+                group, rel, keep, plus=semiring.plus,
                 label=f"{label}/agg-{node}",
+                values=[[row[wpos] for row in part] for part in rel.parts],
             )
             agg_rel = DistRelation(
                 node, keep + (wcol,), [[k + (w,) for k, w in part] for part in agg]
@@ -391,6 +408,7 @@ def aggregate_out(
                     ],
                     agg,
                     f"{label}/fold-{node}",
+                    encoder=pair_key_encoder(prel, p_pos, rel, keep_pos),
                 )
                 new_parts = []
                 for part in found:

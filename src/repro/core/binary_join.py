@@ -28,23 +28,14 @@ from repro.mpc.distrel import DistRelation
 from repro.mpc.group import Group
 from repro.mpc.primitives import (
     coordinator_for,
+    count_by_key,
     global_sum,
-    multi_numbering,
     multi_search,
-    sum_by_key,
+    number_rows,
+    search_rows,
 )
 
 __all__ = ["binary_join"]
-
-
-def _degree_parts(
-    group: Group, rel: DistRelation, key_attrs: tuple[str, ...], label: str
-) -> list[list[tuple[Any, int]]]:
-    pos = rel.positions(key_attrs)
-    pairs = [
-        [(project_row(row, pos), 1) for row in part] for part in rel.parts
-    ]
-    return sum_by_key(group, pairs, label=label)
 
 
 def binary_join(
@@ -78,8 +69,10 @@ def binary_join(
     pos2_extra = r2.positions(extra2)
 
     # --- Step 1: per-key degrees and output statistics. -----------------
-    d1 = _degree_parts(group, r1, shared, f"{label}/deg1")
-    d2 = _degree_parts(group, r2, shared, f"{label}/deg2")
+    # One sorted run per relation (cached on it) backs the degree count
+    # here, the light lookup, and the heavy numbering below.
+    d1 = count_by_key(group, r1, shared, f"{label}/deg1")
+    d2 = count_by_key(group, r2, shared, f"{label}/deg2")
     merged = multi_search(
         group,
         [[(k, c) for k, c in part] for part in d1],
@@ -144,35 +137,29 @@ def binary_join(
     group.broadcast(list(heavy_desc.items()), f"{label}/heavy-bcast", src=coord)
 
     # --- Step 3: route tuples to cells. ----------------------------------
-    # Light: key -> group id (via multi-search against the assignments).
-    def lookup_light(rel: DistRelation, pos: tuple[int, ...]) -> list[list[tuple[Row, int]]]:
-        x_parts = [
-            [(project_row(row, pos), row) for row in part] for part in rel.parts
-        ]
-        found = multi_search(group, x_parts, assignments, f"{label}/light-lookup")
+    # Light: key -> group id (predecessor search against the assignments,
+    # riding the relation's cached sorted run).
+    def lookup_light(rel: DistRelation) -> list[list[tuple[Row, int]]]:
+        found = search_rows(
+            group, rel, shared, assignments, f"{label}/light-lookup"
+        )
         return [
             [(row, gid) for key, row, pk, gid in part if pk == key]
             for part in found
         ]
 
-    light1 = lookup_light(r1, pos1)
-    light2 = lookup_light(r2, pos2)
+    light1 = lookup_light(r1)
+    light2 = lookup_light(r2)
 
-    # Heavy: chunk indices via multi-numbering per key.
-    def heavy_rows(rel: DistRelation, pos: tuple[int, ...]) -> list[list[tuple[Any, Row, int]]]:
-        key_parts = [
-            [
-                (project_row(row, pos), row)
-                for row in part
-                if project_row(row, pos) in heavy_desc
-            ]
-            for part in rel.parts
-        ]
-        numbered = multi_numbering(group, key_parts, f"{label}/heavy-number")
-        return [[(k, row, num) for k, row, num in part] for part in numbered]
+    # Heavy: chunk indices via per-key numbering restricted to heavy keys
+    # (fused onto the same run; numbering is consecutive within the subset).
+    def heavy_rows(rel: DistRelation) -> list[list[tuple[Any, Row, int]]]:
+        return number_rows(
+            group, rel, shared, f"{label}/heavy-number", only_keys=heavy_desc
+        )
 
-    heavy1 = heavy_rows(r1, pos1)
-    heavy2 = heavy_rows(r2, pos2)
+    heavy1 = heavy_rows(r1)
+    heavy2 = heavy_rows(r2)
 
     # One physical routing step delivers every cell message.
     outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(p)]

@@ -28,7 +28,12 @@ from repro.data.relation import Row
 from repro.mpc.dangling import remove_dangling as run_full_reducer
 from repro.mpc.distrel import DistRelation
 from repro.mpc.group import Group
-from repro.mpc.primitives import coordinator_for, multi_search, sum_by_key
+from repro.mpc.primitives import (
+    coordinator_for,
+    count_by_key,
+    multi_search,
+    sum_by_key,
+)
 from repro.query.hypergraph import Hypergraph
 
 __all__ = ["binhc_join"]
@@ -86,11 +91,8 @@ def binhc_join(
         ]
         for e in sorted(query.edges_with(x)):
             rel = working[e]
-            pos = rel.positions((x,))[0]
-            counted = sum_by_key(
-                group,
-                [[(row[pos], 1) for row in part] for part in rel.parts],
-                label=f"{label}/deg-{x}-{e}",
+            counted = count_by_key(
+                group, rel, (x,), label=f"{label}/deg-{x}-{e}", scalar=True
             )
             for i, part in enumerate(counted):
                 per_edge_parts[i].extend(part)

@@ -25,12 +25,11 @@ import math
 from repro.core.aggregates import mpc_count
 from repro.core.binary_join import binary_join
 from repro.core.common import align_to_schema, canonical_attrs, concat_distrels
-from repro.data.relation import project_row
 from repro.errors import QueryError
 from repro.mpc.dangling import remove_dangling
 from repro.mpc.distrel import DistRelation
 from repro.mpc.group import Group
-from repro.mpc.primitives import multi_search, sum_by_key
+from repro.mpc.primitives import attach_degrees, count_by_key
 from repro.query.hypergraph import Hypergraph
 
 __all__ = ["line3_join"]
@@ -90,28 +89,23 @@ def line3_join(
     tau = max(1.0, math.sqrt(out_size / in_size))
 
     # --- Step 1: classify B values by their degree in R1. ----------------
+    # The degree table is counted on r1's sorted run, which the r1 split
+    # then reuses; the r2 lookup is safe for search_rows because the
+    # dangling-free instance makes r1's B values cover r2's.
     b_attr = tuple(sorted(query.attrs_of(n1) & query.attrs_of(n2)))
     r1 = working[n1]
     r2 = working[n2]
     r3 = working[n3]
-    pos1 = r1.positions(b_attr)
-    degs = sum_by_key(
-        group,
-        [[(project_row(row, pos1), 1) for row in part] for part in r1.parts],
-        label=f"{label}/deg",
-    )
+    degs = count_by_key(group, r1, b_attr, label=f"{label}/deg")
 
     def split(rel: DistRelation) -> tuple[DistRelation, DistRelation]:
-        pos = rel.positions(b_attr)
-        x_parts = [
-            [(project_row(row, pos), row) for row in part] for part in rel.parts
-        ]
-        found = multi_search(group, x_parts, degs, f"{label}/split-{rel.name}")
+        withdeg = attach_degrees(
+            group, rel, b_attr, f"{label}/split-{rel.name}", degree_parts=degs
+        )
         h_parts, l_parts = [], []
-        for part in found:
+        for part in withdeg:
             hp, lp = [], []
-            for key, row, pk, d in part:
-                deg = d if pk == key else 0
+            for row, deg in part:
                 if deg > tau:
                     hp.append(row)
                 else:

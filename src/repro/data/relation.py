@@ -87,6 +87,10 @@ class Relation:
             self._rows = tuple(combined)
             self._annotations = tuple(combined.values())
             self.semiring = semiring
+        # Lazy caches (the relation is immutable): membership set for
+        # __contains__/__eq__, attribute index for positions().
+        self._row_set: frozenset | None = None
+        self._attr_pos: dict[str, int] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -107,8 +111,14 @@ class Relation:
     def __iter__(self) -> Iterator[Row]:
         return iter(self._rows)
 
+    def _rowset(self) -> frozenset:
+        cached = self._row_set
+        if cached is None:
+            cached = self._row_set = frozenset(self._rows)
+        return cached
+
     def __contains__(self, row: Row) -> bool:
-        return tuple(row) in set(self._rows)
+        return tuple(row) in self._rowset()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
@@ -121,7 +131,7 @@ class Relation:
         if self.annotated != other.annotated:
             return False
         if not self.annotated:
-            return set(self._rows) == set(other._rows)
+            return self._rowset() == other._rowset()
         return dict(zip(self._rows, self._annotations or ())) == dict(
             zip(other._rows, other._annotations or ())
         )
@@ -137,9 +147,12 @@ class Relation:
         Raises:
             SchemaError: If an attribute is missing.
         """
+        index = self._attr_pos
+        if index is None:
+            index = self._attr_pos = {a: i for i, a in enumerate(self.attrs)}
         try:
-            return tuple(self.attrs.index(a) for a in attrs)
-        except ValueError as exc:
+            return tuple(index[a] for a in attrs)
+        except KeyError as exc:
             raise SchemaError(
                 f"attributes {attrs} not all present in {self.name!r}{self.attrs}"
             ) from exc

@@ -8,12 +8,22 @@ from repro.mpc.hashing import stable_hash
 from repro.mpc.packing import parallel_packing, server_allocation
 from repro.mpc.primitives import (
     attach_degrees,
+    count_by_key,
     distinct_keys,
+    fold_by_key,
     multi_numbering,
     multi_search,
+    number_rows,
     sample_sort,
+    search_rows,
     semi_join,
     sum_by_key,
+)
+from repro.mpc.substrate import (
+    cache_disabled,
+    caching_enabled,
+    set_caching,
+    sorted_run,
 )
 
 __all__ = [
@@ -26,8 +36,12 @@ __all__ = [
     "stable_hash",
     "sample_sort",
     "sum_by_key",
+    "fold_by_key",
+    "count_by_key",
     "multi_numbering",
+    "number_rows",
     "multi_search",
+    "search_rows",
     "semi_join",
     "attach_degrees",
     "distinct_keys",
@@ -35,4 +49,8 @@ __all__ = [
     "server_allocation",
     "remove_dangling",
     "reduce_instance",
+    "sorted_run",
+    "caching_enabled",
+    "set_caching",
+    "cache_disabled",
 ]

@@ -24,8 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
 from repro.errors import MPCError
 
 __all__ = ["Cluster", "LoadReport"]
@@ -86,7 +84,7 @@ class Cluster:
         if p < 1:
             raise MPCError(f"cluster needs p >= 1, got {p}")
         self.p = p
-        self._totals = np.zeros(p, dtype=np.int64)
+        self._totals: list[int] = [0] * p
         self._step_max: int = 0
         self._steps: int = 0
         self._by_label: dict[str, int] = {}
@@ -104,24 +102,63 @@ class Cluster:
         if len(server_ids) != len(counts):
             raise MPCError("server_ids and counts length mismatch")
         step_total = 0
+        totals = self._totals
+        p = self.p
+        step_max = self._step_max
         for sid, c in zip(server_ids, counts):
-            if not 0 <= sid < self.p:
-                raise MPCError(f"server id {sid} out of range [0, {self.p})")
+            if sid < 0 or sid >= p:
+                raise MPCError(f"server id {sid} out of range [0, {p})")
             if c < 0:
                 raise MPCError("negative message count")
-            self._totals[sid] += c
+            totals[sid] += c
             step_total += c
-            if c > self._step_max:
-                self._step_max = c
+            if c > step_max:
+                step_max = c
+        self._step_max = step_max
         self._steps += 1
         self._by_label[label] = self._by_label.get(label, 0) + step_total
+
+    def tally_members(
+        self,
+        members: Sequence[Sequence[int]],
+        counts: Sequence[int],
+        label: str,
+    ) -> None:
+        """Tally the same received counts on every member of a group family.
+
+        Equivalent to calling :meth:`tally` once per member (each member is
+        its own ledger step) but hoists the per-step aggregates out of the
+        member loop — the replicas are deterministic copies, so their step
+        total and step max are identical by construction.
+        """
+        step_total = 0
+        step_max = self._step_max
+        for c in counts:
+            if c < 0:
+                raise MPCError("negative message count")
+            step_total += c
+            if c > step_max:
+                step_max = c
+        totals = self._totals
+        p = self.p
+        for member in members:
+            if len(member) != len(counts):
+                raise MPCError("server_ids and counts length mismatch")
+            for sid, c in zip(member, counts):
+                if sid < 0 or sid >= p:
+                    raise MPCError(f"server id {sid} out of range [0, {p})")
+                totals[sid] += c
+        n = len(members)
+        self._step_max = step_max
+        self._steps += n
+        self._by_label[label] = self._by_label.get(label, 0) + step_total * n
 
     def snapshot(self) -> LoadReport:
         """Current ledger as an immutable report."""
         return LoadReport(
             p=self.p,
-            totals=tuple(int(t) for t in self._totals),
-            load=int(self._totals.max()) if self.p else 0,
+            totals=tuple(self._totals),
+            load=max(self._totals) if self.p else 0,
             max_step_load=self._step_max,
             steps=self._steps,
             by_label=dict(self._by_label),
@@ -129,7 +166,7 @@ class Cluster:
 
     def reset(self) -> None:
         """Clear the ledger (data placement is unaffected)."""
-        self._totals[:] = 0
+        self._totals = [0] * self.p
         self._step_max = 0
         self._steps = 0
         self._by_label.clear()
@@ -142,4 +179,4 @@ class Cluster:
         return Group(self, [tuple(range(self.p))])
 
     def __repr__(self) -> str:
-        return f"Cluster<p={self.p}, load={int(self._totals.max()) if self.p else 0}>"
+        return f"Cluster<p={self.p}, load={max(self._totals) if self.p else 0}>"

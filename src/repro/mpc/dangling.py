@@ -4,6 +4,12 @@ A constant number of semi-joins along a join tree removes every tuple that
 does not participate in any join result (Yannakakis [34]; paper Section 2).
 Linear load per semi-join, O(1) rounds total — this is the preprocessing
 step of every multi-round algorithm in the paper.
+
+Substrate interplay (see :mod:`repro.mpc.substrate` and DESIGN.md): every
+semi-join returns a *fresh* ``DistRelation``, so sweeps never see a stale
+sorted run, while the filter side of the down sweep — one parent filtering
+all of its children — keeps its cached projected keys and sorted runs warm
+across consecutive semi-joins.
 """
 
 from __future__ import annotations

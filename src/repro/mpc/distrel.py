@@ -22,6 +22,12 @@ __all__ = ["DistRelation", "distribute_instance", "distribute_relation"]
 class DistRelation:
     """Rows of one relation, partitioned across a group's local servers.
 
+    Parts are treated as immutable after construction: every transforming
+    operation returns a fresh ``DistRelation``.  The performance substrate
+    (:mod:`repro.mpc.substrate`) relies on that to cache per-relation
+    derived state — column kinds, encoded keys, sorted runs — in
+    ``_substrate``, keyed by object identity, with no invalidation needed.
+
     Attributes:
         name: Relation name.
         attrs: Attribute names in column order.
@@ -32,6 +38,8 @@ class DistRelation:
         self.name = name
         self.attrs: tuple[str, ...] = tuple(attrs)
         self.parts: list[list[Row]] = [list(p) for p in parts]
+        self._substrate: dict = {}
+        self._attr_pos: dict[str, int] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -42,9 +50,12 @@ class DistRelation:
         return sum(len(p) for p in self.parts)
 
     def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
+        index = self._attr_pos
+        if index is None:
+            index = self._attr_pos = {a: i for i, a in enumerate(self.attrs)}
         try:
-            return tuple(self.attrs.index(a) for a in attrs)
-        except ValueError as exc:
+            return tuple(index[a] for a in attrs)
+        except KeyError as exc:
             raise SchemaError(
                 f"attributes {attrs} not all present in {self.name!r}{self.attrs}"
             ) from exc

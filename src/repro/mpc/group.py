@@ -143,22 +143,23 @@ class Group:
             ``inboxes[j]``: payloads received by local server ``j``, in
             sender order.
         """
-        if len(outboxes) != self.size:
+        size = self.size
+        if len(outboxes) != size:
             raise MPCError(
-                f"expected {self.size} outboxes, got {len(outboxes)}"
+                f"expected {size} outboxes, got {len(outboxes)}"
             )
-        inboxes: list[list[Any]] = [[] for _ in range(self.size)]
-        counts = [0] * self.size
+        inboxes: list[list[Any]] = [[] for _ in range(size)]
+        appends = [box.append for box in inboxes]
+        counts = [0] * size
         for src, box in enumerate(outboxes):
             for dst, payload in box:
-                if not 0 <= dst < self.size:
-                    raise MPCError(f"destination {dst} out of range [0, {self.size})")
-                inboxes[dst].append(payload)
+                if dst < 0 or dst >= size:
+                    raise MPCError(f"destination {dst} out of range [0, {size})")
+                appends[dst](payload)
                 if dst != src or count_self:
                     counts[dst] += 1
-        # Tally on every member of the family.
-        for member in self.members:
-            self.cluster.tally(member, counts, label)
+        # Tally on every member of the family (one batched ledger call).
+        self.cluster.tally_members(self.members, counts, label)
         return inboxes
 
     # ------------------------------------------------------------------
@@ -183,7 +184,12 @@ class Group:
         label: str,
         salt: int = 0,
     ) -> list[list[Any]]:
-        """Route items by a stable hash of their key."""
+        """Route items by a stable hash of their key.
+
+        No per-key memoization: dict equality would collapse keys that
+        ``stable_hash`` deliberately distinguishes (``1``/``True``/``1.0``),
+        making placement depend on arrival order.
+        """
         size = self.size
         return self.route(
             parts, lambda item: stable_hash(key_fn(item), salt) % size, label

@@ -8,6 +8,7 @@ through :func:`stable_hash` instead.
 from __future__ import annotations
 
 import zlib
+from functools import lru_cache
 from typing import Any
 
 __all__ = ["stable_hash"]
@@ -23,6 +24,12 @@ def _mix(h: int, v: int) -> int:
     return h ^ (h >> 31)
 
 
+@lru_cache(maxsize=256)
+def _salt_state(salt: int) -> int:
+    """Initial mixing state per salt (salts repeat across routing steps)."""
+    return _mix(0x243F6A8885A308D3, salt & _MASK)
+
+
 def stable_hash(obj: Any, salt: int = 0) -> int:
     """A process-independent 64-bit hash of ints, strings, and tuples.
 
@@ -35,7 +42,7 @@ def stable_hash(obj: Any, salt: int = 0) -> int:
         TypeError: For unsupported types (lists, dicts, sets are not hashable
             routing keys).
     """
-    h = _mix(0x243F6A8885A308D3, salt & _MASK)
+    h = _salt_state(salt)
     stack = [obj]
     while stack:
         cur = stack.pop()

@@ -9,66 +9,66 @@ within the linear-load budget whenever ``IN >= p^2`` (documented in
 DESIGN.md; the paper assumes ``IN >= p^{1+eps}`` and uses aggregation trees
 instead — same interface, same asymptotics for our experiment range).
 
-Primitives:
+Two layers of primitives:
+
+*Generic* (item-level, as in the paper's exposition):
 
 * :func:`sample_sort` — global sort (the substrate).
 * :func:`sum_by_key` — per-key aggregation with any associative operator.
 * :func:`multi_numbering` — consecutive numbering 1,2,3,... per key.
 * :func:`multi_search` — predecessor search of X elements in Y.
-* :func:`semi_join` — ``R1 semijoin R2`` via multi-search.
+
+*Relation-aware* (fused onto a cached sorted run of the relation — see
+:mod:`repro.mpc.substrate` and DESIGN.md; identical semantics, one PSRS
+pass shared across primitives on the same ``(relation, key)``):
+
+* :func:`count_by_key` / :func:`fold_by_key` — per-key aggregation of a
+  relation's rows.
+* :func:`search_rows` — predecessor search of a relation's rows in a table.
+* :func:`number_rows` — per-key numbering of a relation's rows.
+* :func:`semi_join` — ``R1 semijoin R2`` via predecessor search.
 * :func:`attach_degrees` — annotate rows with their key's global degree
-  (the sum-by-key + multi-search combo used by every heavy/light split).
+  (the sum-by-key + multi-search combo used by every heavy/light split,
+  fused into a single sort pass plus one boundary round-trip).
+* :func:`distinct_keys` — globally distinct key projections.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
+from operator import itemgetter
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.data.relation import Row, project_row
+from repro.data.relation import Row
 from repro.errors import MPCError
 from repro.mpc.distrel import DistRelation
 from repro.mpc.group import Group
+from repro.mpc.substrate import (
+    coordinator_for,
+    orderable,
+    pair_key_encoder,
+    projected_keys,
+    sorted_run,
+)
 
 __all__ = [
     "orderable",
+    "coordinator_for",
     "sample_sort",
     "sum_by_key",
     "multi_numbering",
     "multi_search",
+    "count_by_key",
+    "fold_by_key",
+    "search_rows",
+    "number_rows",
     "semi_join",
     "attach_degrees",
     "distinct_keys",
+    "global_sum",
 ]
 
-
-def orderable(value: Any) -> tuple:
-    """Map a value to a type-tagged key so mixed types sort deterministically."""
-    if value is None:
-        return (0,)
-    if isinstance(value, bool):
-        return (1, int(value))
-    if isinstance(value, (int, float)):
-        return (2, value)
-    if isinstance(value, str):
-        return (3, value)
-    if isinstance(value, bytes):
-        return (4, value)
-    if isinstance(value, tuple):
-        return (5, tuple(orderable(v) for v in value))
-    raise TypeError(f"cannot order value of type {type(value).__name__}")
-
-
-def coordinator_for(group: Group, label: str) -> int:
-    """Pick the coordinator server for a primitive step.
-
-    Rotating the coordinator by a hash of the step label spreads the O(p)
-    boundary-stitching traffic evenly instead of hot-spotting one server —
-    the simulation analogue of the aggregation trees of [14, 18].
-    """
-    from repro.mpc.hashing import stable_hash
-
-    return stable_hash(label, salt=0x5EED) % group.size
+_key0 = itemgetter(0)
 
 
 def _coordinator_roundtrip(
@@ -84,7 +84,7 @@ def _coordinator_roundtrip(
     coord = coordinator_for(group, label)
     outboxes = [[(coord, (i, s))] for i, s in enumerate(summaries)]
     inboxes = group.exchange(outboxes, f"{label}/gather")
-    received = sorted(inboxes[coord], key=lambda t: t[0])
+    received = sorted(inboxes[coord], key=_key0)
     replies = compute([s for _, s in received])
     if len(replies) != group.size:
         raise MPCError("coordinator must reply to every server")
@@ -99,6 +99,7 @@ def sample_sort(
     parts: Sequence[Iterable[Any]],
     key_fn: Callable[[Any], Any],
     label: str,
+    encoder: Callable[[Any], tuple] | None = None,
 ) -> list[list[tuple[tuple, tuple[int, int], Any]]]:
     """Globally sort items by ``(key, origin-uid)`` via regular sampling.
 
@@ -107,14 +108,19 @@ def sample_sort(
     keys are tie-broken by uid, so heavy keys spread across servers — the
     property that makes the downstream primitives skew-proof.
 
+    ``encoder`` maps ``key_fn``'s output to its orderable form; it must
+    agree with :func:`orderable` bit-for-bit (the substrate's specialized
+    encoders do) and exists purely to skip the recursive dispatch.
+
     Load: ~``n/p`` per server (PSRS guarantees < 2n/p) plus O(p) sampling
     traffic at the coordinator.
     """
     p = group.size
+    enc = encoder or orderable
     decorated: list[list[tuple[tuple, tuple[int, int], Any]]] = []
     for i, part in enumerate(parts):
-        d = [(orderable(key_fn(item)), (i, j), item) for j, item in enumerate(part)]
-        d.sort(key=lambda t: (t[0], t[1]))
+        d = [(enc(key_fn(item)), (i, j), item) for j, item in enumerate(part)]
+        d.sort(key=_decorated_key)
         decorated.append(d)
     if p == 1:
         return decorated
@@ -139,42 +145,29 @@ def sample_sort(
         ]
     group.broadcast(splitters, f"{label}/splitters", src=coord)
 
-    def dest(item: tuple[tuple, tuple[int, int], Any]) -> int:
-        return bisect_right(splitters, (item[0], item[1]))
-
-    routed = group.route(decorated, dest, f"{label}/shuffle")
+    outboxes = [
+        [(bisect_right(splitters, (t[0], t[1])), t) for t in d]
+        for d in decorated
+    ]
+    routed = group.exchange(outboxes, f"{label}/shuffle")
     for part in routed:
-        part.sort(key=lambda t: (t[0], t[1]))
+        part.sort(key=_decorated_key)
     return routed
 
 
-def sum_by_key(
-    group: Group,
-    parts: Sequence[Iterable[tuple[Any, Any]]],
-    plus: Callable[[Any, Any], Any] = lambda a, b: a + b,
-    label: str = "sum_by_key",
-) -> list[list[tuple[Any, Any]]]:
-    """Aggregate ``(key, value)`` pairs per key with an associative operator.
+def _decorated_key(t: tuple) -> tuple:
+    return (t[0], t[1])
 
-    Returns per-server lists of ``(key, total)``; each key appears exactly
-    once globally (on the first server of its sorted span).
-    """
-    sorted_parts = sample_sort(group, parts, lambda kv: kv[0], label)
 
-    # Local runs: (okey, key, partial_sum).
-    runs_per_server: list[list[tuple[tuple, Any, Any]]] = []
-    for part in sorted_parts:
-        runs: list[tuple[tuple, Any, Any]] = []
-        for okey, _uid, (key, value) in part:
-            if runs and runs[-1][0] == okey:
-                prev = runs[-1]
-                runs[-1] = (prev[0], prev[1], plus(prev[2], value))
-            else:
-                runs.append((okey, key, value))
-        runs_per_server.append(runs)
+# ----------------------------------------------------------------------
+# Boundary-stitching helpers shared by the sum/fold family
+# ----------------------------------------------------------------------
 
-    # Boundary stitching: only each server's first and last run can span.
-    summaries = []
+def _run_summaries(
+    runs_per_server: Sequence[Sequence[tuple]],
+) -> list[Any]:
+    """Per-server ``((first_ok, first_acc), (last_ok, last_acc), n_runs)``."""
+    summaries: list[Any] = []
     for runs in runs_per_server:
         if not runs:
             summaries.append(None)
@@ -182,14 +175,18 @@ def sum_by_key(
             first = (runs[0][0], runs[0][2])
             last = (runs[-1][0], runs[-1][2])
             summaries.append((first, last, len(runs)))
+    return summaries
+
+
+def _stitch_fn(plus: Callable[[Any, Any], Any]) -> Callable[[list[Any]], list[Any]]:
+    """Coordinator logic deciding what happens to boundary runs.
+
+    Reply per server: ``(first_action, last_action)`` where an action is
+    ``None`` (no such run), ``("emit", total)`` or ``("drop",)``.  For a
+    single-run server the two actions collapse into ``first_action``.
+    """
 
     def stitch(summaries_list: list[Any]) -> list[Any]:
-        """Decide, per server, what happens to its boundary runs.
-
-        Reply per server: ``(first_action, last_action)`` where an action is
-        ``None`` (no such run), ``("emit", total)`` or ``("drop",)``.  For a
-        single-run server the two actions collapse into ``first_action``.
-        """
         replies: list[list[Any]] = [[None, None] for _ in summaries_list]
         chain: tuple[int, int, tuple, Any] | None = None  # (server, slot, okey, acc)
 
@@ -218,24 +215,113 @@ def sum_by_key(
         flush()
         return [tuple(r) for r in replies]
 
-    replies = _coordinator_roundtrip(group, summaries, stitch, f"{label}/stitch")
+    return stitch
 
+
+def _emit_stitched(
+    runs_per_server: Sequence[Sequence[tuple]], replies: Sequence[Any]
+) -> list[list[tuple[Any, Any]]]:
+    """Apply stitch replies: emit owned runs as ``(key, total)`` pairs."""
     out_parts: list[list[tuple[Any, Any]]] = []
     for runs, reply in zip(runs_per_server, replies):
         first_action, last_action = reply
         out: list[tuple[Any, Any]] = []
+        last_idx = len(runs) - 1
         for idx, (_okey, key, partial) in enumerate(runs):
             if idx == 0 and first_action is not None:
                 if first_action[0] == "emit":
                     out.append((key, first_action[1]))
                 # drop: owned upstream
-            elif idx == len(runs) - 1 and last_action is not None:
+            elif idx == last_idx and last_action is not None:
                 if last_action[0] == "emit":
                     out.append((key, last_action[1]))
             else:
                 out.append((key, partial))
         out_parts.append(out)
     return out_parts
+
+
+def sum_by_key(
+    group: Group,
+    parts: Sequence[Iterable[tuple[Any, Any]]],
+    plus: Callable[[Any, Any], Any] = lambda a, b: a + b,
+    label: str = "sum_by_key",
+    encoder: Callable[[Any], tuple] | None = None,
+) -> list[list[tuple[Any, Any]]]:
+    """Aggregate ``(key, value)`` pairs per key with an associative operator.
+
+    Returns per-server lists of ``(key, total)``; each key appears exactly
+    once globally (on the first server of its sorted span).
+    """
+    sorted_parts = sample_sort(group, parts, _key0, label, encoder=encoder)
+
+    # Local runs: (okey, key, partial_sum).
+    runs_per_server: list[list[tuple[tuple, Any, Any]]] = []
+    for part in sorted_parts:
+        runs: list[tuple[tuple, Any, Any]] = []
+        for okey, _uid, (key, value) in part:
+            if runs and runs[-1][0] == okey:
+                prev = runs[-1]
+                runs[-1] = (prev[0], prev[1], plus(prev[2], value))
+            else:
+                runs.append((okey, key, value))
+        runs_per_server.append(runs)
+
+    # Boundary stitching: only each server's first and last run can span.
+    replies = _coordinator_roundtrip(
+        group, _run_summaries(runs_per_server), _stitch_fn(plus), f"{label}/stitch"
+    )
+    return _emit_stitched(runs_per_server, replies)
+
+
+def fold_by_key(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    plus: Callable[[Any, Any], Any] | None = None,
+    label: str = "fold_by_key",
+    values: Sequence[Sequence[Any]] | None = None,
+    scalar: bool = False,
+) -> list[list[tuple[Any, Any]]]:
+    """Per-key aggregation of a relation's rows, fused onto its sorted run.
+
+    Equivalent to ``sum_by_key`` over ``(project_row(row, pos), value)``
+    pairs — same outputs, same ledger — but the PSRS pass is shared with
+    (and cached for) every other primitive keyed the same way.
+
+    Args:
+        values: ``values[i][j]`` is row ``j`` of part ``i``'s value
+            (aligned with ``rel.parts``); defaults to 1 per row (counting).
+        scalar: Key rows by the bare column value instead of a 1-tuple.
+    """
+    run = sorted_run(group, rel, key_attrs, label, scalar=scalar)
+    add = plus if plus is not None else lambda a, b: a + b
+    runs_per_server: list[list[tuple[tuple, Any, Any]]] = []
+    for part in run.parts:
+        runs: list[tuple[tuple, Any, Any]] = []
+        for okey, uid, key, _row in part:
+            v = 1 if values is None else values[uid[0]][uid[1]]
+            if runs and runs[-1][0] == okey:
+                prev = runs[-1]
+                runs[-1] = (okey, prev[1], add(prev[2], v))
+            else:
+                runs.append((okey, key, v))
+        runs_per_server.append(runs)
+    replies = _coordinator_roundtrip(
+        group, _run_summaries(runs_per_server), _stitch_fn(add), f"{label}/stitch"
+    )
+    return _emit_stitched(runs_per_server, replies)
+
+
+def count_by_key(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    label: str = "count_by_key",
+    scalar: bool = False,
+) -> list[list[tuple[Any, int]]]:
+    """Global degree table of ``rel`` on ``key_attrs`` (one sort pass)."""
+    return fold_by_key(group, rel, key_attrs, label=label, scalar=scalar)
 
 
 def multi_numbering(
@@ -247,7 +333,7 @@ def multi_numbering(
 
     Returns per-server lists of ``(key, payload, number)``.
     """
-    sorted_parts = sample_sort(group, parts, lambda kv: kv[0], label)
+    sorted_parts = sample_sort(group, parts, _key0, label)
 
     summaries = []
     for part in sorted_parts:
@@ -260,28 +346,9 @@ def multi_numbering(
         last_count = sum(1 for okey, _u, _it in part if okey == last_ok)
         summaries.append((first_ok, first_count, last_ok, last_count))
 
-    def offsets(summaries_list: list[Any]) -> list[Any]:
-        """Per-server offset for its first run (count of that key upstream)."""
-        replies = [0] * len(summaries_list)
-        acc_key: tuple | None = None
-        acc = 0
-        for i, s in enumerate(summaries_list):
-            if s is None:
-                continue
-            first_ok, first_count, last_ok, last_count = s
-            if acc_key is not None and acc_key == first_ok:
-                replies[i] = acc
-            else:
-                replies[i] = 0
-            if first_ok == last_ok:
-                base = replies[i]
-                acc = base + first_count
-            else:
-                acc = last_count
-            acc_key = last_ok
-        return replies
-
-    replies = _coordinator_roundtrip(group, summaries, offsets, f"{label}/stitch")
+    replies = _coordinator_roundtrip(
+        group, summaries, _numbering_offsets, f"{label}/stitch"
+    )
 
     out_parts: list[list[tuple[Any, Any, int]]] = []
     for part, offset in zip(sorted_parts, replies):
@@ -299,16 +366,103 @@ def multi_numbering(
     return out_parts
 
 
+def _numbering_offsets(summaries_list: list[Any]) -> list[Any]:
+    """Per-server offset for its first run (count of that key upstream)."""
+    replies = [0] * len(summaries_list)
+    acc_key: tuple | None = None
+    acc = 0
+    for i, s in enumerate(summaries_list):
+        if s is None:
+            continue
+        first_ok, first_count, last_ok, last_count = s
+        if acc_key is not None and acc_key == first_ok:
+            replies[i] = acc
+        else:
+            replies[i] = 0
+        if first_ok == last_ok:
+            base = replies[i]
+            acc = base + first_count
+        else:
+            acc = last_count
+        acc_key = last_ok
+    return replies
+
+
+def number_rows(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    label: str = "numbering",
+    only_keys: Any | None = None,
+    scalar: bool = False,
+) -> list[list[tuple[Any, Row, int]]]:
+    """Consecutive numbers 1, 2, ... per key over a relation's rows.
+
+    Fused onto the relation's (cached) sorted run; when ``only_keys`` is
+    given (any container supporting ``in``), only rows whose key is a
+    member are numbered and returned — the numbering is consecutive within
+    the restricted set, as the heavy-rectangle chunking of
+    :func:`repro.core.binary_join.binary_join` requires.
+    """
+    run = sorted_run(group, rel, key_attrs, label, scalar=scalar)
+    if only_keys is None:
+        member = None
+    else:
+        member = only_keys.__contains__
+
+    summaries: list[Any] = []
+    for part in run.parts:
+        if not part:
+            summaries.append(None)
+            continue
+        first_ok = part[0][0]
+        last_ok = part[-1][0]
+        fc = lc = 0
+        for okey, _uid, key, _row in part:
+            if member is not None and not member(key):
+                continue
+            if okey == first_ok:
+                fc += 1
+            if okey == last_ok:
+                lc += 1
+        summaries.append((first_ok, fc, last_ok, lc))
+
+    replies = _coordinator_roundtrip(
+        group, summaries, _numbering_offsets, f"{label}/stitch"
+    )
+
+    out_parts: list[list[tuple[Any, Row, int]]] = []
+    for part, offset in zip(run.parts, replies):
+        out: list[tuple[Any, Row, int]] = []
+        pos = 0
+        prev_ok: Any = _SENTINEL
+        for okey, _uid, key, row in part:
+            if okey != prev_ok:
+                pos = offset if prev_ok is _SENTINEL else 0
+                prev_ok = okey
+            if member is None or member(key):
+                pos += 1
+                out.append((key, row, pos))
+        out_parts.append(out)
+    return out_parts
+
+
+_SENTINEL = object()
+
+
 def multi_search(
     group: Group,
     x_parts: Sequence[Iterable[tuple[Any, Any]]],
     y_parts: Sequence[Iterable[tuple[Any, Any]]],
     label: str = "multi_search",
+    encoder: Callable[[Any], tuple] | None = None,
 ) -> list[list[tuple[Any, Any, Any, Any]]]:
     """For each X element, find its predecessor in Y (largest key <= x's key).
 
     Args:
         x_parts / y_parts: Per-server ``(key, payload)`` pairs.
+        encoder: Optional orderable-equivalent encoder for the *keys*
+            (tags are handled internally).
 
     Returns:
         Per-server lists of ``(x_key, x_payload, pred_key, pred_payload)``;
@@ -319,8 +473,12 @@ def multi_search(
     for xp, yp in zip(x_parts, y_parts):
         part = [(0, k, v) for k, v in yp] + [(1, k, v) for k, v in xp]
         tagged.append(part)
+    pair_encoder = None
+    if encoder is not None:
+        enc = encoder
+        pair_encoder = lambda kt: (5, (enc(kt[0]), (2, kt[1])))  # noqa: E731
     sorted_parts = sample_sort(
-        group, tagged, lambda t: (t[1], t[0]), label
+        group, tagged, lambda t: (t[1], t[0]), label, encoder=pair_encoder
     )
 
     # Per-server trailing Y element.
@@ -332,16 +490,7 @@ def multi_search(
                 carry = (key, payload)
         summaries.append(carry)
 
-    def carries(summaries_list: list[Any]) -> list[Any]:
-        replies: list[Any] = []
-        run: Any = None
-        for s in summaries_list:
-            replies.append(run)
-            if s is not None:
-                run = s
-        return replies
-
-    incoming = _coordinator_roundtrip(group, summaries, carries, f"{label}/carry")
+    incoming = _coordinator_roundtrip(group, summaries, _carries, f"{label}/carry")
 
     out_parts: list[list[tuple[Any, Any, Any, Any]]] = []
     for part, carry_in in zip(sorted_parts, incoming):
@@ -359,6 +508,101 @@ def multi_search(
     return out_parts
 
 
+def _carries(summaries_list: list[Any]) -> list[Any]:
+    """Prefix carry: each server receives the last Y element to its left."""
+    replies: list[Any] = []
+    run: Any = None
+    for s in summaries_list:
+        replies.append(run)
+        if s is not None:
+            run = s
+    return replies
+
+
+# A uid lower bound: real uids are (i, j) with i >= 0, so (-1,) sorts first.
+_UID_LO = (-1,)
+
+
+def search_rows(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    table_parts: Sequence[Iterable[tuple[Any, Any]]],
+    label: str,
+    payloads: Sequence[Sequence[Any]] | None = None,
+    scalar: bool = False,
+) -> list[list[tuple[Any, Any, Any, Any]]]:
+    """Predecessor-search every row of ``rel`` against a ``(key, value)`` table.
+
+    The relation side rides its (cached) sorted run; table entries are
+    routed to the run's range partitions by the already-broadcast
+    splitters and merged locally, with the usual O(p) carry round-trip for
+    partitions whose predecessor lives to their left.  Semantics match
+    :func:`multi_search` (ties resolve to the table).
+
+    Load precondition: the table must be *globally distinct per key* with
+    keys (essentially) drawn from ``rel``'s own key values — the degree
+    table / packing-assignment / reduced-separator pattern of every caller.
+    Then each run partition receives at most its own row count in table
+    entries and the pass stays linear-load.  For arbitrary duplicated
+    filters (plain semi-joins on unreduced inputs) use :func:`multi_search`
+    on the union, whose sampling balances the table side too.
+
+    Args:
+        payloads: Optional ``payloads[i][j]`` returned instead of the row
+            itself (aligned with ``rel.parts``).
+
+    Returns:
+        Per-server ``(key, payload, pred_key, pred_value)`` quadruples in
+        the run's arrangement.
+    """
+    run = sorted_run(group, rel, key_attrs, label, scalar=scalar)
+    p = group.size
+
+    if p > 1:
+        splitters = run.splitters
+        outboxes = []
+        for part in table_parts:
+            box = []
+            for k, v in part:
+                ok = orderable(k)
+                box.append((bisect_right(splitters, (ok, _UID_LO)), (ok, k, v)))
+            outboxes.append(box)
+        inboxes = group.exchange(outboxes, f"{label}/table")
+        tables = []
+        for box in inboxes:
+            box.sort(key=_key0)
+            tables.append(box)
+    else:
+        table0 = [(orderable(k), k, v) for k, v in table_parts[0]]
+        table0.sort(key=_key0)
+        tables = [table0]
+
+    summaries = [
+        ((t[-1][1], t[-1][2]) if t else None) for t in tables
+    ]
+    incoming = _coordinator_roundtrip(group, summaries, _carries, f"{label}/carry")
+
+    out_parts: list[list[tuple[Any, Any, Any, Any]]] = []
+    for part, table, carry_in in zip(run.parts, tables, incoming):
+        carry = carry_in
+        ti = 0
+        n_t = len(table)
+        out: list[tuple[Any, Any, Any, Any]] = []
+        for okey, uid, key, row in part:
+            while ti < n_t and table[ti][0] <= okey:
+                entry = table[ti]
+                carry = (entry[1], entry[2])
+                ti += 1
+            payload = row if payloads is None else payloads[uid[0]][uid[1]]
+            if carry is None:
+                out.append((key, payload, None, None))
+            else:
+                out.append((key, payload, carry[0], carry[1]))
+        out_parts.append(out)
+    return out_parts
+
+
 def semi_join(
     group: Group,
     rel: DistRelation,
@@ -368,7 +612,11 @@ def semi_join(
     """``rel semijoin filter_rel`` on their shared attributes (linear load).
 
     Reduction to multi-search exactly as in paper Section 2: a row survives
-    iff its predecessor among the filter keys equals its own key.
+    iff its predecessor among the filter keys equals its own key.  The
+    union sort is kept (rather than :func:`search_rows`) because the filter
+    side is arbitrary — duplicated, possibly disjoint from ``rel``'s keys —
+    and only union sampling keeps it balanced; the substrate still supplies
+    cached projected keys and a specialized encoder.
     """
     shared = tuple(sorted(set(rel.attrs) & set(filter_rel.attrs)))
     if not shared:
@@ -378,13 +626,16 @@ def semi_join(
         return rel
     pos_r = rel.positions(shared)
     pos_f = filter_rel.positions(shared)
+    rel_keys = projected_keys(rel, pos_r)
+    filter_keys = projected_keys(filter_rel, pos_f)
     x_parts = [
-        [(project_row(row, pos_r), row) for row in part] for part in rel.parts
+        list(zip(keys, part)) for keys, part in zip(rel_keys, rel.parts)
     ]
-    y_parts = [
-        [(project_row(row, pos_f), None) for row in part] for part in filter_rel.parts
-    ]
-    found = multi_search(group, x_parts, y_parts, label)
+    y_parts = [[(k, None) for k in part] for part in filter_keys]
+    found = multi_search(
+        group, x_parts, y_parts, label,
+        encoder=pair_key_encoder(rel, pos_r, filter_rel, pos_f),
+    )
     parts = [
         [payload for key, payload, pk, _pv in part if pk == key] for part in found
     ]
@@ -397,35 +648,110 @@ def attach_degrees(
     key_attrs: Sequence[str],
     label: str = "degrees",
     degree_parts: Sequence[Iterable[tuple[Any, int]]] | None = None,
+    scalar: bool = False,
 ) -> list[list[tuple[Row, int]]]:
     """Annotate each row with the global degree of its key in ``rel``.
 
     The sum-by-key + multi-search combination behind every heavy/light
-    decision in the paper's algorithms.  If ``degree_parts`` is given
-    (pre-computed ``(key, count)`` pairs, e.g. degrees in a *different*
-    relation), it is used instead of counting within ``rel``.
+    decision in the paper's algorithms, fused into one sort pass: counting
+    runs and attaching the totals happen on the same sorted arrangement,
+    with a single O(p) boundary round-trip resolving keys that span
+    servers.  If ``degree_parts`` is given (pre-computed ``(key, count)``
+    pairs, e.g. degrees in a *different* relation), it is looked up with
+    :func:`search_rows` instead.
 
     Returns:
         Per-server ``(row, degree)`` pairs (degree 0 if the key is absent
         from the degree table).
     """
-    pos = rel.positions(key_attrs)
-    if degree_parts is None:
-        pair_parts = [
-            [(project_row(row, pos), 1) for row in part] for part in rel.parts
+    if degree_parts is not None:
+        found = search_rows(
+            group, rel, key_attrs, list(degree_parts), f"{label}/lookup",
+            scalar=scalar,
+        )
+        return [
+            [(payload, pv if pk == key else 0) for key, payload, pk, pv in part]
+            for part in found
         ]
-        degree_parts = sum_by_key(group, pair_parts, label=f"{label}/count")
-    x_parts = [
-        [(project_row(row, pos), row) for row in part] for part in rel.parts
-    ]
-    found = multi_search(group, x_parts, list(degree_parts), f"{label}/lookup")
-    return [
-        [
-            (payload, pv if pk == key else 0)
-            for key, payload, pk, pv in part
-        ]
-        for part in found
-    ]
+
+    run = sorted_run(group, rel, key_attrs, f"{label}/count", scalar=scalar)
+
+    # Local run-length counts: [(okey, count)] per server.
+    counts_per_server: list[list[list[Any]]] = []
+    for part in run.parts:
+        runs: list[list[Any]] = []
+        for item in part:
+            okey = item[0]
+            if runs and runs[-1][0] == okey:
+                runs[-1][1] += 1
+            else:
+                runs.append([okey, 1])
+        counts_per_server.append(runs)
+
+    summaries: list[Any] = []
+    for runs in counts_per_server:
+        if not runs:
+            summaries.append(None)
+        else:
+            summaries.append(
+                ((runs[0][0], runs[0][1]), (runs[-1][0], runs[-1][1]), len(runs))
+            )
+
+    replies = _coordinator_roundtrip(
+        group, summaries, _span_totals, f"{label}/stitch"
+    )
+
+    out_parts: list[list[tuple[Row, int]]] = []
+    for part, runs, reply in zip(run.parts, counts_per_server, replies):
+        first_total, last_total = reply
+        n_runs = len(runs)
+        out: list[tuple[Row, int]] = []
+        ri = -1
+        prev_ok: Any = _SENTINEL
+        for okey, _uid, _key, row in part:
+            if okey != prev_ok:
+                ri += 1
+                prev_ok = okey
+            if ri == 0 and first_total is not None:
+                deg = first_total
+            elif ri == n_runs - 1 and last_total is not None:
+                deg = last_total
+            else:
+                deg = runs[ri][1]
+            out.append((row, deg))
+        out_parts.append(out)
+    return out_parts
+
+
+def _span_totals(summaries_list: list[Any]) -> list[Any]:
+    """Global totals for each server's first and last (possibly spanning) run."""
+    replies: list[list[Any]] = [[None, None] for _ in summaries_list]
+    chain: list[Any] | None = None  # [okey, acc, [(server, slot), ...]]
+
+    def flush() -> None:
+        nonlocal chain
+        if chain is not None:
+            for srv, slot in chain[2]:
+                replies[srv][slot] = chain[1]
+            chain = None
+
+    for i, s in enumerate(summaries_list):
+        if s is None:
+            continue
+        (first_ok, first_cnt), (last_ok, last_cnt), n_runs = s
+        if chain is not None and chain[0] == first_ok:
+            chain[1] += first_cnt
+            chain[2].append((i, 0))
+        else:
+            flush()
+            chain = [first_ok, first_cnt, [(i, 0)]]
+        if n_runs > 1:
+            flush()
+            chain = [last_ok, last_cnt, [(i, 1)]]
+        else:
+            chain[2].append((i, 1))
+    flush()
+    return [tuple(r) for r in replies]
 
 
 def global_sum(
@@ -453,9 +779,5 @@ def distinct_keys(
     label: str = "distinct",
 ) -> list[list[Any]]:
     """Globally distinct projections of ``rel`` onto ``key_attrs``."""
-    pos = rel.positions(key_attrs)
-    pair_parts = [
-        [(project_row(row, pos), 1) for row in part] for part in rel.parts
-    ]
-    counted = sum_by_key(group, pair_parts, label=label)
+    counted = count_by_key(group, rel, key_attrs, label=label)
     return [[key for key, _c in part] for part in counted]

@@ -1,0 +1,417 @@
+"""Cross-primitive performance substrate: key encoding + sorted-run caching.
+
+Every Section-2 primitive funnels through the same PSRS pass: encode each
+row's key with :func:`orderable`, sort locally, sample, route, sort again.
+The core algorithms invoke the primitives dozens of times per join — often
+on the *same* relation with the *same* key attributes (``attach_degrees``
+is ``sum_by_key`` + ``multi_search`` on identical keys; the acyclic solver
+semi-joins and splits one relation per heavy/light pattern).  This module
+makes the repeated work cheap without changing a single ledger number:
+
+* **Key-encoding cache** — ``orderable(project_row(row, pos))`` is computed
+  once per ``(DistRelation, positions)`` and reused.  When a column is
+  statically homogeneous (int/float-only or str-only, detected once per
+  relation and cached), the recursive :func:`orderable` dispatch collapses
+  into a tuple-build with a constant type tag; the fast encoder emits
+  *bit-for-bit identical* keys, so sort orders, splitters, and routing are
+  unchanged.
+* **Sorted-run cache** — :func:`sorted_run` performs the PSRS pass for a
+  ``(relation, key)`` pair once and caches the routed, sorted parts on the
+  relation.  A repeat call *replays* the exact communication of the
+  original pass (sample gather, splitter broadcast, shuffle exchange) so
+  the ledger — loads, step-max, step count — is charged in full; only the
+  Python-side encoding and sorting are skipped.  The cache can never go
+  stale: :class:`~repro.mpc.distrel.DistRelation` parts are immutable
+  after construction, every relation-producing operation returns a fresh
+  object, and entries are keyed by the owning cluster/group identity so a
+  relation reused under a different group re-sorts from scratch.
+
+``set_caching(False)`` / :func:`cache_disabled` bypass both caches; the
+bypass path recomputes everything and is the reference the correctness
+tests compare against (identical outputs *and* identical ledgers).
+See DESIGN.md for the full argument.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from contextlib import contextmanager
+from functools import lru_cache
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.data.relation import Row
+from repro.mpc.distrel import DistRelation
+from repro.mpc.group import Group
+from repro.mpc.hashing import stable_hash
+
+__all__ = [
+    "orderable",
+    "coordinator_for",
+    "caching_enabled",
+    "set_caching",
+    "cache_disabled",
+    "column_kind",
+    "projection_encoder",
+    "scalar_encoder",
+    "key_encoder",
+    "projected_keys",
+    "SortedRun",
+    "sorted_run",
+]
+
+_ENABLED = True
+
+
+def caching_enabled() -> bool:
+    """Whether the substrate caches (encoders + sorted runs) are active."""
+    return _ENABLED
+
+
+def set_caching(enabled: bool) -> None:
+    """Globally enable/disable the substrate caches (used by tests/benches)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Run a block with every substrate cache bypassed (the reference path)."""
+    global _ENABLED
+    prev = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = prev
+
+
+# ----------------------------------------------------------------------
+# Key encoding
+# ----------------------------------------------------------------------
+
+def orderable(value: Any) -> tuple:
+    """Map a value to a type-tagged key so mixed types sort deterministically."""
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, bytes):
+        return (4, value)
+    if isinstance(value, tuple):
+        return (5, tuple(orderable(v) for v in value))
+    raise TypeError(f"cannot order value of type {type(value).__name__}")
+
+
+# The orderable() type tags of the two homogeneity fast paths.
+_TAG_NUM = 2
+_TAG_STR = 3
+
+
+def column_kind(rel: DistRelation, col: int) -> int | None:
+    """Statically detect a homogeneous column; cached once per relation.
+
+    Returns the :func:`orderable` type tag (``2`` for int/float, ``3`` for
+    str) when *every* value in the column has exactly that Python type
+    (``bool`` — an ``int`` subclass with a different tag — disqualifies),
+    else ``None``.  With caching disabled no scan happens and ``None`` is
+    returned, which routes every encoder through plain :func:`orderable`.
+    """
+    if not _ENABLED:
+        return None
+    kinds: dict[int, int | None] = rel._substrate.setdefault("kinds", {})
+    if col in kinds:
+        return kinds[col]
+    state = 0  # 0 = unseen, _TAG_NUM / _TAG_STR, -1 = heterogeneous
+    for part in rel.parts:
+        for row in part:
+            v = row[col]
+            tv = type(v)
+            if tv is int or tv is float:
+                t = _TAG_NUM
+            elif tv is str:
+                t = _TAG_STR
+            else:
+                state = -1
+                break
+            if state == 0:
+                state = t
+            elif state != t:
+                state = -1
+                break
+        if state == -1:
+            break
+    kind = state if state in (_TAG_NUM, _TAG_STR) else None
+    kinds[col] = kind
+    return kind
+
+
+def projection_encoder(
+    rel: DistRelation, pos: Sequence[int]
+) -> Callable[[Row], tuple]:
+    """``row -> orderable(project_row(row, pos))``, specialized when possible.
+
+    The fast paths produce *identical* tuples to the generic recursion, so
+    anything downstream (splitters, run equality, routing) is unchanged.
+    """
+    pos = tuple(pos)
+    tags = [column_kind(rel, i) for i in pos]
+    if all(t is not None for t in tags):
+        if len(pos) == 1:
+            i0, t0 = pos[0], tags[0]
+            return lambda row: (5, ((t0, row[i0]),))
+        if len(pos) == 2:
+            (i0, i1), (t0, t1) = pos, tags
+            return lambda row: (5, ((t0, row[i0]), (t1, row[i1])))
+        pairs = tuple(zip(pos, tags))
+        return lambda row: (5, tuple((t, row[i]) for i, t in pairs))
+    return lambda row: (5, tuple(orderable(row[i]) for i in pos))
+
+
+def scalar_encoder(rel: DistRelation, col: int) -> Callable[[Row], tuple]:
+    """``row -> orderable(row[col])``, specialized when the column allows."""
+    t = column_kind(rel, col)
+    if t is not None:
+        return lambda row: (t, row[col])
+    return lambda row: orderable(row[col])
+
+
+def key_encoder(rel: DistRelation, pos: Sequence[int]) -> Callable[[Row], tuple]:
+    """``key -> orderable(key)`` for keys projected from ``rel`` at ``pos``.
+
+    For callers that already hold projected key tuples (the generic
+    primitives) but know which relation/columns they came from.
+    """
+    pos = tuple(pos)
+    tags = [column_kind(rel, i) for i in pos]
+    if all(t is not None for t in tags):
+        tags_t = tuple(tags)
+        return lambda key: (5, tuple(zip(tags_t, key)))
+    return orderable
+
+
+def pair_key_encoder(
+    rel1: DistRelation,
+    pos1: Sequence[int],
+    rel2: DistRelation,
+    pos2: Sequence[int],
+) -> Callable[[Row], tuple] | None:
+    """A shared fast key encoder for keys projected from *two* relations.
+
+    Returns a specialized encoder only when both projections are
+    homogeneous with matching type tags (so one encoder is valid for keys
+    from either side), else ``None`` — callers fall back to
+    :func:`orderable`.
+    """
+    tags1 = [column_kind(rel1, i) for i in pos1]
+    tags2 = [column_kind(rel2, i) for i in pos2]
+    if tags1 != tags2 or not all(t is not None for t in tags1):
+        return None
+    tags_t = tuple(tags1)
+    return lambda key: (5, tuple(zip(tags_t, key)))
+
+
+def projected_keys(rel: DistRelation, pos: Sequence[int]) -> list[list[Row]]:
+    """Per-part projected key tuples, cached per ``(relation, positions)``."""
+    pos = tuple(pos)
+    if _ENABLED:
+        cache: dict[tuple, list] = rel._substrate.setdefault("keys", {})
+        got = cache.get(pos)
+        if got is not None:
+            return got
+    if len(pos) == 1:
+        i0 = pos[0]
+        keys = [[(row[i0],) for row in part] for part in rel.parts]
+    else:
+        keys = [
+            [tuple(row[i] for i in pos) for row in part] for part in rel.parts
+        ]
+    if _ENABLED:
+        cache[pos] = keys
+    return keys
+
+
+# ----------------------------------------------------------------------
+# Coordinator selection (memoized: labels repeat across primitive calls)
+# ----------------------------------------------------------------------
+
+@lru_cache(maxsize=4096)
+def _coordinator(size: int, label: str) -> int:
+    return stable_hash(label, salt=0x5EED) % size
+
+
+def coordinator_for(group: Group, label: str) -> int:
+    """Pick the coordinator server for a primitive step.
+
+    Rotating the coordinator by a hash of the step label spreads the O(p)
+    boundary-stitching traffic evenly instead of hot-spotting one server —
+    the simulation analogue of the aggregation trees of [14, 18].  Labels
+    repeat across primitive calls, so the choice is memoized (bounded:
+    recursive algorithms mint depth-specific labels).
+    """
+    return _coordinator(group.size, label)
+
+
+# ----------------------------------------------------------------------
+# Sorted runs
+# ----------------------------------------------------------------------
+
+class SortedRun:
+    """One PSRS pass over a relation's rows, keyed by one projection.
+
+    Attributes:
+        pos: Column positions of the sort key.
+        scalar: Whether keys are bare column values (True) or 1+-tuples.
+        splitters: The ``p - 1`` global ``(okey, uid)`` range splitters.
+        parts: ``parts[d]`` holds destination server ``d``'s items as
+            ``(okey, uid, key, row)`` quadruples in global sorted order;
+            ``uid = (src_part, src_index)`` ties equal keys apart (heavy
+            keys spread over servers) and indexes caller-side payloads.
+
+    The private fields record the pass's communication profile —
+    per-source sample counts and the shuffle's per-destination received
+    counts — so a cache hit can re-charge the ledger exactly without
+    re-materializing the exchanges.
+    """
+
+    __slots__ = (
+        "pos", "scalar", "splitters", "parts", "_sample_sizes", "_shuffle_counts"
+    )
+
+    def __init__(
+        self,
+        pos: tuple[int, ...],
+        scalar: bool,
+        splitters: list[tuple],
+        parts: list[list[tuple]],
+        sample_sizes: list[int] | None,
+        shuffle_counts: list[int] | None,
+    ) -> None:
+        self.pos = pos
+        self.scalar = scalar
+        self.splitters = splitters
+        self.parts = parts
+        self._sample_sizes = sample_sizes
+        self._shuffle_counts = shuffle_counts
+
+
+def sorted_run(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    label: str,
+    scalar: bool = False,
+) -> SortedRun:
+    """Sort ``rel``'s rows globally by their key projection (cached).
+
+    On a cache hit the exact communication of the original pass is
+    *replayed* — the sample gather, the splitter broadcast, and the full
+    shuffle exchange are re-issued with identical message counts — so the
+    ledger never under-charges; only local encoding/sorting is skipped.
+    """
+    pos = rel.positions(key_attrs)
+    if _ENABLED:
+        runs: dict[tuple, SortedRun] = rel._substrate.setdefault("runs", {})
+        cache_key = (id(group.cluster), group.members, pos, bool(scalar))
+        run = runs.get(cache_key)
+        if run is not None:
+            _replay_charges(group, run, label)
+            return run
+        run = _build_run(group, rel, pos, label, scalar)
+        runs[cache_key] = run
+        return run
+    return _build_run(group, rel, pos, label, scalar)
+
+
+def _replay_charges(group: Group, run: SortedRun, label: str) -> None:
+    """Re-charge the cached pass's exact communication to the ledger.
+
+    Posts the same three steps a fresh pass performs — sample gather,
+    splitter broadcast, shuffle — with identical per-server counts,
+    through the same ledger entry point :meth:`Cluster.tally_members`
+    that :meth:`Group.exchange` uses.  Only the O(n) Python-side message
+    materialization is skipped; the charged units are bit-for-bit equal.
+    """
+    if group.size == 1:
+        return
+    p = group.size
+    coord = coordinator_for(group, label)
+    tally = group.cluster.tally_members
+    sizes = run._sample_sizes or [0] * p
+    counts = [0] * p
+    counts[coord] = sum(sizes) - sizes[coord]
+    tally(group.members, counts, f"{label}/sample")
+    n_spl = len(run.splitters)
+    counts = [n_spl] * p
+    counts[coord] = 0
+    tally(group.members, counts, f"{label}/splitters")
+    tally(group.members, run._shuffle_counts or [0] * p, f"{label}/shuffle")
+
+
+def _build_run(
+    group: Group,
+    rel: DistRelation,
+    pos: tuple[int, ...],
+    label: str,
+    scalar: bool,
+) -> SortedRun:
+    p = group.size
+    if scalar:
+        enc = scalar_encoder(rel, pos[0])
+        i0 = pos[0]
+        decorated = []
+        for i, part in enumerate(rel.parts):
+            d = [(enc(row), (i, j), row[i0], row) for j, row in enumerate(part)]
+            # uid is globally unique, so plain tuple sort never compares rows.
+            d.sort()
+            decorated.append(d)
+    else:
+        enc = projection_encoder(rel, pos)
+        keys = projected_keys(rel, pos)
+        decorated = []
+        for i, part in enumerate(rel.parts):
+            keys_i = keys[i]
+            d = [
+                (enc(row), (i, j), keys_i[j], row)
+                for j, row in enumerate(part)
+            ]
+            d.sort()
+            decorated.append(d)
+
+    if p == 1:
+        return SortedRun(pos, scalar, [], decorated, None, None)
+
+    sample_parts: list[list[tuple]] = []
+    for d in decorated:
+        if not d:
+            sample_parts.append([])
+            continue
+        n = len(d)
+        idxs = sorted({min(n - 1, (k * n) // p) for k in range(p)})
+        sample_parts.append([(d[i][0], d[i][1]) for i in idxs])
+
+    coord = coordinator_for(group, label)
+    flat = sorted(group.gather(sample_parts, f"{label}/sample", dst=coord))
+    splitters: list[tuple] = []
+    if flat:
+        m = len(flat)
+        splitters = [flat[min(m - 1, (k * m) // p)] for k in range(1, p)]
+    group.broadcast(splitters, f"{label}/splitters", src=coord)
+
+    outboxes = [
+        [(bisect_right(splitters, (item[0], item[1])), item) for item in d]
+        for d in decorated
+    ]
+    shuffle_counts = [0] * p
+    for src, box in enumerate(outboxes):
+        for dst, _item in box:
+            if dst != src:
+                shuffle_counts[dst] += 1
+    inboxes = group.exchange(outboxes, f"{label}/shuffle")
+    for box in inboxes:
+        box.sort()
+    sample_sizes = [len(sp) for sp in sample_parts]
+    return SortedRun(pos, scalar, splitters, inboxes, sample_sizes, shuffle_counts)

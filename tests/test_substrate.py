@@ -1,0 +1,296 @@
+"""Tests for the performance substrate: key encoding + sorted-run caching.
+
+The contract under test (see DESIGN.md): the caches may only change
+wall-clock time.  Outputs, loads, step-max, step counts, and per-label
+ledger tallies must be bit-for-bit identical between
+
+* a first (cold) and a second (cached) invocation of every primitive on
+  the same relation/keys — the cache must re-charge communication in full;
+* the cached path and the cache-bypassed path on arbitrary instances.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.relation import Relation, project_row
+from repro.mpc import Cluster, cache_disabled, distribute_relation
+from repro.mpc.primitives import (
+    attach_degrees,
+    count_by_key,
+    fold_by_key,
+    number_rows,
+    orderable,
+    search_rows,
+    semi_join,
+)
+from repro.mpc.substrate import (
+    column_kind,
+    pair_key_encoder,
+    projection_encoder,
+    scalar_encoder,
+    sorted_run,
+)
+
+
+def make_rel(rows, attrs=("A", "B"), name="R"):
+    return Relation(name, attrs, rows)
+
+
+def dist(rel, p):
+    cl = Cluster(p)
+    g = cl.root_group()
+    return cl, g, distribute_relation(rel, g)
+
+
+def ledger_key(report):
+    return (report.load, report.max_step_load, report.steps, report.totals,
+            report.by_label)
+
+
+def delta(before, after):
+    """Per-call ledger increment between two snapshots."""
+    totals = tuple(a - b for a, b in zip(after.totals, before.totals))
+    labels = {
+        k: v - before.by_label.get(k, 0)
+        for k, v in after.by_label.items()
+        if v != before.by_label.get(k, 0)
+    }
+    return (totals, after.steps - before.steps, labels)
+
+
+MIXED_ROWS = [
+    (1, "x"), (2, "y"), (None, "y"), (True, "z"), ((1, 2), "x"), (2.5, "w"),
+]
+
+
+class TestEncoders:
+    def test_projection_encoder_matches_orderable(self):
+        rng = random.Random(3)
+        rows = [(rng.randrange(50), f"s{rng.randrange(9)}") for _ in range(200)]
+        _cl, _g, rel = dist(make_rel(rows), 4)
+        for pos in [(0,), (1,), (0, 1), (1, 0)]:
+            enc = projection_encoder(rel, pos)
+            for part in rel.parts:
+                for row in part:
+                    assert enc(row) == orderable(project_row(row, pos))
+
+    def test_scalar_encoder_matches_orderable(self):
+        rows = [(i, f"s{i}") for i in range(40)]
+        _cl, _g, rel = dist(make_rel(rows), 3)
+        for col in (0, 1):
+            enc = scalar_encoder(rel, col)
+            for part in rel.parts:
+                for row in part:
+                    assert enc(row) == orderable(row[col])
+
+    def test_mixed_columns_fall_back(self):
+        _cl, _g, rel = dist(make_rel(MIXED_ROWS), 2)
+        assert column_kind(rel, 0) is None  # None/bool/tuple disqualify
+        assert column_kind(rel, 1) == 3  # all str
+        enc = projection_encoder(rel, (0, 1))
+        for part in rel.parts:
+            for row in part:
+                assert enc(row) == orderable(row)
+
+    def test_bool_disqualifies_int_column(self):
+        rows = [(1, "a"), (True, "b")]
+        _cl, _g, rel = dist(make_rel(rows), 1)
+        assert column_kind(rel, 0) is None
+        enc = scalar_encoder(rel, 0)
+        assert enc((True, "b")) == orderable(True) == (1, 1)
+
+    def test_pair_encoder_requires_matching_kinds(self):
+        _cl, g, rel1 = dist(make_rel([(1, "a"), (2, "b")]), 2)
+        rel2 = distribute_relation(make_rel([("x", 1)], attrs=("B", "C")), g)
+        assert pair_key_encoder(rel1, (0,), rel2, (0,)) is None
+        enc = pair_key_encoder(rel1, (0,), rel2, (1,))
+        assert enc is not None
+        assert enc((7,)) == orderable((7,))
+
+
+class TestRunCacheRecharges:
+    """Second invocation on the same relation/keys: identical results AND
+    identical incremental ledger tallies (no under-charging)."""
+
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_each_primitive_twice(self, p):
+        rng = random.Random(p)
+        rows = [(rng.randrange(30), rng.randrange(10)) for _ in range(400)]
+        cl, g, rel = dist(make_rel(rows), p)
+        flt = distribute_relation(
+            make_rel([(b, 0) for b in range(0, 10, 2)], attrs=("B", "C"), name="F"),
+            g,
+        )
+        table = count_by_key(g, rel, ("B",), "tab")
+
+        calls = [
+            lambda: attach_degrees(g, rel, ("B",), "t-deg"),
+            lambda: count_by_key(g, rel, ("B",), "t-cnt"),
+            lambda: fold_by_key(g, rel, ("B",), plus=max, label="t-fold"),
+            lambda: search_rows(g, rel, ("B",), table, "t-sr"),
+            lambda: number_rows(g, rel, ("A",), "t-num"),
+            lambda: number_rows(
+                g, rel, ("B",), "t-numf", only_keys={(0,), (3,), (7,)}
+            ),
+            lambda: semi_join(g, rel, flt, "t-sj").parts,
+        ]
+        for call in calls:
+            s0 = cl.snapshot()
+            first = call()
+            s1 = cl.snapshot()
+            second = call()
+            s2 = cl.snapshot()
+            assert first == second
+            assert delta(s0, s1) == delta(s1, s2)
+
+    def test_run_object_is_reused(self):
+        cl, g, rel = dist(make_rel([(i, i % 5) for i in range(100)]), 4)
+        r1 = sorted_run(g, rel, ("B",), "warm")
+        r2 = sorted_run(g, rel, ("B",), "warm")
+        assert r1 is r2
+        with cache_disabled():
+            r3 = sorted_run(g, rel, ("B",), "warm")
+        assert r3 is not r1
+        assert r3.parts == r1.parts
+        assert r3.splitters == r1.splitters
+
+
+# Hypothesis value pools: homogeneous and heterogeneous columns.
+_VALUE = st.one_of(
+    st.integers(min_value=-20, max_value=20),
+    st.sampled_from(["a", "b", "cc", "d"]),
+    st.none(),
+    st.booleans(),
+)
+
+
+@st.composite
+def instances(draw):
+    p = draw(st.integers(min_value=1, max_value=6))
+    n = draw(st.integers(min_value=0, max_value=50))
+    homogeneous = draw(st.booleans())
+    if homogeneous:
+        rows = [
+            (draw(st.integers(min_value=0, max_value=8)),
+             draw(st.integers(min_value=0, max_value=4)))
+            for _ in range(n)
+        ]
+    else:
+        rows = [(draw(_VALUE), draw(_VALUE)) for _ in range(n)]
+    t = draw(st.integers(min_value=0, max_value=6))
+    table_keys = sorted({(draw(_VALUE),) for _ in range(t)}, key=repr)
+    return p, rows, table_keys
+
+
+class TestCachedEqualsBypassed:
+    @given(instances())
+    @settings(max_examples=40, deadline=None)
+    def test_primitives_property(self, inst):
+        p, rows, table_keys = inst
+        rel_ram = make_rel(rows)
+
+        def run_all(bypass):
+            cl = Cluster(p)
+            g = cl.root_group()
+            rel = distribute_relation(rel_ram, g)
+            out = []
+            if bypass:
+                with cache_disabled():
+                    out.append(attach_degrees(g, rel, ("B",), "deg"))
+                    tab = count_by_key(g, rel, ("B",), "cnt")
+                    out.append(tab)
+                    out.append(search_rows(g, rel, ("B",), tab, "sr"))
+                    out.append(number_rows(g, rel, ("A", "B"), "num"))
+                    out.append(
+                        search_rows(
+                            g, rel, ("B",),
+                            [[(k, 1) for k in table_keys]] + [[]] * (p - 1),
+                            "ext",
+                        )
+                    )
+            else:
+                out.append(attach_degrees(g, rel, ("B",), "deg"))
+                tab = count_by_key(g, rel, ("B",), "cnt")
+                out.append(tab)
+                out.append(search_rows(g, rel, ("B",), tab, "sr"))
+                out.append(number_rows(g, rel, ("A", "B"), "num"))
+                out.append(
+                    search_rows(
+                        g, rel, ("B",),
+                        [[(k, 1) for k in table_keys]] + [[]] * (p - 1),
+                        "ext",
+                    )
+                )
+            return out, cl.snapshot()
+
+        got_c, rep_c = run_all(bypass=False)
+        got_u, rep_u = run_all(bypass=True)
+        assert got_c == got_u
+        assert ledger_key(rep_c) == ledger_key(rep_u)
+
+    @given(instances())
+    @settings(max_examples=30, deadline=None)
+    def test_semantics_against_reference(self, inst):
+        p, rows, _table_keys = inst
+        rel_ram = make_rel(rows)
+        cl = Cluster(p)
+        g = cl.root_group()
+        rel = distribute_relation(rel_ram, g)
+
+        expected = {}
+        for row in rel_ram.rows:
+            k = (row[1],)
+            expected[orderable(k)] = expected.get(orderable(k), 0) + 1
+
+        counted = count_by_key(g, rel, ("B",), "cnt")
+        got = {}
+        for part in counted:
+            for k, c in part:
+                ok = orderable(k)
+                assert ok not in got, "duplicate key emitted"
+                got[ok] = c
+        assert got == expected
+
+        withdeg = attach_degrees(g, rel, ("B",), "deg")
+        seen = []
+        for part in withdeg:
+            for row, deg in part:
+                assert deg == expected[orderable((row[1],))]
+                seen.append(row)
+        assert sorted(seen, key=repr) == sorted(rel_ram.rows, key=repr)
+
+
+class TestJoinLevelParity:
+    def test_acyclic_join_cached_equals_bypassed(self):
+        """The acceptance gate: the full acyclic join at p=8 produces
+        identical outputs and identical ledger metrics with and without
+        the substrate caches."""
+        from repro.core.runner import mpc_join
+        from repro.data.generators import line_trap_instance
+
+        inst = line_trap_instance(4, 600, 4000, doubled=True)
+        res_c = mpc_join(inst.query, inst, p=8, algorithm="acyclic")
+        with cache_disabled():
+            res_u = mpc_join(inst.query, inst, p=8, algorithm="acyclic")
+        assert res_c.report.load == res_u.report.load
+        assert res_c.report.max_step_load == res_u.report.max_step_load
+        assert res_c.report.steps == res_u.report.steps
+        assert res_c.report.by_label == res_u.report.by_label
+        assert res_c.relation.attrs == res_u.relation.attrs
+        assert res_c.relation.parts == res_u.relation.parts
+
+    @pytest.mark.parametrize("algorithm", ["yannakakis", "line3", "binhc"])
+    def test_other_algorithms_cached_equals_bypassed(self, algorithm):
+        from repro.core.runner import mpc_join
+        from repro.data.generators import line_trap_instance
+
+        inst = line_trap_instance(3, 400, 1600)
+        res_c = mpc_join(inst.query, inst, p=4, algorithm=algorithm)
+        with cache_disabled():
+            res_u = mpc_join(inst.query, inst, p=4, algorithm=algorithm)
+        assert res_c.report.load == res_u.report.load
+        assert res_c.report.steps == res_u.report.steps
+        assert res_c.relation.attrs == res_u.relation.attrs
+        assert res_c.relation.parts == res_u.relation.parts
