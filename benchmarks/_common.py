@@ -28,6 +28,7 @@ def run_join(
     result = mpc_join(query, instance, p=p, algorithm=algorithm, **kwargs)
     return {
         "algorithm": result.meta["algorithm"],
+        "backend": result.meta["backend"],
         "p": p,
         "in": instance.input_size,
         "out": result.output_size,

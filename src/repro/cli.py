@@ -45,8 +45,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p: argparse.ArgumentParser) -> None:
+        from repro.mpc.backends import available_backends, default_backend_name
+
         p.add_argument("data_dir", help="directory of <relation>.csv files")
         p.add_argument("-p", "--servers", type=int, default=8)
+        p.add_argument(
+            "--backend",
+            choices=available_backends(),
+            default=default_backend_name(),
+            help="execution backend (default: REPRO_BACKEND env or serial)",
+        )
 
     c = sub.add_parser("classify", help="classify the query (Figure 1)")
     c.add_argument("data_dir")
@@ -97,8 +105,10 @@ def main(argv: list[str] | None = None) -> int:
         result = mpc_join(
             query, instance, p=args.servers,
             algorithm=args.algorithm, validate=args.validate,
+            backend=args.backend,
         )
-        print(f"algorithm: {result.meta['algorithm']}")
+        print(f"algorithm: {result.meta['algorithm']} "
+              f"(backend: {result.meta['backend']})")
         print(f"IN={instance.input_size} OUT={result.output_size} "
               f"p={args.servers} load={result.report.load}")
         if args.out:
@@ -107,7 +117,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "count":
-        count, report = mpc_output_size(query, instance, args.servers)
+        count, report = mpc_output_size(
+            query, instance, args.servers, backend=args.backend
+        )
         print(f"|Q(R)| = {count}  (load={report.load}, IN/p="
               f"{instance.input_size / args.servers:.0f})")
         return 0
@@ -118,7 +130,8 @@ def main(argv: list[str] | None = None) -> int:
         if not instance.annotated:
             instance = instance.with_uniform_annotations(semiring)
         res = mpc_join_aggregate(
-            query, outputs, instance, semiring, p=args.servers
+            query, outputs, instance, semiring, p=args.servers,
+            backend=args.backend,
         )
         if not outputs:
             print(f"total aggregate = {res.scalar}  (load={res.report.load})")
@@ -137,7 +150,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core.planner import best_yannakakis_plan, plan_quality
         from repro.mpc import Cluster, distribute_instance
 
-        cluster = Cluster(args.servers)
+        cluster = Cluster(args.servers, backend=args.backend)
         group = cluster.root_group()
         rels = distribute_instance(instance, group)
         choice = best_yannakakis_plan(group, query, rels)

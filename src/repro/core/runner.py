@@ -35,6 +35,7 @@ from repro.core.yannakakis import Plan, yannakakis_mpc
 from repro.data.instance import Instance
 from repro.data.relation import Relation
 from repro.errors import QueryError
+from repro.mpc.backends import Backend
 from repro.mpc.cluster import Cluster, LoadReport
 from repro.mpc.dangling import remove_dangling
 from repro.mpc.distrel import distribute_instance
@@ -87,6 +88,7 @@ def mpc_join(
     algorithm: str = "auto",
     plan: Plan | None = None,
     validate: bool = False,
+    backend: Backend | str | None = None,
 ) -> JoinResult:
     """Simulate one MPC join and report its load.
 
@@ -98,6 +100,9 @@ def mpc_join(
         plan: Pairwise join order (Yannakakis only).
         validate: Cross-check the emitted results against the RAM oracle
             (raises on mismatch).
+        backend: Execution backend (instance, registered name, or ``None``
+            for the process default).  Any backend must produce the exact
+            outputs and ledger of the serial reference (``tests/conformance``).
 
     Returns:
         :class:`~repro.core.common.JoinResult` with the emitted relation,
@@ -107,7 +112,7 @@ def mpc_join(
         raise QueryError(f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}")
     if algorithm == "auto":
         algorithm = auto_algorithm(query)
-    cluster = Cluster(p)
+    cluster = Cluster(p, backend=backend)
     group = cluster.root_group()
     rels = distribute_instance(instance, group)
 
@@ -136,6 +141,7 @@ def mpc_join(
         meta={
             "algorithm": algorithm,
             "p": p,
+            "backend": cluster.backend.name,
             "in_size": instance.input_size,
             "out_size": result.total_size(),
         },
@@ -154,9 +160,14 @@ def mpc_join(
     return out
 
 
-def mpc_output_size(query: Hypergraph, instance: Instance, p: int) -> tuple[int, LoadReport]:
+def mpc_output_size(
+    query: Hypergraph,
+    instance: Instance,
+    p: int,
+    backend: Backend | str | None = None,
+) -> tuple[int, LoadReport]:
     """``|Q(R)|`` with linear load in O(1) rounds (Corollary 4)."""
-    cluster = Cluster(p)
+    cluster = Cluster(p, backend=backend)
     group = cluster.root_group()
     rels = distribute_instance(instance, group)
     count = mpc_count(group, query, rels)
@@ -187,6 +198,7 @@ def mpc_join_project(
     instance: Instance,
     p: int,
     algorithm: str = "auto",
+    backend: Backend | str | None = None,
 ) -> AggregateResult:
     """Evaluate a free-connex join-project query ``pi_y Q(R)`` (Section 6).
 
@@ -198,7 +210,8 @@ def mpc_join_project(
 
     annotated = instance.with_uniform_annotations(BOOLEAN)
     return mpc_join_aggregate(
-        query, output_attrs, annotated, BOOLEAN, p, algorithm=algorithm
+        query, output_attrs, annotated, BOOLEAN, p, algorithm=algorithm,
+        backend=backend,
     )
 
 
@@ -209,6 +222,7 @@ def mpc_join_aggregate(
     semiring: Semiring,
     p: int,
     algorithm: str = "auto",
+    backend: Backend | str | None = None,
 ) -> AggregateResult:
     """Evaluate a free-connex join-aggregate query (Theorems 9/10).
 
@@ -223,7 +237,7 @@ def mpc_join_aggregate(
             ``"yannakakis"`` for the downstream join on the residual query.
     """
     y = frozenset(output_attrs)
-    cluster = Cluster(p)
+    cluster = Cluster(p, backend=backend)
     group = cluster.root_group()
     rels = distribute_instance(instance, group, annotate=True)
     for n, rel in instance.relations.items():
@@ -239,7 +253,12 @@ def mpc_join_aggregate(
             relation=None,
             scalar=scalar,
             report=cluster.snapshot(),
-            meta={"p": p, "in_size": instance.input_size, "y": ()},
+            meta={
+                "p": p,
+                "backend": cluster.backend.name,
+                "in_size": instance.input_size,
+                "y": (),
+            },
         )
 
     scaffold = output_join_tree(reduced_query, y)
@@ -289,6 +308,7 @@ def mpc_join_aggregate(
         report=cluster.snapshot(),
         meta={
             "p": p,
+            "backend": cluster.backend.name,
             "in_size": instance.input_size,
             "y": y_sorted,
             "downstream": algorithm,

@@ -16,11 +16,11 @@ These generators produce the instances the benchmarks sweep over:
 
 from __future__ import annotations
 
-import random
 from typing import Mapping, Sequence
 
 from repro.data.instance import Instance
 from repro.data.relation import Relation
+from repro.data.seeds import rng_for
 from repro.errors import InstanceError
 from repro.query.catalog import cartesian_product, line_join
 from repro.query.forests import attribute_forest
@@ -50,11 +50,13 @@ def random_instance(
         query: Any hypergraph.
         size: Rows per relation (int applies to all).
         dom_size: Domain size per attribute (int applies to all).
-        seed: RNG seed.
+        seed: RNG seed (stream scoped per relation via
+            :func:`repro.data.seeds.rng_for`, so adding a relation to a
+            query never shifts the rows another relation receives).
     """
-    rng = random.Random(seed)
     rels = {}
     for name in query.edge_names:
+        rng = rng_for(seed, "random_instance", name)
         attrs = tuple(sorted(query.attrs_of(name)))
         n = size if isinstance(size, int) else size[name]
         rows = []
@@ -306,9 +308,9 @@ def add_dangling(instance: Instance, per_relation: int, seed: int = 0) -> Instan
     adversarial pattern that breaks one-round algorithms on non-tall-flat
     queries (paper Section 3.1 remark).
     """
-    rng = random.Random(seed)
     rels = {}
     for name, rel in instance.relations.items():
+        rng = rng_for(seed, "add_dangling", name)
         extra = [
             tuple(f"!dangle{rng.randrange(10**9)}_{a}" for a in rel.attrs)
             for _ in range(per_relation)

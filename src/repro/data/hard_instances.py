@@ -16,11 +16,11 @@
 from __future__ import annotations
 
 import math
-import random
 
 from repro.data.instance import Instance
 from repro.data.generators import line_trap_instance
 from repro.data.relation import Relation
+from repro.data.seeds import rng_for
 from repro.errors import InstanceError
 from repro.query.catalog import line3, triangle
 from repro.query.covers import integral_edge_cover
@@ -67,7 +67,7 @@ def line3_random_hard(in_size: int, out_size: int, seed: int = 0) -> Instance:
         raise InstanceError(f"need OUT >= N (got OUT={out_size}, N={n})")
     tau = max(1, round(math.sqrt(out_size / n)))
     groups = max(1, n // tau)
-    rng = random.Random(seed)
+    rng = rng_for(seed, "line3_random_hard")
 
     r1_rows = [(f"a{b}_{i}", f"b{b}") for b in range(groups) for i in range(tau)]
     r3_rows = [(f"c{c}", f"d{c}_{i}") for c in range(groups) for i in range(tau)]
@@ -106,7 +106,7 @@ def triangle_random_hard(in_size: int, out_size: int, seed: int = 0) -> Instance
             f"need OUT <= N^1.5 (got OUT={out_size}, N={n}, tau={tau})"
         )
     side = max(1, n // tau)
-    rng = random.Random(seed)
+    rng = rng_for(seed, "triangle_random_hard")
     r2_rows = [(f"a{a}", f"c{c}") for a in range(tau) for c in range(side)]
     r3_rows = [(f"a{a}", f"b{b}") for a in range(tau) for b in range(side)]
     prob = min(1.0, tau * tau / n)

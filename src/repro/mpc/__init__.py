@@ -1,5 +1,14 @@
 """The MPC simulator: cluster ledger, server groups, and Section 2 primitives."""
 
+from repro.mpc.backends import (
+    Backend,
+    MultiprocessBackend,
+    SerialBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    shutdown_backends,
+)
 from repro.mpc.cluster import Cluster, LoadReport
 from repro.mpc.dangling import reduce_instance, remove_dangling
 from repro.mpc.distrel import DistRelation, distribute_instance, distribute_relation
@@ -30,6 +39,13 @@ __all__ = [
     "Cluster",
     "LoadReport",
     "Group",
+    "Backend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "shutdown_backends",
     "DistRelation",
     "distribute_instance",
     "distribute_relation",

@@ -1,0 +1,348 @@
+"""Shared-nothing worker-process backend.
+
+Runs the pluggable per-server compute stages (:meth:`Backend.map_parts`)
+on a pool of long-lived worker processes.  Design points:
+
+* **Shared-nothing workers.**  Workers receive pure work items
+  ``(fn, part, common, index)`` as pickled batches — one request per worker
+  per step — and hold no simulator state beyond their local caches.  All
+  coordination (exchange routing, splitters, the load ledger) stays in the
+  coordinator process, so the ledger and every routing decision are
+  byte-identical to the serial reference by construction.
+* **Deterministic part affinity.**  Part ``i`` always goes to worker
+  ``i mod W``, so repeated computations over the same immutable parts hit
+  the same worker.
+* **Worker-local content-addressed caches.**  When the caller identifies
+  the owning relation (``owner=``), parts are fingerprinted by content and
+  each worker memoizes ``(fn, common, fingerprint, index) -> pickled
+  result``.  A part is shipped to its worker at most once per content; a
+  repeated computation — including one on a *fresh* ``DistRelation``
+  carrying the same rows, which the coordinator-side substrate caches
+  (keyed by object identity) cannot catch — costs one tiny request plus the
+  result bytes.  This is the cross-request analogue of the substrate's
+  sorted-run cache, kept worker-local exactly so no shared mutable state
+  exists between processes.  The coordinator mirrors each worker's LRU
+  bookkeeping, so cache handshakes never need an extra round trip.
+* **Message delivery stays in the coordinator.**  ``exchange`` outboxes
+  are built by coordinator-side algorithm code against coordinator-held
+  parts; routing them through workers would serialize every payload twice
+  for zero compute gain.  The seam still flows through the backend so a
+  future distributed backend can override it.
+
+Anything unpicklable (closures, exotic row values) falls back to inline
+execution, keeping behaviour identical at the cost of the speedup.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import sys
+from collections import OrderedDict
+from hashlib import blake2b
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import MPCError
+from repro.mpc.backends.base import Backend, deliver_local
+
+__all__ = ["MultiprocessBackend"]
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+#: Max memoized results per worker (LRU).  Mirrored by the coordinator.
+_CACHE_ENTRIES = 256
+
+
+def _resolve_fn(ref: str) -> Callable:
+    """Import ``"module:qualname"`` (worker-side function lookup)."""
+    import importlib
+
+    mod_name, _, qual = ref.partition(":")
+    obj: Any = importlib.import_module(mod_name)
+    for attr in qual.split("."):
+        obj = getattr(obj, attr)
+    return obj
+
+
+def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
+    """Worker loop: batched map requests in, per-job pickled results out.
+
+    Jobs arrive as ``(idx, fingerprint, part_blob)`` where ``part_blob``
+    is the *pre-pickled* part (or ``None`` for a key-only job the
+    coordinator believes is cached).  The cache maps ``(fn_ref,
+    common_bytes, fingerprint, idx)`` to the *pickled* reply, so a warm
+    hit performs no pickling at all — the cached bytes are sent as-is.
+    A key-only job that misses the cache (the coordinator's mirror is
+    best-effort) is answered with a ``"miss"`` reply, never an error; the
+    coordinator re-sends the part.
+    """
+    for path in sys_path:
+        if path not in sys.path:
+            sys.path.append(path)
+    fns: dict[str, Callable] = {}
+    cache: OrderedDict[tuple, bytes] = OrderedDict()
+    while True:
+        try:
+            req = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            return
+        if req[0] == "stop":
+            conn.close()
+            return
+        _kind, fn_ref, common_bytes, jobs = req
+        replies: list[bytes] = []
+        try:
+            fn = fns.get(fn_ref)
+            if fn is None:
+                fn = fns[fn_ref] = _resolve_fn(fn_ref)
+            common = pickle.loads(common_bytes)
+            for idx, fingerprint, part_blob in jobs:
+                key = None
+                if fingerprint is not None:
+                    key = (fn_ref, common_bytes, fingerprint, idx)
+                    hit = cache.get(key)
+                    if hit is not None:
+                        cache.move_to_end(key)
+                        replies.append(hit)
+                        continue
+                    if part_blob is None:
+                        replies.append(
+                            pickle.dumps((idx, "miss", None), _PROTO)
+                        )
+                        continue
+                part = pickle.loads(part_blob)
+                blob = pickle.dumps((idx, "ok", fn(part, common, idx)), _PROTO)
+                if key is not None:
+                    cache[key] = blob
+                    if len(cache) > cache_entries:
+                        cache.popitem(last=False)
+                replies.append(blob)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
+            conn.send_bytes(pickle.dumps(("err", repr(exc)), _PROTO))
+            continue
+        conn.send_bytes(pickle.dumps(("ok", len(replies)), _PROTO))
+        for blob in replies:
+            conn.send_bytes(blob)
+
+
+class MultiprocessBackend(Backend):
+    """Execute ``map_parts`` stages on a pool of real worker processes.
+
+    Args:
+        workers: Pool size; defaults to ``min(cpu_count, 8)``.  Workers are
+            started lazily on the first shipped computation and shut down
+            via :meth:`close` (also registered with :mod:`atexit`).
+    """
+
+    name = "multiprocess"
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise MPCError(f"need at least one worker, got {workers}")
+        self.workers = workers or max(1, min(os.cpu_count() or 1, 8))
+        self._conns: list[Any] | None = None
+        self._procs: list[Any] = []
+        # Coordinator-side mirror of each worker's LRU key set.
+        self._mirrors: list[OrderedDict[tuple, None]] = []
+
+    # ------------------------------------------------------------------
+    def exchange(
+        self,
+        outboxes: Sequence[Iterable[tuple[int, Any]]],
+        size: int,
+        count_self: bool,
+    ) -> tuple[list[list[Any]], list[int]]:
+        return deliver_local(outboxes, size, count_self)
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        self._conns = []
+        self._procs = []
+        self._mirrors = []
+        src_paths = [p for p in sys.path if p]
+        for _ in range(self.workers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, src_paths, _CACHE_ENTRIES),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+            self._mirrors.append(OrderedDict())
+        atexit.register(self.close)
+
+    def close(self) -> None:
+        if self._conns is None:
+            return
+        for conn in self._conns:
+            try:
+                conn.send_bytes(pickle.dumps(("stop",), _PROTO))
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+        self._conns = None
+        self._procs = []
+        self._mirrors = []
+
+    # ------------------------------------------------------------------
+    def _fingerprints(
+        self, parts: Sequence[list], owner: Any
+    ) -> tuple[list[bytes] | None, list[bytes] | None]:
+        """Content fingerprints per part, memoized on the owner when possible.
+
+        Returns ``(fingerprints, part_blobs)``.  When the fingerprints are
+        computed here, the pickled parts they were hashed from are returned
+        too, so a cold ship reuses them instead of pickling each part a
+        second time; a memoized-fingerprint hit returns ``(fps, None)``
+        (blobs are not retained — on the warm path parts rarely ship).
+        ``(None, None)`` disables worker memoization (unpicklable rows),
+        never correctness.
+        """
+        store = getattr(owner, "_substrate", None) if owner is not None else None
+        if store is not None:
+            cached = store.get("backend_fp")
+            if cached is not None:
+                return cached, None
+        try:
+            blobs = [pickle.dumps(part, _PROTO) for part in parts]
+        except Exception:  # noqa: BLE001 - unpicklable rows
+            return None, None
+        fps = [blake2b(blob, digest_size=16).digest() for blob in blobs]
+        if store is not None:
+            store["backend_fp"] = fps
+        return fps, blobs
+
+    def map_parts(
+        self,
+        fn: Callable[[list, Any, int], Any],
+        parts: Sequence[list],
+        common: Any = None,
+        owner: Any = None,
+    ) -> list[Any]:
+        fn_ref = f"{fn.__module__}:{fn.__qualname__}"
+        if "<locals>" in fn_ref or "<lambda>" in fn_ref:
+            raise MPCError(
+                f"map_parts functions must be module-level, got {fn_ref}"
+            )
+        try:
+            common_bytes = pickle.dumps(common, _PROTO)
+        except Exception:  # noqa: BLE001 - unpicklable common: run inline
+            return [fn(part, common, i) for i, part in enumerate(parts)]
+        if owner is not None:
+            fps, blobs = self._fingerprints(parts, owner)
+        else:
+            fps = blobs = None
+
+        if self._conns is None:
+            self._start()
+        conns = self._conns
+        assert conns is not None
+        w = len(conns)
+
+        def part_blob(idx: int) -> bytes:
+            return blobs[idx] if blobs is not None else pickle.dumps(
+                parts[idx], _PROTO
+            )
+
+        # Build one batched request per worker (deterministic affinity).
+        # The mirror of each worker's LRU is best-effort: a key sent
+        # key-only that the worker no longer holds comes back as a "miss"
+        # and is re-sent with its part below — never an error.
+        batches: list[list[tuple[int, bytes | None, bytes | None]]] = [
+            [] for _ in range(w)
+        ]
+        try:
+            for idx in range(len(parts)):
+                wi = idx % w
+                fp = fps[idx] if fps is not None else None
+                if fp is None:
+                    batches[wi].append((idx, None, part_blob(idx)))
+                    continue
+                key = (fn_ref, common_bytes, fp, idx)
+                mirror = self._mirrors[wi]
+                if key in mirror:
+                    mirror.move_to_end(key)
+                    batches[wi].append((idx, fp, None))
+                else:
+                    batches[wi].append((idx, fp, part_blob(idx)))
+                    mirror[key] = None
+                    if len(mirror) > _CACHE_ENTRIES:
+                        mirror.popitem(last=False)
+        except Exception:  # noqa: BLE001 - unpicklable parts: run inline
+            return [fn(part, common, i) for i, part in enumerate(parts)]
+
+        results: list[Any] = [None] * len(parts)
+        missed = self._round(fn_ref, common_bytes, batches, results)
+        if missed:
+            retry: list[list[tuple[int, bytes | None, bytes | None]]] = [
+                [] for _ in range(w)
+            ]
+            for idx in missed:
+                fp = fps[idx] if fps is not None else None
+                retry[idx % w].append((idx, fp, part_blob(idx)))
+            still_missed = self._round(fn_ref, common_bytes, retry, results)
+            if still_missed:  # pragma: no cover - protocol invariant
+                raise MPCError(
+                    f"workers missed jobs {sorted(still_missed)} even with "
+                    f"parts attached"
+                )
+        return results
+
+    def _round(
+        self,
+        fn_ref: str,
+        common_bytes: bytes,
+        batches: Sequence[list],
+        results: list[Any],
+    ) -> list[int]:
+        """One request/reply round; fills ``results``, returns missed idxs.
+
+        Replies from *every* worker are always drained, even when one of
+        them reports an error — a shared backend must never leave stale
+        responses in a pipe for the next call to misread.
+        """
+        conns = self._conns
+        assert conns is not None
+        sent: list[int] = []
+        for wi, batch in enumerate(batches):
+            if batch:
+                conns[wi].send_bytes(
+                    pickle.dumps(("map", fn_ref, common_bytes, batch), _PROTO)
+                )
+                sent.append(wi)
+
+        missed: list[int] = []
+        errors: list[str] = []
+        dead: list[str] = []
+        for wi in sent:
+            try:
+                header = pickle.loads(conns[wi].recv_bytes())
+                if header[0] == "err":
+                    errors.append(f"worker {wi}: {header[1]}")
+                    continue
+                for _ in range(header[1]):
+                    idx, status, value = pickle.loads(conns[wi].recv_bytes())
+                    if status == "miss":
+                        missed.append(idx)
+                    else:
+                        results[idx] = value
+            except (EOFError, OSError) as exc:  # pragma: no cover
+                dead.append(f"worker {wi} died: {exc}")
+        if dead:  # pragma: no cover - defensive: restart the whole pool
+            self.close()
+            raise MPCError("; ".join(dead))
+        if errors:
+            raise MPCError(f"map_parts failed in {'; '.join(errors)}")
+        return missed

@@ -22,9 +22,12 @@ Initial data placement is free, matching the model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import MPCError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mpc.backends import Backend
 
 __all__ = ["Cluster", "LoadReport"]
 
@@ -52,7 +55,7 @@ class LoadReport:
     @property
     def average(self) -> float:
         """Mean units received per server."""
-        return float(sum(self.totals)) / self.p if self.p else 0.0
+        return sum(self.totals) / self.p if self.p else 0.0
 
     @property
     def total(self) -> int:
@@ -67,12 +70,39 @@ class LoadReport:
             f"{self.max_step_load}, {self.steps} steps) [{labels}]"
         )
 
+    def as_dict(self) -> dict:
+        """Every ledger field as plain JSON-able data.
+
+        The conformance harness diffs two of these dicts, so a backend
+        divergence shows up as a readable field-by-field delta rather than
+        an opaque dataclass inequality.
+        """
+        return {
+            "p": self.p,
+            "load": self.load,
+            "max_step_load": self.max_step_load,
+            "steps": self.steps,
+            "total": self.total,
+            "average": self.average,
+            "totals": list(self.totals),
+            "by_label": dict(sorted(self.by_label.items())),
+        }
+
+    def __str__(self) -> str:
+        return self.summary()
+
 
 class Cluster:
     """A simulated MPC cluster of ``p`` servers with a load ledger.
 
     Args:
         p: Number of servers (>= 1).
+        backend: Execution backend — a :class:`~repro.mpc.backends.Backend`
+            instance, a registered name (``"serial"``, ``"multiprocess"``),
+            or ``None`` for the process default (``REPRO_BACKEND`` env var,
+            else serial).  The backend decides *where* per-server compute
+            and message delivery run; the ledger semantics never change
+            (see ``tests/conformance/``).
 
     The cluster itself holds no data — distributed relations live in
     :class:`~repro.mpc.distrel.DistRelation` parts — it only records who
@@ -80,10 +110,13 @@ class Cluster:
     over subsets of this cluster and report received counts here.
     """
 
-    def __init__(self, p: int) -> None:
+    def __init__(self, p: int, backend: "Backend | str | None" = None) -> None:
+        from repro.mpc.backends import get_backend
+
         if p < 1:
             raise MPCError(f"cluster needs p >= 1, got {p}")
         self.p = p
+        self.backend = get_backend(backend)
         self._totals: list[int] = [0] * p
         self._step_max: int = 0
         self._steps: int = 0

@@ -148,19 +148,35 @@ class Group:
             raise MPCError(
                 f"expected {size} outboxes, got {len(outboxes)}"
             )
-        inboxes: list[list[Any]] = [[] for _ in range(size)]
-        appends = [box.append for box in inboxes]
-        counts = [0] * size
-        for src, box in enumerate(outboxes):
-            for dst, payload in box:
-                if dst < 0 or dst >= size:
-                    raise MPCError(f"destination {dst} out of range [0, {size})")
-                appends[dst](payload)
-                if dst != src or count_self:
-                    counts[dst] += 1
-        # Tally on every member of the family (one batched ledger call).
+        # Delivery is the backend's job; counting received units is not —
+        # the backend reports per-destination counts and the shared ledger
+        # tallies them on every member of the family (one batched call).
+        inboxes, counts = self.cluster.backend.exchange(outboxes, size, count_self)
         self.cluster.tally_members(self.members, counts, label)
         return inboxes
+
+    def map_parts(
+        self,
+        fn: Callable[[list, Any, int], Any],
+        parts: Sequence[list],
+        common: Any = None,
+        owner: Any = None,
+    ) -> list[Any]:
+        """Run a pure per-server computation through the cluster's backend.
+
+        ``fn(part, common, index)`` must be a module-level pure function of
+        its arguments (so a backend may execute it in another process);
+        ``common`` must be picklable.  Local computation is free in the MPC
+        model — nothing is tallied.  ``owner`` (typically the
+        :class:`~repro.mpc.distrel.DistRelation` the parts belong to) lets
+        backends memoize per-part results across calls; pass it whenever
+        the parts are immutable.
+        """
+        if len(parts) != self.size:
+            raise MPCError(
+                f"expected {self.size} parts, got {len(parts)}"
+            )
+        return self.cluster.backend.map_parts(fn, parts, common, owner)
 
     # ------------------------------------------------------------------
     # Convenience routings built on exchange.

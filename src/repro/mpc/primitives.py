@@ -47,7 +47,9 @@ from repro.mpc.substrate import (
     coordinator_for,
     orderable,
     pair_key_encoder,
+    pick_splitters,
     projected_keys,
+    sample_indices,
     sorted_run,
 )
 
@@ -132,17 +134,12 @@ def sample_sort(
         if not d:
             sample_parts.append([])
             continue
-        n = len(d)
-        idxs = sorted({min(n - 1, (k * n) // p) for k in range(p)})
+        idxs = sample_indices(len(d), p)
         sample_parts.append([(d[i][0], d[i][1]) for i in idxs])
 
     coord = coordinator_for(group, label)
     flat = sorted(group.gather(sample_parts, f"{label}/sample", dst=coord))
-    splitters: list[tuple] = []
-    if flat:
-        splitters = [
-            flat[min(len(flat) - 1, (k * len(flat)) // p)] for k in range(1, p)
-        ]
+    splitters: list[tuple] = pick_splitters(flat, p)
     group.broadcast(splitters, f"{label}/splitters", src=coord)
 
     outboxes = [

@@ -52,9 +52,13 @@ __all__ = [
     "cache_disabled",
     "column_kind",
     "projection_encoder",
+    "projection_encoder_from_tags",
     "scalar_encoder",
+    "scalar_encoder_from_tag",
     "key_encoder",
     "projected_keys",
+    "sample_indices",
+    "pick_splitters",
     "SortedRun",
     "sorted_run",
 ]
@@ -149,16 +153,14 @@ def column_kind(rel: DistRelation, col: int) -> int | None:
     return kind
 
 
-def projection_encoder(
-    rel: DistRelation, pos: Sequence[int]
+def projection_encoder_from_tags(
+    pos: tuple[int, ...], tags: Sequence[int | None]
 ) -> Callable[[Row], tuple]:
-    """``row -> orderable(project_row(row, pos))``, specialized when possible.
+    """Build the row encoder from a plain ``(positions, tags)`` descriptor.
 
-    The fast paths produce *identical* tuples to the generic recursion, so
-    anything downstream (splitters, run equality, routing) is unchanged.
+    The descriptor is picklable, so execution backends can rebuild the
+    exact encoder inside a worker process (:func:`_decorate_sort_part`).
     """
-    pos = tuple(pos)
-    tags = [column_kind(rel, i) for i in pos]
     if all(t is not None for t in tags):
         if len(pos) == 1:
             i0, t0 = pos[0], tags[0]
@@ -171,12 +173,28 @@ def projection_encoder(
     return lambda row: (5, tuple(orderable(row[i]) for i in pos))
 
 
+def projection_encoder(
+    rel: DistRelation, pos: Sequence[int]
+) -> Callable[[Row], tuple]:
+    """``row -> orderable(project_row(row, pos))``, specialized when possible.
+
+    The fast paths produce *identical* tuples to the generic recursion, so
+    anything downstream (splitters, run equality, routing) is unchanged.
+    """
+    pos = tuple(pos)
+    return projection_encoder_from_tags(pos, [column_kind(rel, i) for i in pos])
+
+
+def scalar_encoder_from_tag(col: int, tag: int | None) -> Callable[[Row], tuple]:
+    """Picklable-descriptor form of :func:`scalar_encoder`."""
+    if tag is not None:
+        return lambda row: (tag, row[col])
+    return lambda row: orderable(row[col])
+
+
 def scalar_encoder(rel: DistRelation, col: int) -> Callable[[Row], tuple]:
     """``row -> orderable(row[col])``, specialized when the column allows."""
-    t = column_kind(rel, col)
-    if t is not None:
-        return lambda row: (t, row[col])
-    return lambda row: orderable(row[col])
+    return scalar_encoder_from_tag(col, column_kind(rel, col))
 
 
 def key_encoder(rel: DistRelation, pos: Sequence[int]) -> Callable[[Row], tuple]:
@@ -253,6 +271,25 @@ def coordinator_for(group: Group, label: str) -> int:
     recursive algorithms mint depth-specific labels).
     """
     return _coordinator(group.size, label)
+
+
+# ----------------------------------------------------------------------
+# PSRS regular sampling (shared by the generic and run-fused sort paths —
+# both must pick samples/splitters identically or the two primitive
+# families would charge structurally different ledgers for the same sort)
+# ----------------------------------------------------------------------
+
+def sample_indices(n: int, p: int) -> list[int]:
+    """The ``p`` evenly spaced local sample positions of a part of size n."""
+    return sorted({min(n - 1, (k * n) // p) for k in range(p)})
+
+
+def pick_splitters(flat: Sequence, p: int) -> list:
+    """The ``p - 1`` range splitters from the gathered, sorted samples."""
+    if not flat:
+        return []
+    m = len(flat)
+    return [flat[min(m - 1, (k * m) // p)] for k in range(1, p)]
 
 
 # ----------------------------------------------------------------------
@@ -351,6 +388,37 @@ def _replay_charges(group: Group, run: SortedRun, label: str) -> None:
     tally(group.members, run._shuffle_counts or [0] * p, f"{label}/shuffle")
 
 
+def _decorate_sort_part(part: list, common: tuple, idx: int) -> list[tuple]:
+    """Per-server decorate + local sort of one part (backend-shippable).
+
+    ``common = (pos, tags, scalar)`` is a pure-data descriptor of the key
+    encoding, so any :class:`~repro.mpc.backends.Backend` can run this in a
+    worker process and produce bit-identical ``(okey, uid, key, row)``
+    quadruples; ``uid = (idx, j)`` is globally unique, so the plain tuple
+    sort never compares rows.
+    """
+    pos, tags, scalar = common
+    if scalar:
+        enc = scalar_encoder_from_tag(pos[0], tags[0])
+        i0 = pos[0]
+        d = [(enc(row), (idx, j), row[i0], row) for j, row in enumerate(part)]
+    else:
+        enc = projection_encoder_from_tags(pos, tags)
+        if len(pos) == 1:
+            i0 = pos[0]
+            d = [
+                (enc(row), (idx, j), (row[i0],), row)
+                for j, row in enumerate(part)
+            ]
+        else:
+            d = [
+                (enc(row), (idx, j), tuple(row[i] for i in pos), row)
+                for j, row in enumerate(part)
+            ]
+    d.sort()
+    return d
+
+
 def _build_run(
     group: Group,
     rel: DistRelation,
@@ -359,27 +427,15 @@ def _build_run(
     scalar: bool,
 ) -> SortedRun:
     p = group.size
-    if scalar:
-        enc = scalar_encoder(rel, pos[0])
-        i0 = pos[0]
-        decorated = []
-        for i, part in enumerate(rel.parts):
-            d = [(enc(row), (i, j), row[i0], row) for j, row in enumerate(part)]
-            # uid is globally unique, so plain tuple sort never compares rows.
-            d.sort()
-            decorated.append(d)
-    else:
-        enc = projection_encoder(rel, pos)
-        keys = projected_keys(rel, pos)
-        decorated = []
-        for i, part in enumerate(rel.parts):
-            keys_i = keys[i]
-            d = [
-                (enc(row), (i, j), keys_i[j], row)
-                for j, row in enumerate(part)
-            ]
-            d.sort()
-            decorated.append(d)
+    tags = tuple(column_kind(rel, i) for i in pos)
+    # With caching disabled this is the reference path: pass no owner so
+    # backends also skip their worker-local memoization and recompute.
+    decorated = group.map_parts(
+        _decorate_sort_part,
+        rel.parts,
+        (pos, tags, bool(scalar)),
+        owner=rel if _ENABLED else None,
+    )
 
     if p == 1:
         return SortedRun(pos, scalar, [], decorated, None, None)
@@ -389,16 +445,12 @@ def _build_run(
         if not d:
             sample_parts.append([])
             continue
-        n = len(d)
-        idxs = sorted({min(n - 1, (k * n) // p) for k in range(p)})
+        idxs = sample_indices(len(d), p)
         sample_parts.append([(d[i][0], d[i][1]) for i in idxs])
 
     coord = coordinator_for(group, label)
     flat = sorted(group.gather(sample_parts, f"{label}/sample", dst=coord))
-    splitters: list[tuple] = []
-    if flat:
-        m = len(flat)
-        splitters = [flat[min(m - 1, (k * m) // p)] for k in range(1, p)]
+    splitters: list[tuple] = pick_splitters(flat, p)
     group.broadcast(splitters, f"{label}/splitters", src=coord)
 
     outboxes = [

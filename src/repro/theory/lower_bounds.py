@@ -16,10 +16,10 @@ prove impossibility by simulation, so the reproduction has two parts:
 from __future__ import annotations
 
 import math
-import random
 from typing import Callable
 
 from repro.data.instance import Instance
+from repro.data.seeds import rng_for
 
 __all__ = [
     "line3_lower_bound",
@@ -100,7 +100,7 @@ def estimate_j_line3(
 
     tau = max(1, max(b_groups.values(), default=1))
     n_groups = max(1, load // tau)
-    rng = random.Random(seed)
+    rng = rng_for(seed, "lower_bounds")
     b_keys = sorted(b_groups, key=repr)
     c_keys = sorted(c_groups, key=repr)
 
@@ -149,7 +149,7 @@ def estimate_j_triangle(
         deg_b[b] = deg_b.get(b, 0) + 1
         deg_c[c] = deg_c.get(c, 0) + 1
 
-    rng = random.Random(seed)
+    rng = rng_for(seed, "lower_bounds")
     best = 0
     candidates_x = [
         max(1, min(len(a_vals), load // max(1, side)))

@@ -1,0 +1,76 @@
+"""Differential conformance: every backend vs the serial reference.
+
+The central invariant of the backend abstraction (DESIGN.md "Execution
+backends"): a backend may change *where* per-server work runs, never *what*
+the simulated cluster computes or charges.  Outputs must match bit for bit
+— same rows, same order, same per-server parts — and so must every
+:class:`~repro.mpc.cluster.LoadReport` field.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conformance.conftest import (
+    CHALLENGERS,
+    GRID,
+    REFERENCE,
+    ledger_diff,
+    reference_run,
+)
+
+CELL_IDS = [c.name for c in GRID]
+
+
+@pytest.mark.parametrize("cell", GRID, ids=CELL_IDS)
+def test_reference_is_deterministic(cell):
+    """The serial reference must replay itself exactly (no hidden state)."""
+    first = reference_run(cell)
+    again = cell.run(REFERENCE)
+    assert again[0] == first[0], f"serial outputs not reproducible: {cell.name}"
+    assert again[1] == first[1], (
+        f"serial ledger not reproducible: {cell.name}\n"
+        + ledger_diff(first[1], again[1])
+    )
+
+
+@pytest.mark.parametrize("cell", GRID, ids=CELL_IDS)
+@pytest.mark.parametrize("challenger", CHALLENGERS)
+def test_backend_matches_reference(cell, challenger):
+    """Outputs and the full ledger are bit-identical to serial."""
+    ref_out, ref_ledger = reference_run(cell)
+    got_out, got_ledger = cell.run(challenger)
+    assert got_out == ref_out, (
+        f"backend {challenger!r} changed outputs on {cell.name}"
+    )
+    assert got_ledger == ref_ledger, (
+        f"backend {challenger!r} changed the ledger on {cell.name}:\n"
+        + ledger_diff(ref_ledger, got_ledger)
+    )
+
+
+@pytest.mark.parametrize("cell", GRID[:4], ids=CELL_IDS[:4])
+@pytest.mark.parametrize("challenger", CHALLENGERS)
+def test_backend_replay_is_deterministic(cell, challenger):
+    """Back-to-back runs on a challenger agree with each other.
+
+    The second run exercises any warm-path shortcuts a backend keeps
+    (worker-local memoization in the multiprocess backend), so this guards
+    the cold and warm paths against diverging.
+    """
+    first = cell.run(challenger)
+    second = cell.run(challenger)
+    assert second[0] == first[0]
+    assert second[1] == first[1], ledger_diff(first[1], second[1])
+
+
+@pytest.mark.parametrize("challenger", CHALLENGERS)
+def test_every_ledger_field_is_compared(challenger):
+    """Meta-test: as_dict() exposes every LoadReport field the issue names.
+
+    Guards against a future field being added to LoadReport but silently
+    dropped from the differential comparison.
+    """
+    _out, ledger = reference_run(GRID[0])
+    for field in ("load", "max_step_load", "steps", "by_label", "totals", "p"):
+        assert field in ledger, f"LoadReport.as_dict() lost field {field!r}"

@@ -1,0 +1,316 @@
+"""Unit tests for the execution-backend layer (registry, seam, workers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.errors import MPCError
+from repro.mpc import Cluster, distribute_relation
+from repro.mpc.backends import (
+    Backend,
+    MultiprocessBackend,
+    SerialBackend,
+    available_backends,
+    deliver_local,
+    get_backend,
+    register_backend,
+)
+from repro.mpc.backends import _FACTORIES, _SHARED  # type: ignore[attr-defined]
+
+
+# ----------------------------------------------------------------------
+# Module-level map_parts functions (worker processes import them by name).
+# ----------------------------------------------------------------------
+
+def _sum_part(part, common, idx):
+    return (idx, common, sum(v for row in part for v in row))
+
+
+def _sort_part(part, common, idx):  # noqa: ARG001
+    return sorted(part)
+
+
+def _boom(part, common, idx):  # noqa: ARG001
+    raise ValueError("intentional failure")
+
+
+def _len_part(part, common, idx):  # noqa: ARG001
+    return len(part)
+
+
+def _boom_on_idx0(part, common, idx):  # noqa: ARG001
+    if idx == 0:
+        raise ValueError("boom-on-zero")
+    return sorted(part)
+
+
+class _Unpicklable:
+    def __reduce__(self):
+        raise TypeError("cannot pickle this")
+
+
+@pytest.fixture
+def mp_backend():
+    backend = MultiprocessBackend(workers=2)
+    yield backend
+    backend.close()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_serial_is_first_and_both_builtins_present(self):
+        names = available_backends()
+        assert names[0] == "serial"
+        assert "multiprocess" in names
+
+    def test_name_lookup_returns_shared_instance(self):
+        assert get_backend("serial") is get_backend("serial")
+
+    def test_instance_passthrough(self):
+        inst = SerialBackend()
+        assert get_backend(inst) is inst
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(MPCError, match="unknown backend"):
+            get_backend("definitely-not-registered")
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "multiprocess")
+        assert get_backend(None).name == "multiprocess"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert get_backend(None).name == "serial"
+
+    def test_register_custom_backend(self):
+        class Echo(SerialBackend):
+            name = "echo-test"
+
+        register_backend("echo-test", Echo)
+        try:
+            assert "echo-test" in available_backends()
+            assert get_backend("echo-test").name == "echo-test"
+        finally:
+            _FACTORIES.pop("echo-test", None)
+            _SHARED.pop("echo-test", None)
+
+    def test_cluster_resolves_backend_by_name(self):
+        from repro.mpc.backends import default_backend_name
+
+        assert Cluster(2, backend="serial").backend.name == "serial"
+        assert Cluster(2).backend.name == default_backend_name()
+
+
+# ----------------------------------------------------------------------
+# Exchange delivery
+# ----------------------------------------------------------------------
+
+OUTBOXES = [
+    [(1, "a"), (0, "self"), (2, "b")],
+    [(0, "c")],
+    [],
+    [(2, "d"), (2, "e")],
+]
+
+
+class TestExchange:
+    def test_reference_delivery_counts(self):
+        inboxes, counts = deliver_local(OUTBOXES, 4, count_self=False)
+        assert inboxes == [["self", "c"], ["a"], ["b", "d", "e"], []]
+        assert counts == [1, 1, 3, 0]  # self-message at 0 is free
+
+    def test_count_self(self):
+        _inboxes, counts = deliver_local(OUTBOXES, 4, count_self=True)
+        assert counts == [2, 1, 3, 0]
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_backends_agree_with_reference(self, name):
+        backend = get_backend(name)
+        assert backend.exchange(OUTBOXES, 4, False) == deliver_local(
+            OUTBOXES, 4, False
+        )
+
+    def test_bad_destination_raises(self):
+        with pytest.raises(MPCError, match="out of range"):
+            deliver_local([[(7, "x")]], 4, False)
+
+
+# ----------------------------------------------------------------------
+# map_parts
+# ----------------------------------------------------------------------
+
+PARTS = [[(1, 2), (3, 4)], [(5, 6)], [], [(7, 8), (9, 10), (11, 12)]]
+
+
+class TestMapParts:
+    def test_serial_applies_in_order(self):
+        got = SerialBackend().map_parts(_sum_part, PARTS, common="c")
+        assert got == [(0, "c", 10), (1, "c", 11), (2, "c", 0), (3, "c", 57)]
+
+    def test_multiprocess_matches_serial(self, mp_backend):
+        assert mp_backend.map_parts(_sum_part, PARTS, common="c") == (
+            SerialBackend().map_parts(_sum_part, PARTS, common="c")
+        )
+
+    def test_multiprocess_rejects_non_module_functions(self, mp_backend):
+        with pytest.raises(MPCError, match="module-level"):
+            mp_backend.map_parts(lambda p, c, i: p, PARTS)
+
+    def test_worker_exception_propagates(self, mp_backend):
+        with pytest.raises(MPCError, match="intentional failure"):
+            mp_backend.map_parts(_boom, PARTS)
+
+    def test_worker_survives_a_failed_batch(self, mp_backend):
+        with pytest.raises(MPCError):
+            mp_backend.map_parts(_boom, PARTS)
+        assert mp_backend.map_parts(_sort_part, [[3, 1, 2]]) == [[1, 2, 3]]
+
+    def test_error_in_one_worker_does_not_leave_stale_replies(self, mp_backend):
+        """Regression: one worker failing while another succeeds must not
+        leave the successful worker's reply in the pipe — the next call
+        would silently return the *previous* batch's results."""
+        # Worker 0 (part index 0) raises; worker 1 (part index 1) succeeds.
+        with pytest.raises(MPCError, match="boom-on-zero"):
+            mp_backend.map_parts(_boom_on_idx0, [[1, 2], [10, 20, 30]])
+        # Both workers must now serve fresh, correct results.
+        got = mp_backend.map_parts(_sort_part, [[5, 4], [100, 99]])
+        assert got == [[4, 5], [99, 100]]
+
+    def test_mirror_desync_recovers_via_miss_retry(self, mp_backend):
+        """A key-only job the worker no longer holds is re-sent with its
+        part, not turned into an error (the mirror is best-effort)."""
+        import pickle
+        from hashlib import blake2b
+
+        class Owner:
+            def __init__(self):
+                self._substrate = {}
+
+        parts = [[(3, 1)], [(2, 9)]]
+        # Poison the coordinator mirror: claim the worker has these keys
+        # cached even though it has never seen them.
+        fn_ref = f"{_sort_part.__module__}:{_sort_part.__qualname__}"
+        common_bytes = pickle.dumps(None, pickle.HIGHEST_PROTOCOL)
+        mp_backend.map_parts(_len_part, [[0]] * 2)  # start the pool
+        w = len(mp_backend._conns)
+        for idx, part in enumerate(parts):
+            fp = blake2b(
+                pickle.dumps(part, pickle.HIGHEST_PROTOCOL), digest_size=16
+            ).digest()
+            key = (fn_ref, common_bytes, fp, idx)
+            mp_backend._mirrors[idx % w][key] = None
+        got = mp_backend.map_parts(_sort_part, parts, owner=Owner())
+        assert got == [[(3, 1)], [(2, 9)]]
+
+    def test_unpicklable_parts_fall_back_inline(self, mp_backend):
+        # Rows that refuse to pickle must still compute (inline fallback).
+        parts = [[(_Unpicklable(), 1)], []]
+        assert mp_backend.map_parts(_len_part, parts) == [1, 0]
+
+    def test_unpicklable_common_falls_back_inline(self, mp_backend):
+        # A lambda as `common` cannot be pickled -> inline execution path.
+        got = mp_backend.map_parts(_sort_part, [[2, 1]], common=lambda: None)
+        assert got == [[1, 2]]
+
+    def test_memoization_is_content_addressed(self, mp_backend):
+        class Owner:
+            def __init__(self):
+                self._substrate = {}
+
+        a, b = Owner(), Owner()
+        first = mp_backend.map_parts(_sort_part, PARTS, owner=a)
+        warm_same_owner = mp_backend.map_parts(_sort_part, PARTS, owner=a)
+        warm_fresh_owner = mp_backend.map_parts(
+            _sort_part, [list(p) for p in PARTS], owner=b
+        )
+        assert first == warm_same_owner == warm_fresh_owner
+        # Different content under the same shapes must re-compute.
+        changed = [[(99, 99)], *[list(p) for p in PARTS[1:]]]
+
+        class Fresh:
+            _substrate: dict = {}
+
+        got = mp_backend.map_parts(_sort_part, changed, owner=Fresh())
+        assert got[0] == [(99, 99)]
+
+    def test_group_map_parts_checks_size(self):
+        group = Cluster(4, backend="serial").root_group()
+        with pytest.raises(MPCError, match="expected 4 parts"):
+            group.map_parts(_sort_part, [[1], [2]])
+
+    def test_group_map_parts_runs_through_backend(self):
+        group = Cluster(2, backend="serial").root_group()
+        assert group.map_parts(_sort_part, [[2, 1], [4, 3]]) == [[1, 2], [3, 4]]
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the seam carries a real primitive identically
+# ----------------------------------------------------------------------
+
+class TestEndToEnd:
+    def test_full_primitive_parity_across_backends(self):
+        from repro.mpc.primitives import attach_degrees
+
+        rel_ram = Relation(
+            "R", ("A", "B"), [((i * 7) % 13, i % 5) for i in range(200)]
+        )
+        results = {}
+        for name in available_backends():
+            cluster = Cluster(8, backend=name)
+            group = cluster.root_group()
+            rel = distribute_relation(rel_ram, group)
+            results[name] = (
+                attach_degrees(group, rel, ("B",), "deg"),
+                cluster.snapshot().as_dict(),
+            )
+        ref = results.pop("serial")
+        for name, got in results.items():
+            assert got == ref, f"backend {name} diverged from serial"
+
+    def test_mpc_join_meta_records_backend(self):
+        from repro.core.runner import mpc_join
+        from repro.data.generators import matching_instance
+        from repro.query import catalog
+
+        inst = matching_instance(catalog.line3(), 30)
+        res = mpc_join(inst.query, inst, p=4, backend="serial")
+        assert res.meta["backend"] == "serial"
+
+
+# ----------------------------------------------------------------------
+# LoadReport ergonomics (conformance failure readability)
+# ----------------------------------------------------------------------
+
+class TestLoadReport:
+    def _report(self):
+        cluster = Cluster(4)
+        cluster.tally([0, 1, 2], [5, 3, 2], "phase/a")
+        cluster.tally([1, 3], [4, 1], "phase/b")
+        return cluster.snapshot()
+
+    def test_average_is_true_division(self):
+        report = self._report()
+        assert report.average == pytest.approx(15 / 4)
+        assert isinstance(report.average, float)
+
+    def test_as_dict_round_trips_every_field(self):
+        report = self._report()
+        d = report.as_dict()
+        assert d["p"] == 4
+        assert d["load"] == report.load == 7
+        assert d["max_step_load"] == report.max_step_load == 5
+        assert d["steps"] == report.steps == 2
+        assert d["totals"] == [5, 7, 2, 1]
+        assert d["by_label"] == {"phase/a": 10, "phase/b": 5}
+        assert d["total"] == 15
+        assert d["average"] == pytest.approx(3.75)
+        import json
+
+        json.dumps(d)  # must be JSON-serializable for bench/CI artifacts
+
+    def test_str_is_the_summary(self):
+        report = self._report()
+        assert str(report) == report.summary()
+        assert "load=7" in str(report)
