@@ -30,6 +30,7 @@ from repro.core import (
     mpc_output_size,
 )
 from repro.data import Instance, Relation
+from repro.engine import Engine, EngineStats, ExecutionResult, parse_query
 from repro.mpc import Cluster, LoadReport
 from repro.query import Hypergraph, JoinClass, classify
 from repro.semiring import BOOLEAN, COUNT, MAX_TROPICAL, MIN_TROPICAL, SUM_PRODUCT, Semiring
@@ -53,6 +54,10 @@ __all__ = [
     "mpc_output_size",
     "best_yannakakis_plan",
     "auto_algorithm",
+    "Engine",
+    "EngineStats",
+    "ExecutionResult",
+    "parse_query",
     "Semiring",
     "COUNT",
     "SUM_PRODUCT",

@@ -7,9 +7,15 @@ Usage (after ``pip install -e .``)::
     python -m repro count DATA_DIR -p 16
     python -m repro aggregate DATA_DIR -p 16 --group-by A,B [--semiring count]
     python -m repro plan DATA_DIR -p 16
+    python -m repro catalog
+    python -m repro query 'Q(A,B) :- R1(A,B), R2(B,C)' DATA_DIR -p 16
+    python -m repro serve DATA_DIR --queries queries.txt -p 16
 
 ``DATA_DIR`` holds one ``<relation>.csv`` per relation (header = attribute
-names); the query hypergraph is inferred from the headers.
+names); the query hypergraph is inferred from the headers.  ``query`` and
+``serve`` go through the persistent engine (:mod:`repro.engine`): the CSV
+relations are registered as base relations and datalog-style query text
+binds to them by name (atom variables rename columns positionally).
 """
 
 from __future__ import annotations
@@ -78,11 +84,105 @@ def _build_parser() -> argparse.ArgumentParser:
 
     pl = sub.add_parser("plan", help="price Yannakakis join orders (Sec 4.1)")
     add_common(pl)
+
+    sub.add_parser("catalog", help="list named catalog queries (Figure 1)")
+
+    q = sub.add_parser("query", help="run one datalog-style query (engine)")
+    q.add_argument("text", help="e.g. 'Q(A,B) :- R1(A,B), R2(B,C)'")
+    add_common(q)
+    q.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
+    q.add_argument("--out", help="write results to this CSV file")
+
+    s = sub.add_parser("serve", help="serve a query workload (engine session)")
+    add_common(s)
+    s.add_argument("--queries", required=True,
+                   help="file with one query per line ('#' comments)")
+    s.add_argument("--repeat", type=int, default=1,
+                   help="serve the workload this many times (warm-path demo)")
+    s.add_argument("--threads", type=int, default=1,
+                   help="submitter threads for submit_batch")
     return parser
+
+
+def _load_engine(args) -> "Engine":
+    """Build an engine session with every CSV in the data dir registered."""
+    from pathlib import Path
+
+    from repro.engine import Engine
+    from repro.io import read_relation_csv
+
+    engine = Engine(p=args.servers, backend=args.backend)
+    for path in sorted(Path(args.data_dir).glob("*.csv")):
+        engine.register(read_relation_csv(path))
+    return engine
+
+
+def _print_execution(res) -> None:
+    m = res.metrics
+    print(
+        f"kind={m.kind} algorithm={m.algorithm} class="
+        f"{res.prepared.query_class} load={m.load} out={m.out_size} "
+        f"{'hit' if m.cache_hit else 'miss'}"
+        f"{' (invalidated)' if m.invalidated else ''}"
+    )
+    if res.prepared.plan_order:
+        print(f"plan order: {' -> '.join(res.prepared.plan_order)}")
+    if res.prepared.plan_quality:
+        q = res.prepared.plan_quality
+        print(
+            f"plan quality: best={q['best']} worst={q['worst']} "
+            f"({q['orders']} orders priced)"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "catalog":
+        from repro.query.catalog import CATALOG
+
+        width = max(len(n) for n in CATALOG)
+        for name, query in CATALOG.items():
+            shape = ", ".join(
+                f"{e}({','.join(sorted(query.attrs_of(e)))})"
+                for e in query.edge_names
+            )
+            print(f"{name:<{width}}  {classify(query).name:<14}  {shape}")
+        return 0
+
+    if args.command == "query":
+        engine = _load_engine(args)
+        res = engine.execute(args.text, algorithm=args.algorithm)
+        _print_execution(res)
+        if res.scalar is not None:
+            print(f"scalar = {res.scalar}")
+        elif args.out and res.relation is not None:
+            rel = res.relation
+            if hasattr(rel, "to_relation"):  # DistRelation
+                rel = rel.to_relation()
+            write_relation_csv(rel, args.out)
+            print(f"results written to {args.out}")
+        else:
+            for row in res.rows()[:20]:
+                print(f"  {row}")
+        return 0
+
+    if args.command == "serve":
+        with open(args.queries) as fh:
+            workload = [
+                line.strip() for line in fh
+                if line.strip() and not line.lstrip().startswith("#")
+            ]
+        engine = _load_engine(args)
+        report = None
+        for _ in range(max(1, args.repeat)):
+            report = engine.submit_batch(workload, threads=args.threads)
+        assert report is not None
+        print("last round:")
+        print(report.stats.summary())
+        print("session totals:")
+        print(engine.stats().summary())
+        return 0
 
     if args.command == "classify":
         instance = read_instance_dir(args.data_dir)

@@ -26,12 +26,13 @@ from repro.core.hypercube import (
     optimal_cartesian_shares,
     optimal_join_shares,
 )
-from repro.core.line3 import line3_join
+from repro.core.line3 import is_line3, line3_join
 from repro.core.planner import (
     PlanChoice,
     best_yannakakis_plan,
     enumerate_fold_orders,
     plan_quality,
+    price_fold_orders,
 )
 from repro.core.rhierarchical import rhierarchical_join
 from repro.core.runner import (
@@ -42,6 +43,8 @@ from repro.core.runner import (
     mpc_join_aggregate,
     mpc_join_project,
     mpc_output_size,
+    run_aggregate_algorithm,
+    run_join_algorithm,
 )
 from repro.core.wcoj import line3_worst_case, triangle_worst_case
 from repro.core.yannakakis import default_plan, left_deep_plan, yannakakis_mpc
@@ -55,6 +58,8 @@ __all__ = [
     "mpc_join_project",
     "mpc_output_size",
     "auto_algorithm",
+    "run_join_algorithm",
+    "run_aggregate_algorithm",
     "binary_join",
     "hypercube_cartesian",
     "hypercube_join",
@@ -65,6 +70,7 @@ __all__ = [
     "default_plan",
     "left_deep_plan",
     "rhierarchical_join",
+    "is_line3",
     "line3_join",
     "acyclic_join",
     "line3_worst_case",
@@ -79,4 +85,5 @@ __all__ = [
     "best_yannakakis_plan",
     "enumerate_fold_orders",
     "plan_quality",
+    "price_fold_orders",
 ]

@@ -32,10 +32,10 @@ from repro.mpc.group import Group
 from repro.mpc.primitives import attach_degrees, count_by_key
 from repro.query.hypergraph import Hypergraph
 
-__all__ = ["line3_join"]
+__all__ = ["is_line3", "line3_join"]
 
 
-def _is_line3(query: Hypergraph) -> tuple[str, str, str] | None:
+def is_line3(query: Hypergraph) -> tuple[str, str, str] | None:
     """Match the line-3 shape; return edge names in path order."""
     if len(query.edge_names) != 3:
         return None
@@ -57,6 +57,18 @@ def _is_line3(query: Hypergraph) -> tuple[str, str, str] | None:
     return None
 
 
+def _is_line3(query: Hypergraph) -> tuple[str, str, str] | None:
+    """Deprecated alias of :func:`is_line3` (pre-1.1 private name)."""
+    import warnings
+
+    warnings.warn(
+        "_is_line3 is deprecated; use repro.core.line3.is_line3",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return is_line3(query)
+
+
 def line3_join(
     group: Group,
     query: Hypergraph,
@@ -74,7 +86,7 @@ def line3_join(
     Raises:
         QueryError: If the query is not a line-3 join.
     """
-    shape = _is_line3(query)
+    shape = is_line3(query)
     if shape is None:
         raise QueryError(f"{query.name} is not a line-3 join")
     n1, n2, n3 = shape

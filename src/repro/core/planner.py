@@ -25,7 +25,13 @@ from repro.mpc.distrel import DistRelation
 from repro.mpc.group import Group
 from repro.query.hypergraph import Hypergraph, join_tree
 
-__all__ = ["PlanChoice", "best_yannakakis_plan", "enumerate_fold_orders", "plan_quality"]
+__all__ = [
+    "PlanChoice",
+    "best_yannakakis_plan",
+    "enumerate_fold_orders",
+    "plan_quality",
+    "price_fold_orders",
+]
 
 
 @dataclass(frozen=True)
@@ -135,6 +141,60 @@ def best_yannakakis_plan(
             )
     assert best is not None
     return best
+
+
+def price_fold_orders(
+    group: Group,
+    query: Hypergraph,
+    rels: dict[str, DistRelation],
+    label: str = "planner",
+    limit: int = 64,
+) -> tuple[PlanChoice, dict[str, int]]:
+    """Best plan *and* the best/worst spread from one pricing pass.
+
+    Combines :func:`best_yannakakis_plan` and :func:`plan_quality` so a
+    caller that wants both (the serving engine's ``prepare``) pays one
+    dangling-removal sweep and one prefix-size cache instead of two.
+    """
+    if not query.is_acyclic():
+        raise QueryError(f"{query.name} is cyclic; Yannakakis does not apply")
+    from repro.mpc.dangling import remove_dangling
+
+    reduced = remove_dangling(group, query, rels, f"{label}/reduce")
+    size_cache: dict[frozenset[str], int] = {}
+
+    def prefix_size(prefix: frozenset[str]) -> int:
+        if prefix not in size_cache:
+            sub_query = Hypergraph(
+                {n: query.attrs_of(n) for n in prefix}, name="prefix"
+            )
+            size_cache[prefix] = mpc_count(
+                group, sub_query, {n: reduced[n] for n in prefix},
+                f"{label}/count",
+            )
+        return size_cache[prefix]
+
+    best: PlanChoice | None = None
+    worsts: list[int] = []
+    for order in enumerate_fold_orders(query, limit=limit):
+        sizes = []
+        for k in range(2, len(order)):  # the final join's size is OUT for all
+            sizes.append(prefix_size(frozenset(order[:k])))
+        worst = max(sizes, default=0)
+        worsts.append(worst)
+        if best is None or worst < best.max_intermediate:
+            plan: Plan = order[0]
+            for n in order[1:]:
+                plan = (plan, n)
+            best = PlanChoice(
+                plan=plan,
+                order=order,
+                max_intermediate=worst,
+                intermediates=tuple(sizes),
+            )
+    assert best is not None
+    quality = {"best": min(worsts), "worst": max(worsts), "orders": len(worsts)}
+    return best, quality
 
 
 def plan_quality(

@@ -28,7 +28,7 @@ from repro.core.aggregates import (
 from repro.core.binhc import binhc_join
 from repro.core.common import JoinResult
 from repro.core.hypercube import hypercube_join
-from repro.core.line3 import _is_line3, line3_join
+from repro.core.line3 import is_line3, line3_join
 from repro.core.rhierarchical import rhierarchical_join
 from repro.core.wcoj import line3_worst_case, triangle_worst_case
 from repro.core.yannakakis import Plan, yannakakis_mpc
@@ -38,7 +38,7 @@ from repro.errors import QueryError
 from repro.mpc.backends import Backend
 from repro.mpc.cluster import Cluster, LoadReport
 from repro.mpc.dangling import remove_dangling
-from repro.mpc.distrel import distribute_instance
+from repro.mpc.distrel import DistRelation, distribute_instance
 from repro.query.classify import JoinClass, classify
 from repro.query.ghd import output_join_tree, residual_output_query
 from repro.query.hypergraph import Hypergraph
@@ -52,6 +52,8 @@ __all__ = [
     "mpc_join_project",
     "mpc_output_size",
     "auto_algorithm",
+    "run_join_algorithm",
+    "run_aggregate_algorithm",
 ]
 
 #: Names accepted by :func:`mpc_join`.
@@ -75,7 +77,7 @@ def auto_algorithm(query: Hypergraph) -> str:
     if cls <= JoinClass.R_HIERARCHICAL:
         return "rhierarchical"
     if cls == JoinClass.ACYCLIC:
-        return "line3" if _is_line3(query) else "acyclic"
+        return "line3" if is_line3(query) else "acyclic"
     if len(query.attributes) == 3 and len(query.edge_names) == 3:
         return "wc-triangle"
     return "hypercube"
@@ -115,25 +117,7 @@ def mpc_join(
     cluster = Cluster(p, backend=backend)
     group = cluster.root_group()
     rels = distribute_instance(instance, group)
-
-    if algorithm == "yannakakis":
-        result = yannakakis_mpc(group, query, rels, plan=plan)
-    elif algorithm == "line3":
-        result = line3_join(group, query, rels)
-    elif algorithm == "acyclic":
-        result = acyclic_join(group, query, rels)
-    elif algorithm == "rhierarchical":
-        result = rhierarchical_join(group, query, rels)
-    elif algorithm == "binhc":
-        result = binhc_join(group, query, rels)
-    elif algorithm == "binhc-multiround":
-        result = binhc_join(group, query, rels, remove_dangling_first=True)
-    elif algorithm == "hypercube":
-        result = hypercube_join(group, query, rels)
-    elif algorithm == "wc-line3":
-        result = line3_worst_case(group, query, rels)
-    else:
-        result = triangle_worst_case(group, query, rels)
+    result = run_join_algorithm(group, query, rels, algorithm, plan=plan)
 
     out = JoinResult(
         relation=result,
@@ -158,6 +142,44 @@ def mpc_join(
                 f"extra={list(got - expected)[:3]}"
             )
     return out
+
+
+def run_join_algorithm(
+    group,
+    query: Hypergraph,
+    rels: dict[str, "DistRelation"],
+    algorithm: str,
+    plan: Plan | None = None,
+) -> "DistRelation":
+    """Plan-replay seam: run a *resolved* algorithm on distributed relations.
+
+    This is the execution body of :func:`mpc_join` factored out so that a
+    long-lived session (:class:`repro.engine.Engine`) can replay a prepared
+    plan against an existing cluster and already-distributed relations.
+    ``algorithm`` must be a concrete name (``"auto"`` is resolved by the
+    callers); ``plan`` is consulted by Yannakakis only.
+    """
+    if algorithm == "yannakakis":
+        return yannakakis_mpc(group, query, rels, plan=plan)
+    if algorithm == "line3":
+        return line3_join(group, query, rels)
+    if algorithm == "acyclic":
+        return acyclic_join(group, query, rels)
+    if algorithm == "rhierarchical":
+        return rhierarchical_join(group, query, rels)
+    if algorithm == "binhc":
+        return binhc_join(group, query, rels)
+    if algorithm == "binhc-multiround":
+        return binhc_join(group, query, rels, remove_dangling_first=True)
+    if algorithm == "hypercube":
+        return hypercube_join(group, query, rels)
+    if algorithm == "wc-line3":
+        return line3_worst_case(group, query, rels)
+    if algorithm == "wc-triangle":
+        return triangle_worst_case(group, query, rels)
+    raise QueryError(
+        f"unknown resolved algorithm {algorithm!r}; pick from {ALGORITHMS[1:]}"
+    )
 
 
 def mpc_output_size(
@@ -236,7 +258,6 @@ def mpc_join_aggregate(
             instance-optimal join), ``"rhierarchical"``, ``"acyclic"``, or
             ``"yannakakis"`` for the downstream join on the residual query.
     """
-    y = frozenset(output_attrs)
     cluster = Cluster(p, backend=backend)
     group = cluster.root_group()
     rels = distribute_instance(instance, group, annotate=True)
@@ -244,22 +265,51 @@ def mpc_join_aggregate(
         if not rel.annotated:
             raise QueryError(f"relation {n!r} is not annotated; annotate first")
 
+    relation, scalar, meta = run_aggregate_algorithm(
+        group, query, output_attrs, rels, semiring, algorithm=algorithm
+    )
+    meta.update(
+        {
+            "p": p,
+            "backend": cluster.backend.name,
+            "in_size": instance.input_size,
+        }
+    )
+    return AggregateResult(
+        relation=relation,
+        scalar=scalar,
+        report=cluster.snapshot(),
+        meta=meta,
+    )
+
+
+def run_aggregate_algorithm(
+    group,
+    query: Hypergraph,
+    output_attrs,
+    rels: dict[str, DistRelation],
+    semiring: Semiring,
+    algorithm: str = "auto",
+) -> tuple[Relation | None, Any, dict[str, Any]]:
+    """Plan-replay seam for join-aggregates: run on distributed relations.
+
+    The execution body of :func:`mpc_join_aggregate`, factored out so a
+    long-lived session can replay a prepared aggregate against an existing
+    cluster.  ``rels`` must already be distributed *with annotation columns*
+    (``distribute_instance(..., annotate=True)``).
+
+    Returns:
+        ``(relation, scalar, meta)`` — the annotated output relation (or
+        ``None`` for total aggregation), the total-aggregate scalar (or
+        ``None``), and algorithm metadata.
+    """
+    y = frozenset(output_attrs)
     rels = remove_dangling(group, query, rels, "agg/dangling")
     reduced_query, rels = annotated_reduce(group, query, rels, semiring, "agg/reduce")
 
     if not y:
         scalar = aggregate_total(group, reduced_query, rels, semiring, "agg/total")
-        return AggregateResult(
-            relation=None,
-            scalar=scalar,
-            report=cluster.snapshot(),
-            meta={
-                "p": p,
-                "backend": cluster.backend.name,
-                "in_size": instance.input_size,
-                "y": (),
-            },
-        )
+        return None, scalar, {"y": ()}
 
     scaffold = output_join_tree(reduced_query, y)
     residual_rels = aggregate_out(group, scaffold, rels, semiring, "agg/aggro")
@@ -302,16 +352,8 @@ def mpc_join_aggregate(
                 semiring.times_all(row[i] for i in w_positions)
             )
     relation = Relation("result", y_sorted, rows, annotations, semiring)
-    return AggregateResult(
-        relation=relation,
-        scalar=None,
-        report=cluster.snapshot(),
-        meta={
-            "p": p,
-            "backend": cluster.backend.name,
-            "in_size": instance.input_size,
-            "y": y_sorted,
-            "downstream": algorithm,
-            "out_size": len(relation),
-        },
-    )
+    return relation, None, {
+        "y": y_sorted,
+        "downstream": algorithm,
+        "out_size": len(relation),
+    }

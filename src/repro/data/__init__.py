@@ -19,7 +19,13 @@ from repro.data.hard_instances import (
     yannakakis_trap_doubled,
 )
 from repro.data.instance import Instance
-from repro.data.stats import DegreeSummary, InstanceReport, degree_summary, instance_report
+from repro.data.stats import (
+    DegreeSummary,
+    InstanceReport,
+    degree_summary,
+    instance_report,
+    stats_fingerprint,
+)
 from repro.data.relation import Relation
 
 __all__ = [
@@ -43,4 +49,5 @@ __all__ = [
     "InstanceReport",
     "degree_summary",
     "instance_report",
+    "stats_fingerprint",
 ]

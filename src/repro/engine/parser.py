@@ -1,0 +1,286 @@
+"""A small datalog-style query parser for the serving engine.
+
+Queries arrive as text instead of hand-built hypergraphs::
+
+    Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)   # full natural join
+    Q(A,B)     :- R1(A,B), R2(B,C)            # join-project (distinct pi_y)
+    Q(B; count) :- R1(A,B), R2(B,C)           # join-aggregate, GROUP BY B
+    Q(; sum)   :- R1(A,B), R2(B,C)            # total aggregate (y = {})
+    line3                                      # catalog lookup by name
+
+Body atoms bind *positionally*: ``R1(A,B)`` means column 0 of the
+registered base relation ``R1`` plays variable ``A``.  Repeating a relation
+name is a self-join; the repeated occurrences get hypergraph edge keys
+``name@2``, ``name@3``, ... (which the grammar also accepts verbatim, so
+canonical forms round-trip).  A bare identifier is looked up in
+:data:`repro.query.catalog.CATALOG`; unknown names get near-miss
+suggestions in the error message.
+
+The parse result is structural only — no data is touched.  Binding edge
+keys to registered relations happens in :class:`repro.engine.Engine`.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import ParseError
+from repro.query.canonical import canonical_form
+from repro.query.hypergraph import Hypergraph
+from repro.semiring import (
+    BOOLEAN,
+    COUNT,
+    MAX_TROPICAL,
+    MIN_TROPICAL,
+    SUM_PRODUCT,
+    Semiring,
+)
+
+__all__ = ["AGGREGATES", "Binding", "ParsedQuery", "parse_query"]
+
+#: Aggregate spec names accepted after ``;`` in a rule head.
+AGGREGATES: dict[str, Semiring] = {
+    "count": COUNT,
+    "sum": SUM_PRODUCT,
+    "min": MIN_TROPICAL,
+    "max": MAX_TROPICAL,
+    "bool": BOOLEAN,
+}
+
+_IDENT = re.compile(r"[A-Za-z_]\w*\Z")
+#: Atom relation token: an identifier, optionally ``@k`` (self-join alias).
+_REL_TOKEN = re.compile(r"([A-Za-z_]\w*)(?:@(\d+))?\Z")
+_ATOM = re.compile(r"([A-Za-z_]\w*(?:@\d+)?)\s*\(([^()]*)\)")
+_HEAD = re.compile(r"\A\s*([A-Za-z_]\w*)\s*\((.*)\)\s*\Z", re.DOTALL)
+
+
+def _suggest(name: str, candidates, what: str) -> str:
+    """``"; did you mean X?"`` suffix from close matches, or ''."""
+    close = difflib.get_close_matches(name, list(candidates), n=3, cutoff=0.5)
+    if not close:
+        return f"; {what}: {', '.join(sorted(candidates))}"
+    return f"; did you mean {' or '.join(close)}?"
+
+
+@dataclass(frozen=True)
+class Binding:
+    """How one hypergraph edge binds to a registered base relation.
+
+    Attributes:
+        edge: The edge key in the parsed hypergraph (``R`` or ``R@2``).
+        relation: The registered base-relation name (``R`` for both).
+        variables: Query variables in atom order; the base relation's
+            columns are renamed to these positionally.  ``None`` means
+            bind columns by attribute name (catalog lookups).
+    """
+
+    edge: str
+    relation: str
+    variables: tuple[str, ...] | None
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed datalog-style query: structure plus binding directives.
+
+    Attributes:
+        text: The original query text.
+        head_name: The rule-head predicate name (query name).
+        query: The body hypergraph (edge keys may carry ``@k`` aliases).
+        output_attrs: Head variables in head order; ``None`` means the full
+            natural join (head listed every body variable, no aggregate).
+        aggregate: Aggregate spec name from :data:`AGGREGATES`, or ``None``.
+        bindings: One :class:`Binding` per hypergraph edge, in atom order.
+    """
+
+    text: str
+    head_name: str
+    query: Hypergraph
+    output_attrs: tuple[str, ...] | None
+    aggregate: str | None
+    bindings: tuple[Binding, ...]
+
+    @property
+    def kind(self) -> str:
+        """``"join"`` (full), ``"project"`` (pi_y), or ``"aggregate"``."""
+        if self.aggregate is not None:
+            return "aggregate"
+        return "join" if self.output_attrs is None else "project"
+
+    @property
+    def semiring(self) -> Semiring | None:
+        """The aggregate's semiring (BOOLEAN for join-project), else None."""
+        if self.aggregate is not None:
+            return AGGREGATES[self.aggregate]
+        return BOOLEAN if self.kind == "project" else None
+
+    @cached_property
+    def _canonical(self) -> str:
+        return canonical_form(self.query, self.output_attrs, self.aggregate)
+
+    def canonical(self) -> str:
+        """Normalized text form — the engine's plan-cache key."""
+        return self._canonical
+
+
+def _parse_attr_list(text: str, where: str) -> tuple[str, ...]:
+    """Split a comma-separated variable list, validating identifiers."""
+    text = text.strip()
+    if not text:
+        return ()
+    attrs = []
+    for token in text.split(","):
+        token = token.strip()
+        if not _IDENT.match(token):
+            raise ParseError(f"bad variable {token!r} in {where}")
+        attrs.append(token)
+    return tuple(attrs)
+
+
+def _parse_body(body_text: str) -> list[tuple[str, tuple[str, ...]]]:
+    """Parse ``R1(A,B), R2(B,C)`` into ``[(token, vars), ...]``."""
+    atoms: list[tuple[str, tuple[str, ...]]] = []
+    pos = 0
+    for match in _ATOM.finditer(body_text):
+        between = body_text[pos:match.start()].strip()
+        expected = "," if atoms else ""
+        if between != expected:
+            raise ParseError(
+                f"unexpected text {between!r} between body atoms"
+                if between not in ("", ",")
+                else "body atoms must be comma-separated"
+            )
+        token = match.group(1)
+        variables = _parse_attr_list(match.group(2), f"atom {token}")
+        if not variables:
+            raise ParseError(f"atom {token!r} has no variables")
+        if len(set(variables)) != len(variables):
+            raise ParseError(
+                f"atom {token!r} repeats a variable; self-equality filters "
+                f"are not supported"
+            )
+        atoms.append((token, variables))
+        pos = match.end()
+    trailing = body_text[pos:].strip()
+    if trailing:
+        raise ParseError(f"unexpected trailing text {trailing!r} in body")
+    if not atoms:
+        raise ParseError("rule body has no atoms")
+    return atoms
+
+
+def _parse_catalog_name(name: str) -> ParsedQuery:
+    """Look up a bare identifier in the query catalog."""
+    from repro.query.catalog import CATALOG
+
+    query = CATALOG.get(name)
+    if query is None:
+        raise ParseError(
+            f"unknown catalog query {name!r}"
+            + _suggest(name, CATALOG, "available")
+        )
+    bindings = tuple(
+        Binding(edge=n, relation=n, variables=None) for n in query.edge_names
+    )
+    return ParsedQuery(
+        text=name,
+        head_name=name,
+        query=query,
+        output_attrs=None,
+        aggregate=None,
+        bindings=bindings,
+    )
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse datalog-style query text (or a catalog name) into structure.
+
+    Raises:
+        ParseError: On any malformed input; messages include near-miss
+            suggestions for catalog and aggregate names.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ParseError("empty query text")
+    stripped = " ".join(text.split())
+    if ":-" not in stripped:
+        if _IDENT.match(stripped):
+            return _parse_catalog_name(stripped)
+        raise ParseError(
+            f"expected 'Head(...) :- Body(...)' or a catalog name, got {text!r}"
+        )
+
+    head_text, _, body_text = stripped.partition(":-")
+    head_match = _HEAD.match(head_text)
+    if head_match is None:
+        raise ParseError(f"bad rule head {head_text.strip()!r}")
+    head_name, head_inner = head_match.group(1), head_match.group(2)
+
+    aggregate: str | None = None
+    if ";" in head_inner:
+        attrs_part, _, agg_part = head_inner.partition(";")
+        if ";" in agg_part:
+            raise ParseError("rule head has more than one ';'")
+        aggregate = agg_part.strip().lower()
+        if aggregate not in AGGREGATES:
+            raise ParseError(
+                f"unknown aggregate {aggregate!r}"
+                + _suggest(aggregate, AGGREGATES, "available")
+            )
+        head_inner = attrs_part
+    head_attrs = _parse_attr_list(head_inner, f"head {head_name}")
+    if len(set(head_attrs)) != len(head_attrs):
+        raise ParseError(f"head {head_name!r} repeats a variable")
+
+    atoms = _parse_body(body_text)
+
+    # Assign hypergraph edge keys: first occurrence keeps the bare name,
+    # self-join repeats get name@2, name@3, ...; explicit @k tokens are
+    # honored so canonical forms round-trip.  Bare repeats skip keys that
+    # explicit aliases already claim, so the two styles can mix.
+    explicit = {token for token, _vars in atoms if "@" in token}
+    edges: dict[str, tuple[str, ...]] = {}
+    bindings: list[Binding] = []
+    occurrences: dict[str, int] = {}
+    for token, variables in atoms:
+        rel_match = _REL_TOKEN.match(token)
+        if rel_match is None:  # pragma: no cover - _ATOM already filtered
+            raise ParseError(f"bad relation token {token!r}")
+        base = rel_match.group(1)
+        if rel_match.group(2) is not None:
+            edge = token
+        else:
+            k = occurrences.get(base, 0) + 1
+            edge = base if k == 1 else f"{base}@{k}"
+            while edge in explicit:
+                k += 1
+                edge = f"{base}@{k}"
+            occurrences[base] = k
+        if edge in edges:
+            raise ParseError(f"duplicate atom key {edge!r} in body")
+        edges[edge] = variables
+        bindings.append(Binding(edge=edge, relation=base, variables=variables))
+
+    query = Hypergraph(edges, name=head_name)
+    body_attrs = query.attributes
+    unknown = [a for a in head_attrs if a not in body_attrs]
+    if unknown:
+        raise ParseError(
+            f"head variable(s) {unknown} do not appear in the body"
+            + _suggest(unknown[0], body_attrs, "body variables")
+        )
+
+    output_attrs: tuple[str, ...] | None = head_attrs
+    if aggregate is None and set(head_attrs) == set(body_attrs):
+        output_attrs = None  # full natural join
+
+    return ParsedQuery(
+        text=text.strip(),
+        head_name=head_name,
+        query=query,
+        output_attrs=output_attrs,
+        aggregate=aggregate,
+        bindings=tuple(bindings),
+    )

@@ -1,0 +1,757 @@
+"""A persistent serving session: warm cluster, prepared plans, batches.
+
+Everything else in the repo is one-shot: :func:`repro.core.runner.mpc_join`
+builds a fresh :class:`~repro.mpc.cluster.Cluster` per call, so the
+substrate caches attached to distributed relations never amortize across
+queries.  :class:`Engine` is the serving-side answer:
+
+* **Registered base relations** — named :class:`~repro.data.relation.
+  Relation` objects, versioned on every update.
+* **One warm cluster/backend** held across queries.  Distributed (and
+  annotated) variants of each registered relation are cached keyed by
+  ``(name, version, binding)``, so the per-relation substrate caches
+  (sorted runs, key encodings) and the multiprocess workers'
+  content-addressed memos keep paying off query after query.
+* **``prepare()``** — parse, classify, resolve the algorithm
+  (:func:`~repro.core.runner.auto_algorithm`), price the Yannakakis fold
+  orders (:func:`~repro.core.planner.price_fold_orders`, Section 4.1)
+  once, and cache
+  the compiled plan keyed by the query's canonical form + bindings.  The
+  entry records a data-stats fingerprint
+  (:func:`~repro.data.stats.stats_fingerprint`); when a registered
+  relation changes, the plan is revalidated (same stats) or recompiled
+  (stats drifted) — a stale plan never serves, and stale *data* never
+  serves because the distributed-relation caches are version-keyed.
+* **``execute()``** — replay the prepared plan through the same
+  :func:`~repro.core.runner.run_join_algorithm` /
+  :func:`~repro.core.runner.run_aggregate_algorithm` seams the one-shot
+  entry points use, so outputs and the per-query
+  :class:`~repro.mpc.cluster.LoadReport` are bit-identical to
+  ``mpc_join`` / ``mpc_join_aggregate`` (see ``tests/test_engine_parity``).
+* **``submit_batch()``** — run many queries against the shared backend,
+  optionally from multiple submitter threads, aggregating per-query
+  metrics into an :class:`EngineStats` report.
+
+Thread-safety: the engine serializes cluster use behind an internal lock
+(per-query ledgers require exclusive access to the shared ledger), so
+``execute`` may be called concurrently from many threads; executions are
+correct and metrics are per-query, but they do not overlap in time.
+"""
+
+from __future__ import annotations
+
+import difflib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.planner import price_fold_orders
+from repro.core.runner import (
+    ALGORITHMS,
+    auto_algorithm,
+    run_aggregate_algorithm,
+    run_join_algorithm,
+)
+from repro.core.yannakakis import Plan
+from repro.data.instance import Instance
+from repro.data.relation import Relation, Row
+from repro.data.stats import stats_fingerprint
+from repro.engine.parser import Binding, ParsedQuery, parse_query
+from repro.errors import EngineError
+from repro.mpc.backends import Backend
+from repro.mpc.cluster import Cluster, LoadReport
+from repro.mpc.distrel import DistRelation, distribute_instance, distribute_relation
+from repro.query.classify import classify
+
+__all__ = [
+    "BatchReport",
+    "Engine",
+    "EngineStats",
+    "ExecutionResult",
+    "PreparedQuery",
+    "QueryMetrics",
+]
+
+#: Downstream algorithms accepted for aggregate/project queries.
+_AGG_ALGORITHMS = ("auto", "rhierarchical", "acyclic", "yannakakis")
+
+
+@dataclass
+class _CachedResult:
+    """A recorded execution, replayable while its data versions hold.
+
+    The simulation is deterministic: re-running an unchanged plan over
+    unchanged registered relations reproduces the same outputs and the
+    same ledger bit for bit, so serving the recording *is* the execution
+    (the same argument behind the substrate's ledger-replaying sorted-run
+    cache).  Version mismatch ⇒ the recording is unservable.
+    """
+
+    relation_versions: dict[str, int]
+    relation: Any
+    scalar: Any
+    report: LoadReport
+    meta: dict[str, Any]
+    out_size: int
+
+
+@dataclass
+class PreparedQuery:
+    """A compiled, cached query plan.
+
+    Attributes:
+        parsed: The parsed query structure.
+        key: Plan-cache key (canonical form + bindings + algorithm request).
+        kind: ``"join"`` | ``"project"`` | ``"aggregate"``.
+        query_class: Figure-1 class name of the body hypergraph.
+        algorithm: Resolved join algorithm (joins) or downstream algorithm
+            (aggregates; ``"auto"`` resolves per the residual query).
+        plan: Priced Yannakakis fold plan (acyclic joins), consulted when
+            ``algorithm == "yannakakis"``.
+        plan_order: The fold order the plan encodes.
+        plan_quality: Section 4.1 best/worst max-intermediate sizes — the
+            Figure-3 planned-vs-decomposition gap, observable per query.
+        fingerprint: Data-stats fingerprint the plan was compiled against.
+        relation_versions: Registered-relation versions at compile time.
+        prepare_seconds: Wall time spent compiling.
+        uses: Number of executions served by this entry.
+    """
+
+    parsed: ParsedQuery
+    key: tuple
+    kind: str
+    query_class: str
+    algorithm: str
+    plan: Plan | None
+    plan_order: tuple[str, ...] | None
+    plan_quality: dict[str, int] | None
+    fingerprint: str
+    relation_versions: dict[str, int]
+    prepare_seconds: float
+    uses: int = 0
+    cached_result: _CachedResult | None = None
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """Per-execution serving metrics.
+
+    ``cache_hit`` — the plan cache served this query without touching data
+    statistics.  ``plan_reused`` — the compiled plan was not recompiled
+    (includes fingerprint revalidation after a data update).
+    ``invalidated`` — a cached plan existed but was recompiled because the
+    data stats drifted.  ``result_cached`` — the recorded execution was
+    replayed instead of re-simulated (identical outputs and ledger).
+    """
+
+    text: str
+    kind: str
+    algorithm: str
+    cache_hit: bool
+    plan_reused: bool
+    invalidated: bool
+    result_cached: bool
+    load: int
+    max_step_load: int
+    steps: int
+    out_size: int
+    wall_seconds: float
+    plan_quality: dict[str, int] | None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "text": self.text,
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "cache_hit": self.cache_hit,
+            "plan_reused": self.plan_reused,
+            "invalidated": self.invalidated,
+            "result_cached": self.result_cached,
+            "load": self.load,
+            "max_step_load": self.max_step_load,
+            "steps": self.steps,
+            "out_size": self.out_size,
+            "wall_seconds": self.wall_seconds,
+            "plan_quality": self.plan_quality,
+        }
+
+
+@dataclass
+class EngineStats:
+    """Aggregated serving metrics for a session or a batch.
+
+    Counters aggregate over the whole lifetime; ``per_query`` keeps the
+    most recent ``max_per_query`` records (unbounded when ``None``) so a
+    long-lived serving session does not grow memory per request.
+    """
+
+    p: int
+    backend: str
+    queries: int = 0
+    prepares: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    invalidations: int = 0
+    result_hits: int = 0
+    total_load: int = 0
+    max_load: int = 0
+    total_wall_seconds: float = 0.0
+    per_query: list[QueryMetrics] = field(default_factory=list)
+    max_per_query: int | None = None
+
+    def record(self, metrics: QueryMetrics) -> None:
+        self.queries += 1
+        if metrics.plan_reused:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        if metrics.invalidated:
+            self.invalidations += 1
+        if metrics.result_cached:
+            self.result_hits += 1
+        self.total_load += metrics.load
+        self.max_load = max(self.max_load, metrics.load)
+        self.total_wall_seconds += metrics.wall_seconds
+        self.per_query.append(metrics)
+        if self.max_per_query is not None and len(self.per_query) > self.max_per_query:
+            del self.per_query[: len(self.per_query) - self.max_per_query]
+
+    def plan_gaps(self) -> dict[str, dict[str, float]]:
+        """Per distinct query text: the Figure-3 planned-vs-worst gap."""
+        gaps: dict[str, dict[str, float]] = {}
+        for m in self.per_query:
+            if m.plan_quality is None or m.text in gaps:
+                continue
+            best = m.plan_quality["best"]
+            worst = m.plan_quality["worst"]
+            gaps[m.text] = {
+                "best": best,
+                "worst": worst,
+                "orders": m.plan_quality["orders"],
+                "gap": worst / best if best else 1.0,
+            }
+        return gaps
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.queries} queries on backend={self.backend} p={self.p}: "
+            f"{self.cache_hits} plan hits / {self.cache_misses} misses / "
+            f"{self.invalidations} invalidations / {self.result_hits} "
+            f"result replays, total load "
+            f"{self.total_load} (max {self.max_load}), "
+            f"{self.total_wall_seconds:.3f}s wall"
+        ]
+        for text, gap in self.plan_gaps().items():
+            lines.append(
+                f"  plan gap {gap['gap']:.2f}x (best {gap['best']} / worst "
+                f"{gap['worst']} over {gap['orders']} orders): {text}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "p": self.p,
+            "backend": self.backend,
+            "queries": self.queries,
+            "prepares": self.prepares,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "invalidations": self.invalidations,
+            "result_hits": self.result_hits,
+            "total_load": self.total_load,
+            "max_load": self.max_load,
+            "total_wall_seconds": self.total_wall_seconds,
+            "plan_gaps": self.plan_gaps(),
+            "per_query": [m.as_dict() for m in self.per_query],
+        }
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one engine execution.
+
+    ``relation`` is a :class:`~repro.mpc.distrel.DistRelation` for full
+    joins (distributed, exactly as :func:`~repro.core.runner.mpc_join`
+    emits it), a :class:`~repro.data.relation.Relation` for join-project /
+    group-by aggregates, or ``None`` for total aggregates (see ``scalar``).
+    """
+
+    prepared: PreparedQuery
+    relation: DistRelation | Relation | None
+    scalar: Any
+    report: LoadReport
+    metrics: QueryMetrics
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def rows(self) -> list[Row]:
+        if isinstance(self.relation, DistRelation):
+            return self.relation.all_rows()
+        if isinstance(self.relation, Relation):
+            return list(self.relation.rows)
+        return []
+
+    @property
+    def output_size(self) -> int:
+        return self.metrics.out_size
+
+
+@dataclass
+class BatchReport:
+    """Results and aggregated metrics of one :meth:`Engine.submit_batch`."""
+
+    results: list[ExecutionResult]
+    stats: EngineStats
+
+
+class Engine:
+    """A concurrent serving session over one warm cluster.
+
+    Args:
+        p: Number of simulated servers for every query.
+        backend: Execution backend (instance, registered name, or ``None``
+            for the process default) — held warm for the session lifetime.
+        result_cache: Serve recorded executions while the touched
+            relations' versions are unchanged (default).  The simulation
+            is deterministic, so a replayed recording is bit-identical to
+            a re-run — outputs and ledger alike; pass ``False`` to force
+            every execution through the algorithms (benchmarking the
+            replay path, ledger-conformance testing).
+
+    Example::
+
+        engine = Engine(p=8)
+        engine.register(Relation("R1", ("A", "B"), rows1))
+        engine.register(Relation("R2", ("B", "C"), rows2))
+        res = engine.execute("Q(A,B) :- R1(A,B), R2(B,C)")
+        print(res.rows(), res.report.load, res.metrics.cache_hit)
+    """
+
+    def __init__(
+        self,
+        p: int = 8,
+        backend: Backend | str | None = None,
+        result_cache: bool = True,
+    ) -> None:
+        self.p = p
+        self.result_cache = result_cache
+        self._cluster = Cluster(p, backend=backend)
+        self._group = self._cluster.root_group()
+        self._lock = threading.RLock()
+        self._relations: dict[str, Relation] = {}
+        self._versions: dict[str, int] = {}
+        self._plans: dict[tuple, PreparedQuery] = {}
+        # (name, version, edge, variables) -> positionally-renamed Relation
+        self._bound_cache: dict[tuple, Relation] = {}
+        # (name, version, edge, variables, aggregate|None) -> DistRelation
+        self._dist_cache: dict[tuple, DistRelation] = {}
+        self._stats = EngineStats(
+            p=p, backend=self._cluster.backend.name, max_per_query=1024
+        )
+
+    # ------------------------------------------------------------------
+    # Base-relation registry
+    # ------------------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        return self._cluster.backend.name
+
+    def register(self, relation: Relation, name: str | None = None) -> int:
+        """Register (or update) a named base relation; returns its version.
+
+        Updating bumps the version: cached distributed variants of the old
+        version are dropped, and prepared plans that touch the relation are
+        revalidated against fresh statistics on their next use.
+        """
+        name = name or relation.name
+        with self._lock:
+            version = self._versions.get(name, 0) + 1
+            self._versions[name] = version
+            self._relations[name] = relation
+            for cache in (self._bound_cache, self._dist_cache):
+                stale = [k for k in cache if k[0] == name and k[1] != version]
+                for k in stale:
+                    del cache[k]
+            return version
+
+    def relation_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._relations))
+
+    def relation_version(self, name: str) -> int:
+        with self._lock:
+            return self._versions.get(name, 0)
+
+    def _base(self, name: str) -> Relation:
+        rel = self._relations.get(name)
+        if rel is None:
+            close = difflib.get_close_matches(name, self._relations, n=3, cutoff=0.5)
+            hint = (
+                f"; did you mean {' or '.join(close)}?"
+                if close
+                else f"; registered: {sorted(self._relations) or '(none)'}"
+            )
+            raise EngineError(f"no registered relation {name!r}{hint}")
+        return rel
+
+    def _bound(self, binding: Binding) -> Relation:
+        """The base relation renamed to the binding's edge key + variables."""
+        base = self._base(binding.relation)
+        version = self._versions[binding.relation]
+        key = (binding.relation, version, binding.edge, binding.variables)
+        cached = self._bound_cache.get(key)
+        if cached is None:
+            if binding.variables is None:
+                cached = base if base.name == binding.edge else Relation(
+                    binding.edge, base.attrs, base.rows,
+                    base.annotations, base.semiring,
+                )
+            else:
+                if len(binding.variables) != len(base.attrs):
+                    raise EngineError(
+                        f"atom {binding.edge}({','.join(binding.variables)}) has "
+                        f"arity {len(binding.variables)} but relation "
+                        f"{binding.relation!r} has columns {base.attrs}"
+                    )
+                cached = Relation(
+                    binding.edge, binding.variables, base.rows,
+                    base.annotations, base.semiring,
+                )
+            self._bound_cache[key] = cached
+        return cached
+
+    def instance_for(self, parsed: ParsedQuery) -> Instance:
+        """Materialize the query's instance from registered relations.
+
+        Public so conformance/parity tests and benchmarks can hand the
+        *identical* instance to the one-shot entry points.
+        """
+        with self._lock:
+            return Instance(
+                parsed.query, {b.edge: self._bound(b) for b in parsed.bindings}
+            )
+
+    def _dist_rels(
+        self, parsed: ParsedQuery, aggregate: str | None = None
+    ) -> dict[str, DistRelation]:
+        """Cached distributed (and possibly annotated) relations per edge."""
+        rels: dict[str, DistRelation] = {}
+        semiring = parsed.semiring
+        for b in parsed.bindings:
+            version = self._versions.get(b.relation, 0)
+            key = (b.relation, version, b.edge, b.variables, aggregate)
+            dist = self._dist_cache.get(key)
+            if dist is None:
+                rel = self._bound(b)
+                if aggregate is not None:
+                    if not rel.annotated:
+                        rel = rel.with_annotations(semiring)
+                    dist = distribute_relation(rel, self._group, annotate=True)
+                else:
+                    dist = distribute_relation(rel, self._group)
+                self._dist_cache[key] = dist
+            rels[b.edge] = dist
+        return rels
+
+    # ------------------------------------------------------------------
+    # Prepare: classify -> auto_algorithm -> priced plan, cached
+    # ------------------------------------------------------------------
+    def prepare(
+        self, query: str | ParsedQuery, algorithm: str = "auto"
+    ) -> PreparedQuery:
+        """Compile (or fetch from cache) the plan for a query.
+
+        Args:
+            query: Datalog-style text, a catalog name, or a parsed query.
+            algorithm: ``"auto"`` resolves via
+                :func:`~repro.core.runner.auto_algorithm` for joins and the
+                residual-query classification for aggregates; a concrete
+                name pins the algorithm (``"yannakakis"`` replays the
+                priced Section 4.1 plan).
+        """
+        parsed = query if isinstance(query, ParsedQuery) else parse_query(query)
+        with self._lock:
+            entry, _status = self._resolve(parsed, algorithm)
+            return entry
+
+    def _plan_key(self, parsed: ParsedQuery, algorithm: str) -> tuple:
+        # Bindings are keyed order-insensitively (atom order is irrelevant)
+        # but participate in the key: two queries with one canonical form
+        # can still bind a base relation's columns to different variables
+        # (``R(A,B)`` vs ``R(B,A)``), and those must not share a plan.
+        return (
+            parsed.canonical(),
+            tuple(sorted(parsed.bindings, key=lambda b: b.edge)),
+            algorithm,
+        )
+
+    def _current_versions(self, parsed: ParsedQuery) -> dict[str, int]:
+        return {
+            b.relation: self._versions.get(b.relation, 0)
+            for b in parsed.bindings
+        }
+
+    def _resolve(
+        self, parsed: ParsedQuery, algorithm: str
+    ) -> tuple[PreparedQuery, str]:
+        """Fetch/compile the plan; returns the entry and its cache status.
+
+        Status is ``"hit"`` (versions unchanged — served without touching
+        data statistics), ``"revalidated"`` (data changed but its stats
+        fingerprint did not, so the compiled plan is kept), ``"invalidated"``
+        (stats drifted — recompiled), or ``"miss"`` (first compile).
+        """
+        key = self._plan_key(parsed, algorithm)
+        entry = self._plans.get(key)
+        if entry is not None:
+            versions = self._current_versions(parsed)
+            if versions == entry.relation_versions:
+                return entry, "hit"
+            # Data changed since compile: a stale plan must never serve.
+            fingerprint = stats_fingerprint(self.instance_for(parsed))
+            if fingerprint == entry.fingerprint:
+                # Same planning statistics: the compiled plan is still
+                # optimal; revalidate it against the new versions.  Fresh
+                # data is picked up regardless via the version-keyed
+                # distributed-relation caches.
+                entry.relation_versions = versions
+                return entry, "revalidated"
+            entry = self._compile(parsed, algorithm, key)
+            self._plans[key] = entry
+            return entry, "invalidated"
+        entry = self._compile(parsed, algorithm, key)
+        self._plans[key] = entry
+        return entry, "miss"
+
+    def _compile(
+        self, parsed: ParsedQuery, algorithm: str, key: tuple
+    ) -> PreparedQuery:
+        t0 = time.perf_counter()
+        kind = parsed.kind
+        if kind == "join":
+            if algorithm not in ALGORITHMS:
+                raise EngineError(
+                    f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}"
+                )
+            resolved = (
+                auto_algorithm(parsed.query) if algorithm == "auto" else algorithm
+            )
+        else:
+            if algorithm not in _AGG_ALGORITHMS:
+                raise EngineError(
+                    f"unknown downstream algorithm {algorithm!r}; pick from "
+                    f"{_AGG_ALGORITHMS}"
+                )
+            resolved = algorithm
+
+        instance = self.instance_for(parsed)
+        fingerprint = stats_fingerprint(instance)
+
+        plan = plan_order = quality = None
+        if parsed.query.is_acyclic():
+            # Planning runs on a scratch cluster (same backend) so pricing
+            # load never leaks into any per-query serving ledger; one pass
+            # prices the best plan and the best/worst spread together.
+            scratch = Cluster(self.p, backend=self._cluster.backend)
+            scratch_group = scratch.root_group()
+            scratch_rels = distribute_instance(instance, scratch_group)
+            choice, quality = price_fold_orders(
+                scratch_group, parsed.query, scratch_rels
+            )
+            if kind == "join":
+                plan, plan_order = choice.plan, choice.order
+
+        entry = PreparedQuery(
+            parsed=parsed,
+            key=key,
+            kind=kind,
+            query_class=classify(parsed.query).name,
+            algorithm=resolved,
+            plan=plan,
+            plan_order=plan_order,
+            plan_quality=quality,
+            fingerprint=fingerprint,
+            relation_versions=self._current_versions(parsed),
+            prepare_seconds=time.perf_counter() - t0,
+        )
+        self._stats.prepares += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Execute: replay the prepared plan on the warm cluster
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: str | ParsedQuery | PreparedQuery, algorithm: str = "auto"
+    ) -> ExecutionResult:
+        """Run a query, preparing (or reusing the cached plan) as needed.
+
+        Outputs and the per-query :class:`~repro.mpc.cluster.LoadReport`
+        are bit-identical to the one-shot entry points run on the same
+        instance with the same resolved algorithm.
+        """
+        if isinstance(query, PreparedQuery):
+            parsed, algorithm = query.parsed, query.key[2]
+        else:
+            parsed = query if isinstance(query, ParsedQuery) else parse_query(query)
+        with self._lock:
+            entry, status = self._resolve(parsed, algorithm)
+            cache_hit = status == "hit"
+            plan_reused = status in ("hit", "revalidated")
+            invalidated = status == "invalidated"
+            t0 = time.perf_counter()
+            versions = self._current_versions(parsed)
+            cached = entry.cached_result
+            if (
+                self.result_cache
+                and cached is not None
+                and cached.relation_versions == versions
+            ):
+                entry.uses += 1
+                metrics = QueryMetrics(
+                    text=entry.parsed.text,
+                    kind=entry.kind,
+                    algorithm=entry.algorithm,
+                    cache_hit=cache_hit,
+                    plan_reused=plan_reused,
+                    invalidated=invalidated,
+                    result_cached=True,
+                    load=cached.report.load,
+                    max_step_load=cached.report.max_step_load,
+                    steps=cached.report.steps,
+                    out_size=cached.out_size,
+                    wall_seconds=time.perf_counter() - t0,
+                    plan_quality=entry.plan_quality,
+                )
+                self._stats.record(metrics)
+                return ExecutionResult(
+                    prepared=entry,
+                    relation=cached.relation,
+                    scalar=cached.scalar,
+                    report=cached.report,
+                    metrics=metrics,
+                    meta=dict(cached.meta),
+                )
+            if entry.kind == "join":
+                rels = self._dist_rels(entry.parsed)
+                self._cluster.reset()
+                result = run_join_algorithm(
+                    self._group, entry.parsed.query, rels,
+                    entry.algorithm, plan=entry.plan,
+                )
+                report = self._cluster.snapshot()
+                relation: DistRelation | Relation | None = result
+                scalar = None
+                out_size = result.total_size()
+                meta: dict[str, Any] = {"out_size": out_size}
+            else:
+                aggregate = entry.parsed.aggregate or "bool"
+                rels = self._dist_rels(entry.parsed, aggregate=aggregate)
+                self._cluster.reset()
+                relation, scalar, meta = run_aggregate_algorithm(
+                    self._group, entry.parsed.query,
+                    entry.parsed.output_attrs or (), rels,
+                    entry.parsed.semiring, algorithm=entry.algorithm,
+                )
+                report = self._cluster.snapshot()
+                out_size = len(relation) if relation is not None else 1
+            wall = time.perf_counter() - t0
+            entry.uses += 1
+            meta.update(
+                {
+                    "algorithm": entry.algorithm,
+                    "p": self.p,
+                    "backend": self.backend_name,
+                    "query_class": entry.query_class,
+                }
+            )
+            entry.cached_result = _CachedResult(
+                relation_versions=versions,
+                relation=relation,
+                scalar=scalar,
+                report=report,
+                meta=dict(meta),
+                out_size=out_size,
+            )
+            metrics = QueryMetrics(
+                text=entry.parsed.text,
+                kind=entry.kind,
+                algorithm=entry.algorithm,
+                cache_hit=cache_hit,
+                plan_reused=plan_reused,
+                invalidated=invalidated,
+                result_cached=False,
+                load=report.load,
+                max_step_load=report.max_step_load,
+                steps=report.steps,
+                out_size=out_size,
+                wall_seconds=wall,
+                plan_quality=entry.plan_quality,
+            )
+            self._stats.record(metrics)
+            return ExecutionResult(
+                prepared=entry,
+                relation=relation,
+                scalar=scalar,
+                report=report,
+                metrics=metrics,
+                meta=meta,
+            )
+
+    # ------------------------------------------------------------------
+    # Batch submission front
+    # ------------------------------------------------------------------
+    def submit_batch(
+        self,
+        queries: Sequence[str | ParsedQuery | PreparedQuery],
+        threads: int = 1,
+    ) -> BatchReport:
+        """Run many queries against the shared backend.
+
+        Args:
+            queries: Query texts / parsed / prepared queries, executed in
+                submission order (results align with the input).
+            threads: Number of submitter threads.  Executions themselves
+                serialize on the shared cluster (per-query ledgers need
+                exclusive access), so >1 exercises concurrent submission,
+                not parallel simulation.
+
+        Returns:
+            :class:`BatchReport` with per-query results and aggregated
+            :class:`EngineStats` for just this batch.
+        """
+        if not queries:
+            raise EngineError("empty batch")
+        if threads <= 1:
+            results = [self.execute(q) for q in queries]
+        else:
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                results = list(pool.map(self.execute, queries))
+        stats = EngineStats(p=self.p, backend=self.backend_name)
+        for res in results:
+            stats.record(res.metrics)
+        stats.prepares = sum(1 for r in results if not r.metrics.plan_reused)
+        return BatchReport(results=results, stats=stats)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """Cumulative session statistics (live object; treat as read-only)."""
+        with self._lock:
+            return self._stats
+
+    def prepared_queries(self) -> list[PreparedQuery]:
+        with self._lock:
+            return list(self._plans.values())
+
+    def clear_caches(self) -> None:
+        """Drop prepared plans and cached distributed relations."""
+        with self._lock:
+            self._plans.clear()
+            self._bound_cache.clear()
+            self._dist_cache.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine<p={self.p}, backend={self.backend_name}, "
+            f"{len(self._relations)} relations, {len(self._plans)} plans>"
+        )

@@ -25,6 +25,14 @@ class CyclicQueryError(QueryError):
     """The query is cyclic but an acyclic query was required."""
 
 
+class ParseError(QueryError):
+    """Datalog-style query text could not be parsed."""
+
+
+class EngineError(ReproError):
+    """Misuse of a serving-engine session (unknown relations, bad batch)."""
+
+
 class SchemaError(ReproError):
     """Relation data does not match its declared schema."""
 

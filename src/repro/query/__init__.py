@@ -10,6 +10,7 @@ hierarchical / r-hierarchical / acyclic hierarchy
 join-aggregate queries (:mod:`~repro.query.ghd`, Section 6).
 """
 
+from repro.query.canonical import canonical_form
 from repro.query.classify import (
     JoinClass,
     classify,
@@ -47,6 +48,7 @@ __all__ = [
     "JoinTree",
     "gyo_reduction",
     "join_tree",
+    "canonical_form",
     "JoinClass",
     "classify",
     "is_acyclic",

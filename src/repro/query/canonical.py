@@ -1,0 +1,53 @@
+"""Canonical text forms of queries — the serving engine's plan-cache key.
+
+Two queries that differ only in edge insertion order, attribute order
+within an atom, or head-attribute order describe the same join, so a
+prepared plan for one must be served for the other.  :func:`canonical_form`
+renders a query (plus optional output attributes and aggregate spec) as a
+normalized datalog-style string with sorted edges and sorted attributes;
+string equality on canonical forms is the cache-equality the engine uses.
+
+Relation *names* are deliberately part of the form: plans bind to named
+base relations registered in a session, so ``R1(A,B), R2(B,C)`` and
+``S1(A,B), S2(B,C)`` are distinct cache entries even though they are
+isomorphic hypergraphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.query.hypergraph import Hypergraph
+
+__all__ = ["canonical_form"]
+
+
+def canonical_form(
+    query: Hypergraph,
+    output_attrs: Iterable[str] | None = None,
+    aggregate: str | None = None,
+) -> str:
+    """Normalized datalog-style text of a query.
+
+    Args:
+        query: The join hypergraph.
+        output_attrs: Output (free) attributes; ``None`` means the full
+            natural join (every attribute is output).
+        aggregate: Optional aggregate/semiring name (``"count"``, ...);
+            rendered after a ``;`` in the head, datalog-style.
+
+    Returns:
+        A string like ``"Q(A,B,C) :- R1(A,B), R2(B,C)"`` that re-parses to
+        an equivalent query (``repro.engine.parse_query`` round-trips it).
+    """
+    body = ", ".join(
+        f"{name}({','.join(sorted(query.attrs_of(name)))})"
+        for name in sorted(query.edge_names)
+    )
+    if output_attrs is None:
+        head_inner = ",".join(sorted(query.attributes))
+    else:
+        head_inner = ",".join(sorted(set(output_attrs)))
+    if aggregate is not None:
+        head_inner = f"{head_inner}; {aggregate}" if head_inner else f"; {aggregate}"
+    return f"Q({head_inner}) :- {body}"

@@ -1,0 +1,226 @@
+"""Engine session behavior: caching, invalidation, batches, satellites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.line3 import is_line3
+from repro.data.relation import Relation
+from repro.data.stats import stats_fingerprint
+from repro.engine import Engine, parse_query
+from repro.errors import EngineError
+from repro.query import catalog
+from repro.ram.yannakakis import yannakakis as ram_yannakakis
+
+
+def _basic_engine(p: int = 4) -> Engine:
+    eng = Engine(p=p)
+    eng.register(Relation("R1", ("A", "B"), [(i, i % 5) for i in range(40)]))
+    eng.register(Relation("R2", ("B", "C"), [(i % 5, i % 7) for i in range(40)]))
+    eng.register(Relation("R3", ("C", "D"), [(i % 7, i) for i in range(40)]))
+    return eng
+
+
+LINE3 = "Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)"
+
+
+def test_execute_matches_ram_oracle():
+    eng = _basic_engine()
+    res = eng.execute(LINE3)
+    parsed = parse_query(LINE3)
+    expected = set(ram_yannakakis(eng.instance_for(parsed)).rows)
+    assert set(res.rows()) == expected
+    assert res.metrics.algorithm == "line3"
+    assert res.prepared.query_class == "ACYCLIC"
+
+
+def test_plan_cache_hit_on_second_execution():
+    eng = _basic_engine()
+    first = eng.execute(LINE3)
+    second = eng.execute(LINE3)
+    assert not first.metrics.cache_hit
+    assert second.metrics.cache_hit and second.metrics.plan_reused
+    # Equivalent text (different attr/edge order) hits the same entry.
+    third = eng.execute("Q(D,C,B,A) :- R3(C,D), R2(B,C), R1(A,B)")
+    assert third.metrics.cache_hit
+    stats = eng.stats()
+    assert stats.queries == 3
+    assert stats.prepares == 1
+    assert stats.cache_hits == 2 and stats.cache_misses == 1
+
+
+def test_same_structure_different_binding_is_a_distinct_plan():
+    """R(A,B) vs R(B,A) share a canonical hypergraph but not a binding."""
+    eng = Engine(p=3)
+    eng.register(Relation("R", ("X", "Y"), [(1, 2), (1, 3), (2, 3)]))
+    eng.register(Relation("S", ("X", "Y"), [(2, 9), (3, 8)]))
+    fwd = eng.execute("Q(A,B,C) :- R(A,B), S(B,C)")
+    rev = eng.execute("Q(A,B,C) :- R(B,A), S(B,C)")
+    assert not rev.metrics.cache_hit  # must not serve fwd's entry
+    assert set(fwd.rows()) != set(rev.rows())
+
+
+def test_invalidation_on_stats_drift():
+    eng = _basic_engine()
+    eng.execute(LINE3)
+    eng.register(Relation("R2", ("B", "C"), [(i % 3, i % 11) for i in range(80)]))
+    res = eng.execute(LINE3)
+    assert not res.metrics.cache_hit
+    assert res.metrics.invalidated
+    expected = set(ram_yannakakis(eng.instance_for(parse_query(LINE3))).rows)
+    assert set(res.rows()) == expected
+    assert eng.stats().invalidations == 1
+
+
+def test_result_cache_replays_and_invalidates():
+    eng = _basic_engine()
+    first = eng.execute(LINE3)
+    assert not first.metrics.result_cached
+    hit = eng.execute(LINE3)
+    assert hit.metrics.result_cached
+    assert hit.report.as_dict() == first.report.as_dict()
+    assert set(hit.rows()) == set(first.rows())
+    assert eng.stats().result_hits == 1
+    # Any registered update unservables the recording.
+    eng.register(Relation("R3", ("C", "D"), [(i % 7, i + 1) for i in range(40)]))
+    fresh = eng.execute(LINE3)
+    assert not fresh.metrics.result_cached
+    expected = set(ram_yannakakis(eng.instance_for(parse_query(LINE3))).rows)
+    assert set(fresh.rows()) == expected
+
+
+def test_result_cache_can_be_disabled():
+    eng = Engine(p=3, result_cache=False)
+    eng.register(Relation("R", ("A", "B"), [(0, 1), (1, 2)]))
+    eng.execute("Q(A,B) :- R(A,B)")
+    again = eng.execute("Q(A,B) :- R(A,B)")
+    assert again.metrics.cache_hit and not again.metrics.result_cached
+    assert eng.stats().result_hits == 0
+
+
+def test_stale_plan_never_serves_stale_data():
+    """Same-stats update: plan revalidates, but the *data* must be fresh."""
+    eng = Engine(p=3)
+    eng.register(Relation("R", ("A", "B"), [(0, 1), (1, 2)]))
+    eng.register(Relation("S", ("B", "C"), [(1, 7), (2, 8)]))
+    text = "Q(A,B,C) :- R(A,B), S(B,C)"
+    first = eng.execute(text)
+    assert set(first.rows()) == {(0, 1, 7), (1, 2, 8)}
+    # Shifted values: identical sizes and degree profiles, different rows.
+    eng.register(Relation("S", ("B", "C"), [(1, 70), (2, 80)]))
+    second = eng.execute(text)
+    assert second.metrics.plan_reused  # fingerprint unchanged
+    assert set(second.rows()) == {(0, 1, 70), (1, 2, 80)}
+
+
+def test_prepare_yannakakis_prices_a_plan():
+    eng = _basic_engine()
+    entry = eng.prepare(LINE3, algorithm="yannakakis")
+    assert entry.algorithm == "yannakakis"
+    assert entry.plan is not None and len(entry.plan_order) == 3
+    assert entry.plan_quality is not None
+    assert entry.plan_quality["best"] <= entry.plan_quality["worst"]
+    res = eng.execute(LINE3, algorithm="yannakakis")
+    assert res.metrics.cache_hit  # prepare seeded the cache
+    expected = set(ram_yannakakis(eng.instance_for(parse_query(LINE3))).rows)
+    assert set(res.rows()) == expected
+
+
+def test_plan_quality_surfaced_in_stats():
+    eng = _basic_engine()
+    eng.execute(LINE3)
+    stats = eng.stats()
+    assert stats.per_query[0].plan_quality is not None
+    gaps = stats.plan_gaps()
+    assert LINE3 in gaps
+    assert gaps[LINE3]["gap"] >= 1.0
+    assert "plan gap" in stats.summary()
+
+
+def test_aggregate_and_scalar_paths():
+    eng = _basic_engine()
+    grouped = eng.execute("Q(B; count) :- R1(A,B), R2(B,C)")
+    assert grouped.relation is not None and grouped.scalar is None
+    total = eng.execute("Q(; count) :- R1(A,B), R2(B,C)")
+    assert total.relation is None
+    assert total.scalar == sum(
+        w for _row, w in zip(grouped.relation.rows, grouped.relation.annotations)
+    )
+
+
+def test_submit_batch_serial_and_threaded_agree():
+    eng = _basic_engine()
+    workload = [
+        LINE3,
+        "Q(B; count) :- R1(A,B), R2(B,C)",
+        "Q(A,B,C) :- R1(A,B), R2(B,C)",
+        LINE3,
+    ]
+    serial = eng.submit_batch(workload)
+    threaded = eng.submit_batch(workload, threads=4)
+    assert serial.stats.queries == threaded.stats.queries == 4
+    for a, b in zip(serial.results, threaded.results):
+        assert set(a.rows()) == set(b.rows())
+        assert a.report.as_dict() == b.report.as_dict()
+    # Second batch is fully warm.
+    assert threaded.stats.cache_hits == 4
+    assert all(r.metrics.plan_reused for r in threaded.results)
+
+
+def test_submit_batch_empty_rejected():
+    with pytest.raises(EngineError):
+        _basic_engine().submit_batch([])
+
+
+def test_unknown_relation_suggests_registered_name():
+    eng = _basic_engine()
+    with pytest.raises(EngineError, match="R1"):
+        eng.execute("Q(A,B) :- R1x(A,B)")
+
+
+def test_arity_mismatch_rejected():
+    eng = _basic_engine()
+    with pytest.raises(EngineError, match="arity"):
+        eng.execute("Q(A,B,C) :- R1(A,B,C)")
+
+
+def test_self_join_binds_one_relation_twice():
+    eng = Engine(p=3)
+    eng.register(Relation("E", ("X", "Y"), [(1, 2), (2, 3), (3, 4)]))
+    res = eng.execute("Q(A,B,C) :- E(A,B), E(B,C)")
+    assert set(res.rows()) == {(1, 2, 3), (2, 3, 4)}
+
+
+def test_catalog_queries_execute_by_name():
+    eng = _basic_engine()
+    res = eng.execute("line3")
+    direct = eng.execute(LINE3)
+    assert set(res.rows()) == set(direct.rows())
+
+
+# ----------------------------------------------------------------------
+# Satellites: public is_line3 + stats fingerprint
+# ----------------------------------------------------------------------
+def test_is_line3_public_and_deprecated_alias():
+    assert is_line3(catalog.line3()) == ("R1", "R2", "R3")
+    assert is_line3(catalog.triangle()) is None
+    from repro.core import line3 as line3_module
+
+    with pytest.warns(DeprecationWarning):
+        assert line3_module._is_line3(catalog.line3()) == ("R1", "R2", "R3")
+    from repro.core import is_line3 as exported
+
+    assert exported is is_line3
+
+
+def test_stats_fingerprint_tracks_planning_stats():
+    eng = _basic_engine()
+    parsed = parse_query(LINE3)
+    base = stats_fingerprint(eng.instance_for(parsed))
+    assert stats_fingerprint(eng.instance_for(parsed)) == base
+    # Value-shifted same-stats data keeps the fingerprint...
+    eng.register(Relation("R3", ("C", "D"), [(i % 7, i + 1000) for i in range(40)]))
+    assert stats_fingerprint(eng.instance_for(parsed)) == base
+    # ...while a degree-profile change moves it.
+    eng.register(Relation("R3", ("C", "D"), [(0, i) for i in range(40)]))
+    assert stats_fingerprint(eng.instance_for(parsed)) != base

@@ -1,0 +1,161 @@
+"""Parser round-trip and rejection cases for the engine's query text."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.parser import AGGREGATES, parse_query
+from repro.errors import ParseError
+from repro.query import canonical_form, catalog
+from repro.semiring import BOOLEAN, COUNT, SUM_PRODUCT
+
+
+# ----------------------------------------------------------------------
+# Acceptance
+# ----------------------------------------------------------------------
+def test_full_join_head_normalizes_to_none():
+    p = parse_query("Q(A,B,C) :- R1(A,B), R2(B,C)")
+    assert p.kind == "join"
+    assert p.output_attrs is None
+    assert p.head_name == "Q"
+    assert p.query.edges == {"R1": frozenset("AB"), "R2": frozenset("BC")}
+    assert p.semiring is None
+
+
+def test_projection_keeps_head_order():
+    p = parse_query("Q(C,A) :- R1(A,B), R2(B,C)")
+    assert p.kind == "project"
+    assert p.output_attrs == ("C", "A")
+    assert p.semiring is BOOLEAN
+
+
+def test_aggregate_spec():
+    p = parse_query("Q(B; count) :- R1(A,B), R2(B,C)")
+    assert p.kind == "aggregate"
+    assert p.aggregate == "count"
+    assert p.output_attrs == ("B",)
+    assert p.semiring is COUNT
+
+
+def test_total_aggregate_empty_groupby():
+    p = parse_query("Q(; sum) :- R1(A,B), R2(B,C)")
+    assert p.kind == "aggregate"
+    assert p.output_attrs == ()
+    assert p.semiring is SUM_PRODUCT
+
+
+def test_boolean_query_empty_head():
+    p = parse_query("Q() :- R1(A,B), R2(B,C)")
+    assert p.kind == "project"
+    assert p.output_attrs == ()
+
+
+def test_whitespace_and_case_tolerance():
+    p = parse_query("  Q( A , C )\n :-  R1( A , B ),\n R2( B , C ) ")
+    assert p.output_attrs == ("A", "C")
+    assert parse_query("Q(B; COUNT) :- R(A,B)").aggregate == "count"
+
+
+def test_positional_bindings_record_variable_order():
+    p = parse_query("Q(X,Z) :- Edge(X,Y), Edge(Y,Z)")
+    assert [b.edge for b in p.bindings] == ["Edge", "Edge@2"]
+    assert [b.relation for b in p.bindings] == ["Edge", "Edge"]
+    assert p.bindings[0].variables == ("X", "Y")
+    assert p.bindings[1].variables == ("Y", "Z")
+
+
+def test_self_join_canonical_round_trips():
+    p = parse_query("Q(X,Z) :- Edge(X,Y), Edge(Y,Z)")
+    again = parse_query(p.canonical())
+    assert again.canonical() == p.canonical()
+    assert set(again.query.edge_names) == {"Edge", "Edge@2"}
+    assert [b.relation for b in again.bindings] == ["Edge", "Edge"]
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)",
+        "Q(A,C) :- R1(A,B), R2(B,C)",
+        "Q(B; count) :- R1(A,B), R2(B,C)",
+        "Q(; max) :- R1(A,B), R2(B,C)",
+        "Q() :- R1(A,B)",
+    ],
+)
+def test_canonical_is_idempotent(text):
+    p = parse_query(text)
+    assert parse_query(p.canonical()).canonical() == p.canonical()
+
+
+def test_canonical_ignores_edge_and_attr_order():
+    a = parse_query("Q(A,B,C) :- R2(B,C), R1(B,A)")
+    b = parse_query("Q(C,B,A) :- R1(A,B), R2(C,B)")
+    assert a.canonical() == b.canonical()
+    assert a.canonical() == canonical_form(a.query)
+
+
+def test_catalog_lookup():
+    p = parse_query("line3")
+    assert p.query == catalog.line3()
+    assert p.kind == "join"
+    assert all(b.variables is None for b in p.bindings)
+
+
+def test_aggregates_table_matches_cli_semirings():
+    from repro.cli import SEMIRINGS
+
+    assert set(AGGREGATES) == set(SEMIRINGS)
+
+
+# ----------------------------------------------------------------------
+# Rejection
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "   ",
+        "Q(A) :-",
+        ":- R(A)",
+        "Q(A) :- R()",
+        "Q(A) - R(A)",
+        "Q(A) :- R(A,)",
+        "Q(A) :- R(A) garbage",
+        "Q(A) :- R(A) S(B)",
+        "Q(A,A) :- R(A,B)",
+        "Q(A) :- R(A,A)",
+        "Q(A; count; sum) :- R(A,B)",
+        "1bad(A) :- R(A)",
+    ],
+)
+def test_rejected(text):
+    with pytest.raises(ParseError):
+        parse_query(text)
+
+
+def test_unknown_head_variable_suggests_body_variable():
+    with pytest.raises(ParseError, match="Alpha"):
+        parse_query("Q(Alphb) :- R(Alpha,Beta)")
+
+
+def test_unknown_aggregate_suggests():
+    with pytest.raises(ParseError, match="count"):
+        parse_query("Q(A; cout) :- R(A,B)")
+
+
+def test_unknown_catalog_name_suggests_near_miss():
+    with pytest.raises(ParseError, match="line3"):
+        parse_query("lin3")
+    with pytest.raises(ParseError, match="did you mean"):
+        parse_query("traingle")
+
+
+def test_duplicate_explicit_alias_rejected():
+    with pytest.raises(ParseError, match="duplicate"):
+        parse_query("Q(A,B) :- R@2(A,B), R@2(B,A)")
+
+
+def test_mixed_bare_and_explicit_aliases():
+    p = parse_query("Q(A,B,C,D) :- R(A,B), R@2(B,C), R(C,D)")
+    assert [b.edge for b in p.bindings] == ["R", "R@2", "R@3"]
+    assert [b.relation for b in p.bindings] == ["R", "R", "R"]
