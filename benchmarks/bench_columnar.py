@@ -1,0 +1,230 @@
+"""Columnar wire benchmark: encoded column buffers vs pickled tuple lists.
+
+Measures what the columnar data plane changes at the multiprocess wire on
+the PR 2 serving workloads (the ``bench_backends`` mix):
+
+* **wire bytes** — every part shipped to a worker is counted twice: the
+  columnar blob actually sent (``bytes_shipped``) and what
+  ``pickle.dumps`` of the same row list would have cost
+  (``baseline_bytes``, tracked via ``REPRO_WIRE_BASELINE=1``).  The gate
+  requires encoded < baseline; the headline number is the ratio.
+* **cold/warm request timings** on both backends, exactly as
+  ``bench_backends`` defines them (cold = first request including worker
+  start, warm = best of the following fresh requests).
+* **warm engine replay** — a prepared-plan replay loop through
+  :class:`repro.engine.Engine` (result cache off, so the algorithms
+  actually re-run) guarding against warm-path regressions from the
+  columnar refactor.
+
+Parity is a hard gate: outputs and the full ledger must be bit-identical
+between serial and multiprocess on every workload, or nothing is written
+and the process exits non-zero.  CI runs ``--quick --check``.
+
+Run:  python benchmarks/bench_columnar.py [--quick] [--check] [output.json]
+Writes ``BENCH_columnar.json`` (repo root by default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+os.environ.setdefault("REPRO_WIRE_BASELINE", "1")
+
+from repro.core.runner import mpc_join  # noqa: E402
+from repro.data.generators import line_trap_instance  # noqa: E402
+from repro.data.relation import Relation  # noqa: E402
+from repro.engine import Engine  # noqa: E402
+from repro.mpc import Cluster, distribute_relation  # noqa: E402
+from repro.mpc.backends import MultiprocessBackend, SerialBackend  # noqa: E402
+from repro.mpc.primitives import (  # noqa: E402
+    attach_degrees,
+    count_by_key,
+    number_rows,
+)
+
+P = 8
+
+
+def _mixed_rows(n: int) -> list[tuple]:
+    """Rows with a heterogeneous key column (the expensive encoding path)."""
+    rows = []
+    for i in range(n):
+        k = i % 997
+        key = f"user{k}" if k % 3 else k
+        rows.append((key, i % 31, f"payload{i % 101}"))
+    return rows
+
+
+def _primitive_serving(n: int):
+    rel_ram = Relation("R", ("A", "B", "C"), _mixed_rows(n))
+
+    def request(backend):
+        cluster = Cluster(P, backend=backend)
+        group = cluster.root_group()
+        rel = distribute_relation(rel_ram, group)
+        out = [
+            count_by_key(group, rel, ("A",), "cnt"),
+            attach_degrees(group, rel, ("A",), "deg"),
+            number_rows(group, rel, ("B",), "num"),
+        ]
+        return out, cluster.snapshot()
+
+    return request
+
+
+def _join_serving(in_size: int, out_size: int):
+    inst = line_trap_instance(3, in_size, out_size, doubled=True)
+
+    def request(backend):
+        res = mpc_join(inst.query, inst, p=P, algorithm="line3", backend=backend)
+        return (res.relation.attrs, res.relation.parts), res.report
+
+    return request
+
+
+def _time_backend(request, backend, reps: int):
+    t0 = time.perf_counter()
+    out, report = request(backend)
+    cold = time.perf_counter() - t0
+    warm = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out, report = request(backend)
+        warm = min(warm, time.perf_counter() - t0)
+    return cold, warm, out, report
+
+
+def _engine_replay(quick: bool) -> dict:
+    """Warm prepared-plan replay timing (result cache off: algorithms run)."""
+    n = 400 if quick else 3000
+    rows1 = [(i, (i * 7) % n) for i in range(n)]
+    rows2 = [(i, f"s{i % 97}") for i in range(n)]
+    engine = Engine(p=P, backend="serial", result_cache=False)
+    engine.register(Relation("R1", ("A", "B"), rows1))
+    engine.register(Relation("R2", ("B", "C"), rows2))
+    q = "Q(A,B,C) :- R1(A,B), R2(B,C)"
+    t0 = time.perf_counter()
+    first = engine.execute(q)
+    cold = time.perf_counter() - t0
+    reps = 3 if quick else 5
+    warm = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        res = engine.execute(q)
+        warm = min(warm, time.perf_counter() - t0)
+    assert res.rows() == first.rows()
+    return {
+        "query": q,
+        "n": n,
+        "cold_seconds": round(cold, 4),
+        "warm_replay_seconds": round(warm, 4),
+        "replay_speedup_vs_cold": round(cold / warm, 3) if warm else None,
+    }
+
+
+def bench(quick: bool = False) -> dict:
+    if quick:
+        workloads = {
+            "primitive_serving_p8": (_primitive_serving(8000), 2),
+            "join_serving_p8": (_join_serving(1500, 9000), 2),
+        }
+    else:
+        workloads = {
+            "primitive_serving_p8": (_primitive_serving(60000), 3),
+            "join_serving_p8": (_join_serving(6000, 90000), 3),
+        }
+
+    results = []
+    serial = SerialBackend()
+    for name, (request, reps) in workloads.items():
+        cold_s, warm_s, out_s, rep_s = _time_backend(request, serial, reps)
+        mp = MultiprocessBackend()
+        try:
+            cold_m, warm_m, out_m, rep_m = _time_backend(request, mp, reps)
+            wire = mp.wire_stats()
+        finally:
+            mp.close()
+        outputs_equal = out_s == out_m
+        ledger_equal = rep_s.as_dict() == rep_m.as_dict()
+        if not (outputs_equal and ledger_equal):
+            raise AssertionError(
+                f"backend divergence on {name!r}: outputs_equal="
+                f"{outputs_equal} ledger_equal={ledger_equal}"
+            )
+        encoded = wire["bytes_shipped"]
+        baseline = wire["baseline_bytes"]
+        ratio = (baseline / encoded) if encoded else None
+        results.append(
+            {
+                "workload": name,
+                "p": P,
+                "parts_shipped": wire["parts_shipped"],
+                "encoded_wire_bytes": encoded,
+                "pickled_tuple_bytes": baseline,
+                "wire_reduction": round(ratio, 3) if ratio else None,
+                "serial_cold_seconds": round(cold_s, 4),
+                "serial_warm_seconds": round(warm_s, 4),
+                "multiprocess_cold_seconds": round(cold_m, 4),
+                "multiprocess_warm_seconds": round(warm_m, 4),
+                "warm_speedup": round(warm_s / warm_m, 3),
+                "outputs_equal": outputs_equal,
+                "ledger_equal": ledger_equal,
+            }
+        )
+        print(
+            f"{name:22s} wire {encoded:>9d}B vs pickle {baseline:>9d}B "
+            f"({ratio:5.2f}x smaller)  warm serial {warm_s:6.3f}s vs "
+            f"multiprocess {warm_m:6.3f}s  parity ok"
+        )
+    replay = _engine_replay(quick)
+    print(
+        f"engine warm replay     {replay['warm_replay_seconds']:.4f}s "
+        f"(cold {replay['cold_seconds']:.4f}s)"
+    )
+    return {
+        "p": P,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "note": (
+            "encoded_wire_bytes = columnar part blobs actually shipped to "
+            "workers (minimal-width arrays + dictionaries + zlib); "
+            "pickled_tuple_bytes = pickle.dumps of the same row lists (the "
+            "pre-columnar wire format).  The ledger counts logical tuples "
+            "and is identical under both formats by the parity gate."
+        ),
+        "workloads": results,
+        "engine_replay": replay,
+    }
+
+
+def main(argv: list[str]) -> None:
+    quick = "--quick" in argv
+    check = "--check" in argv
+    paths = [a for a in argv if not a.startswith("-")]
+    out_path = (
+        Path(paths[0]) if paths
+        else Path(__file__).parent.parent / "BENCH_columnar.json"
+    )
+    data = bench(quick=quick)
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if check:
+        bad = [
+            w for w in data["workloads"]
+            if w["encoded_wire_bytes"] >= w["pickled_tuple_bytes"]
+        ]
+        if bad:
+            print(
+                "FAIL: encoded wire not below the row-pickle baseline on "
+                + ", ".join(w["workload"] for w in bad)
+            )
+            raise SystemExit(1)
+        print("check ok: parity gates passed, encoded wire < pickle baseline")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

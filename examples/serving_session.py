@@ -30,20 +30,27 @@ TWO_HOP = "Q(A,B,C) :- Follows(A,B), Follows(B,C)"          # self-join
 FEED = "Q(B,Post) :- Follows(A,B), Likes(B,Post)"           # join-project
 POPULARITY = "Q(B; count) :- Follows(A,B), Likes(B,Post)"   # GROUP BY count
 
+def wire(res):
+    """Per-query physical wire bytes (0 on in-process backends — the
+    columnar blobs only cross a boundary when workers exist)."""
+    return f"{res.metrics.wire_bytes}B wire"
+
+
 res = engine.execute(TWO_HOP)
 print(f"two-hop: {res.output_size} rows, algorithm={res.metrics.algorithm}, "
-      f"load={res.report.load}")
+      f"load={res.report.load}, {wire(res)}")
 print(f"  plan order: {res.prepared.plan_order}")
 print(f"  plan quality (Sec 4.1): {res.prepared.plan_quality}")
 
 res = engine.execute(FEED)
-print(f"feed: {res.output_size} rows, class={res.prepared.query_class}")
+print(f"feed: {res.output_size} rows, class={res.prepared.query_class}, "
+      f"{wire(res)}")
 
 res = engine.execute(POPULARITY)
 top = sorted(
     zip(res.relation.rows, res.relation.annotations), key=lambda rw: -rw[1]
 )[:3]
-print(f"popularity: {res.output_size} groups, top={top}")
+print(f"popularity: {res.output_size} groups, top={top}, {wire(res)}")
 
 # ----------------------------------------------------------------------
 # 3. Warm serving: the second round is all cache hits (plans + results).
@@ -62,7 +69,7 @@ engine.register(
 res = engine.execute(POPULARITY)
 print(f"\nafter update: {res.output_size} groups "
       f"(plan reused: {res.metrics.plan_reused}, "
-      f"recomputed: {not res.metrics.result_cached})")
+      f"recomputed: {not res.metrics.result_cached}, {wire(res)})")
 
 print("\nsession totals:")
 print(engine.stats().summary())

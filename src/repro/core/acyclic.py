@@ -141,8 +141,8 @@ def _solve(
                     lp.append(row)
             h_parts.append(hp)
             l_parts.append(lp)
-        heavy[ei] = DistRelation(ei, rel.attrs, h_parts)
-        light[ei] = DistRelation(ei, rel.attrs, l_parts)
+        heavy[ei] = DistRelation(ei, rel.attrs, h_parts, owned=True)
+        light[ei] = DistRelation(ei, rel.attrs, l_parts, owned=True)
         light_deg_tables[ei] = count_by_key(
             group, light[ei], seps[ei], label=f"{label}/d{depth}/ldeg-{ei}"
         )
@@ -207,8 +207,8 @@ def _solve(
         ]
     h0_parts = [[r for r, pr in part if pr >= tau] for part in prod_parts]
     l0_parts = [[r for r, pr in part if pr < tau] for part in prod_parts]
-    rh0 = DistRelation(e0, r0.attrs, h0_parts)
-    rl0 = DistRelation(e0, r0.attrs, l0_parts)
+    rh0 = DistRelation(e0, r0.attrs, h0_parts, owned=True)
+    rl0 = DistRelation(e0, r0.attrs, l0_parts, owned=True)
 
     # (3.1) Heavy e0 tuples: a tall-flat join, solved instance-optimally.
     if rh0.total_size() > 0:

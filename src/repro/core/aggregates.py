@@ -330,7 +330,7 @@ def annotated_reduce(
                     row[p_wpos] = semiring.times(row[p_wpos], w)
                     rows.append(tuple(row))
             new_parts.append(rows)
-        out[survivor] = parent.with_parts(new_parts)
+        out[survivor] = parent.with_parts(new_parts, owned=True)
         del out[removed]
     return reduced_query, out
 
@@ -388,10 +388,13 @@ def aggregate_out(
             agg = fold_by_key(
                 group, rel, keep, plus=semiring.plus,
                 label=f"{label}/agg-{node}",
-                values=[[row[wpos] for row in part] for part in rel.parts],
+                values=[
+                    rel.column_values(i, wpos) for i in range(rel.num_parts)
+                ],
             )
             agg_rel = DistRelation(
-                node, keep + (wcol,), [[k + (w,) for k, w in part] for part in agg]
+                node, keep + (wcol,), [[k + (w,) for k, w in part] for part in agg],
+                owned=True,
             )
             if parent == OUTPUT_EDGE or parent is None:
                 residual[node] = agg_rel
@@ -419,7 +422,7 @@ def aggregate_out(
                             row[p_wpos] = semiring.times(row[p_wpos], w)
                             rows.append(tuple(row))
                     new_parts.append(rows)
-                working[parent] = prel.with_parts(new_parts)
+                working[parent] = prel.with_parts(new_parts, owned=True)
         else:
             # Everything aggregated away: the node contributes a scalar.
             partials = []
@@ -446,7 +449,7 @@ def aggregate_out(
             p_wpos = prel.positions((p_wcol,))[0]
             if total is None:
                 working[parent] = prel.with_parts(
-                    [[] for _ in range(group.size)]
+                    [[] for _ in range(group.size)], owned=True
                 )
             else:
                 new_parts = []
@@ -457,7 +460,7 @@ def aggregate_out(
                         row[p_wpos] = semiring.times(row[p_wpos], total)
                         rows.append(tuple(row))
                     new_parts.append(rows)
-                working[parent] = prel.with_parts(new_parts)
+                working[parent] = prel.with_parts(new_parts, owned=True)
     if not residual:
         raise QueryError("no residual relations produced; is y empty?")
     if scalar_factor:
@@ -468,7 +471,9 @@ def aggregate_out(
         wcol = weight_column(rel)
         wpos = rel.positions((wcol,))[0]
         if any(w is None for w in scalar_factor):
-            residual[target] = rel.with_parts([[] for _ in range(group.size)])
+            residual[target] = rel.with_parts(
+                [[] for _ in range(group.size)], owned=True
+            )
         else:
             factor = scalar_factor[0]
             for w in scalar_factor[1:]:
@@ -481,5 +486,5 @@ def aggregate_out(
                     row[wpos] = semiring.times(row[wpos], factor)
                     rows.append(tuple(row))
                 new_parts.append(rows)
-            residual[target] = rel.with_parts(new_parts)
+            residual[target] = rel.with_parts(new_parts, owned=True)
     return residual

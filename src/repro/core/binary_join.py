@@ -202,4 +202,4 @@ def binary_join(
                 for extra in index.get(project_row(row1, pos1), ()):
                     out.append(row1 + extra)
         parts.append(out)
-    return DistRelation(out_name, out_attrs, parts)
+    return DistRelation(out_name, out_attrs, parts, owned=True)

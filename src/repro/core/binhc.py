@@ -182,7 +182,7 @@ def binhc_join(
                 ]
                 for part in tagged[e]
             ]
-            sub_rels[e] = DistRelation(e, working[e].attrs, parts)
+            sub_rels[e] = DistRelation(e, working[e].attrs, parts, owned=True)
         shares = optimal_join_shares(query, sizes_c, p)
         piece = hypercube_join(
             group, query, sub_rels, shares,

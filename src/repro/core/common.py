@@ -164,4 +164,4 @@ def concat_distrels(
             ]
         for i, p in enumerate(rows_parts):
             parts[i].extend(p)
-    return DistRelation(name, schema, parts)
+    return DistRelation(name, schema, parts, owned=True)

@@ -194,7 +194,7 @@ def hypercube_cartesian(
                 acc = [base + r for base in acc for r in rows]
             out = acc
         parts.append(out)
-    return DistRelation(name, tuple(attrs_all), parts)
+    return DistRelation(name, tuple(attrs_all), parts, owned=True)
 
 
 def hypercube_join(
@@ -273,7 +273,7 @@ def hypercube_join(
         else:
             _attrs, joined = _local_generic_join(query, schemas, by_rel, out_schema)
         parts.append(joined)
-    return DistRelation(name, out_schema, parts)
+    return DistRelation(name, out_schema, parts, owned=True)
 
 
 def _local_generic_join(

@@ -125,8 +125,8 @@ def line3_join(
             h_parts.append(hp)
             l_parts.append(lp)
         return (
-            DistRelation(rel.name, rel.attrs, h_parts),
-            DistRelation(rel.name, rel.attrs, l_parts),
+            DistRelation(rel.name, rel.attrs, h_parts, owned=True),
+            DistRelation(rel.name, rel.attrs, l_parts, owned=True),
         )
 
     r1_heavy, r1_light = split(r1)

@@ -276,7 +276,7 @@ def _case_tree(
                     ]
                     for i in range(p_a)
                 ]
-                sub_rels[n] = DistRelation(n, rels[n].attrs, parts)
+                sub_rels[n] = DistRelation(n, rels[n].attrs, parts, owned=True)
             sub_result = _solve(
                 subgroup, residual_query, sub_rels, budget,
                 f"{label}/d{depth}/h", depth + 1,
@@ -288,7 +288,7 @@ def _case_tree(
             for i, rows in enumerate(aligned):
                 result_parts[indices[i]].extend(rows)
 
-    return DistRelation("result", schema, result_parts)
+    return DistRelation("result", schema, result_parts, owned=True)
 
 
 def _case_forest(
@@ -388,7 +388,8 @@ def _case_forest(
                     [row for ti, m, row in inboxes[cell] if ti == i and m == n]
                 )
         sub_rels = {
-            n: DistRelation(n, rels[n].attrs, parts_per_line[n]) for n in edges
+            n: DistRelation(n, rels[n].attrs, parts_per_line[n], owned=True)
+            for n in edges
         }
         results.append(
             _solve(

@@ -117,6 +117,7 @@ def mpc_join(
     cluster = Cluster(p, backend=backend)
     group = cluster.root_group()
     rels = distribute_instance(instance, group)
+    wire_before = cluster.backend.wire_stats().get("bytes_shipped", 0)
     result = run_join_algorithm(group, query, rels, algorithm, plan=plan)
 
     out = JoinResult(
@@ -128,6 +129,12 @@ def mpc_join(
             "backend": cluster.backend.name,
             "in_size": instance.input_size,
             "out_size": result.total_size(),
+            # Physical bytes the backend shipped across processes for this
+            # join (0 for in-process backends).  Purely observational: the
+            # ledger above counts logical tuples and never encoded bytes.
+            "wire_bytes": (
+                cluster.backend.wire_stats().get("bytes_shipped", 0) - wire_before
+            ),
         },
     )
     if validate:
@@ -265,6 +272,7 @@ def mpc_join_aggregate(
         if not rel.annotated:
             raise QueryError(f"relation {n!r} is not annotated; annotate first")
 
+    wire_before = cluster.backend.wire_stats().get("bytes_shipped", 0)
     relation, scalar, meta = run_aggregate_algorithm(
         group, query, output_attrs, rels, semiring, algorithm=algorithm
     )
@@ -273,6 +281,9 @@ def mpc_join_aggregate(
             "p": p,
             "backend": cluster.backend.name,
             "in_size": instance.input_size,
+            "wire_bytes": (
+                cluster.backend.wire_stats().get("bytes_shipped", 0) - wire_before
+            ),
         }
     )
     return AggregateResult(

@@ -1,5 +1,12 @@
 """Relations, instances, workload generators, and hard-instance constructions."""
 
+from repro.data.columns import (
+    Column,
+    ColumnBlock,
+    encode_column,
+    pack_blob,
+    unpack_blob,
+)
 from repro.data.generators import (
     add_dangling,
     binary_out_controlled,
@@ -29,6 +36,11 @@ from repro.data.stats import (
 from repro.data.relation import Relation
 
 __all__ = [
+    "Column",
+    "ColumnBlock",
+    "encode_column",
+    "pack_blob",
+    "unpack_blob",
     "Relation",
     "Instance",
     "random_instance",

@@ -1,0 +1,402 @@
+"""Columnar relation storage: typed columns, dictionary encoding, wire packing.
+
+Every layer of the data plane historically held rows as lists of Python
+tuples, paying per-row object overhead on exactly the paths the substrate
+and backends made hot (sorted-run caching, worker memoization, warm
+replay).  This module is the shared columnar representation those layers
+now build on:
+
+* :class:`Column` — one attribute's values in typed storage with a *kind
+  tag*: ``"i"`` (homogeneous ints in an ``array('q')``), ``"d"``
+  (dictionary-encoded: integer codes into a list of distinct values), or
+  ``"o"`` (raw object list, the escape hatch for unhashable values).
+* :class:`ColumnBlock` — a fixed-arity bundle of equal-length columns, the
+  columnar twin of a list of row tuples.
+* :func:`pack_blob` / :func:`unpack_blob` — the compact wire format the
+  multiprocess backend ships instead of pickled tuple lists: per-column
+  minimal-width integer arrays, shared dictionaries, and optional zlib,
+  behind a one-byte format flag with a pickle fallback for anything the
+  columnar form cannot represent.
+
+The load-bearing invariant is **exact round-trip**: decoding an encoded
+column yields values equal to the originals *with their original types*
+(``True`` stays ``bool``, ``1`` stays ``int``, ``1.0`` stays ``float``).
+Dictionary keys are therefore ``(type, value)`` pairs — plain value keys
+would collapse ``1``/``True``/``1.0``, which Python's ``dict`` considers
+equal, silently rewriting data on the wire.  Non-int values keep their
+*original objects* in the dictionary, so even exotic cases (``NaN``,
+interned strings) survive unchanged.  The ledger never sees any of this:
+encoding changes bytes on a wire, never the number of logical tuples.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from array import array
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Column",
+    "ColumnBlock",
+    "encode_column",
+    "pack_blob",
+    "unpack_blob",
+    "packed_size",
+]
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+#: :func:`repro.mpc.substrate.orderable` type tags mirrored here so the
+#: substrate can read a column's homogeneity in O(1) instead of scanning.
+TAG_NUM = 2
+TAG_STR = 3
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+# Signed/unsigned array typecodes by width, verified at import time (the C
+# sizes of 'i'/'l' are platform-defined; we only use codes whose itemsize
+# matches the width we narrowed for).
+_SIGNED = [(tc, array(tc).itemsize) for tc in ("b", "h", "i", "l", "q")]
+_UNSIGNED = [(tc, array(tc).itemsize) for tc in ("B", "H", "I", "L", "Q")]
+
+
+def _narrow_typecode(lo: int, hi: int) -> str:
+    """Smallest signed typecode holding every value in ``[lo, hi]``."""
+    for tc, size in _SIGNED:
+        bits = size * 8 - 1
+        if -(1 << bits) <= lo and hi < (1 << bits):
+            return tc
+    return "q"
+
+
+def _narrow_unsigned_typecode(hi: int) -> str:
+    """Smallest unsigned typecode holding codes in ``[0, hi]``."""
+    for tc, size in _UNSIGNED:
+        if hi < (1 << (size * 8)):
+            return tc
+    return "Q"
+
+
+def _order_tag_of(values: Iterable[Any]) -> int | None:
+    """The substrate's homogeneity tag, by the exact ``column_kind`` rule.
+
+    ``TAG_NUM`` when every value's type is exactly ``int`` or ``float``
+    (``bool`` disqualifies — it is an ``int`` subclass with a different
+    orderable tag), ``TAG_STR`` when every type is exactly ``str``, else
+    ``None``.  An empty iterable yields ``None``.
+    """
+    state = 0
+    for v in values:
+        tv = type(v)
+        if tv is int or tv is float:
+            t = TAG_NUM
+        elif tv is str:
+            t = TAG_STR
+        else:
+            return None
+        if state == 0:
+            state = t
+        elif state != t:
+            return None
+    return state if state in (TAG_NUM, TAG_STR) else None
+
+
+class Column:
+    """One attribute's values in typed storage.
+
+    Attributes:
+        kind: ``"i"`` — ``data`` is an ``array('q')`` of values that were
+            all exactly ``int``; ``"d"`` — ``data`` is an integer-code
+            array and ``dictionary`` the distinct values in first-seen
+            order; ``"o"`` — ``data`` is the raw value list (unhashable
+            values).
+        data: The typed storage (see ``kind``).
+        dictionary: Distinct original value objects (``"d"`` only).
+    """
+
+    __slots__ = ("kind", "data", "dictionary", "_order_tag")
+
+    def __init__(self, kind: str, data: Any, dictionary: list | None = None) -> None:
+        self.kind = kind
+        self.data = data
+        self.dictionary = dictionary
+        self._order_tag: Any = _UNSET
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def values(self) -> list:
+        """Decode back to the original values (exact types and objects)."""
+        if self.kind == "i":
+            return self.data.tolist()
+        if self.kind == "d":
+            d = self.dictionary
+            assert d is not None
+            return [d[c] for c in self.data]
+        return list(self.data)
+
+    @property
+    def order_tag(self) -> int | None:
+        """Homogeneity tag for the substrate's key-encoding fast paths.
+
+        Computed from the *dictionary* (the distinct values) for ``"d"``
+        columns — type homogeneity over distinct values equals homogeneity
+        over all values — and cached; an empty column reports ``None``.
+        """
+        tag = self._order_tag
+        if tag is _UNSET:
+            if self.kind == "i":
+                tag = TAG_NUM if len(self.data) else None
+            elif self.kind == "d":
+                tag = _order_tag_of(self.dictionary or ())
+                if not len(self.data):
+                    tag = None
+            else:
+                tag = _order_tag_of(self.data)
+            self._order_tag = tag
+        return tag
+
+    def take_stride(self, start: int, step: int) -> "Column":
+        """The sub-column of positions ``start, start+step, ...`` (C-speed).
+
+        Dictionary columns share the dictionary object with the parent;
+        codes unused by the slice simply never occur in it.
+        """
+        if self.kind == "o":
+            return Column("o", self.data[start::step])
+        col = Column(self.kind, self.data[start::step], self.dictionary)
+        return col
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f", |dict|={len(self.dictionary)}" if self.kind == "d" else ""
+        return f"Column<{self.kind}, {len(self)} values{extra}>"
+
+
+_UNSET = object()
+
+
+def encode_column(values: Sequence[Any]) -> Column:
+    """Encode one column of values, preserving exact round-trip.
+
+    Homogeneous ``int`` columns (every value's type exactly ``int``, within
+    int64) become ``array('q')``; everything else is dictionary-encoded on
+    ``(type, value)`` keys — the type in the key is what keeps ``True``,
+    ``1``, and ``1.0`` apart even though ``dict`` equality identifies them.
+    Unhashable values fall back to a plain object list.
+    """
+    vals = values if isinstance(values, list) else list(values)
+    all_int = True
+    for v in vals:
+        if type(v) is not int or not (_I64_MIN <= v <= _I64_MAX):
+            all_int = False
+            break
+    if all_int:
+        return Column("i", array("q", vals))
+    index: dict[tuple, int] = {}
+    dictionary: list = []
+    codes = array("q", bytes(0))
+    try:
+        append = codes.append
+        for v in vals:
+            k = (v.__class__, v)
+            c = index.get(k)
+            if c is None:
+                c = index[k] = len(dictionary)
+                dictionary.append(v)
+            append(c)
+    except TypeError:  # unhashable value somewhere: store objects as-is
+        return Column("o", list(vals))
+    return Column("d", codes, dictionary)
+
+
+class ColumnBlock:
+    """A fixed-arity bundle of equal-length columns (one rowset).
+
+    ``n`` is stored explicitly so zero-arity rowsets (Boolean queries)
+    keep their cardinality.
+    """
+
+    __slots__ = ("n", "columns")
+
+    def __init__(self, n: int, columns: Sequence[Column]) -> None:
+        self.n = n
+        self.columns = tuple(columns)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple], arity: int) -> "ColumnBlock":
+        """Encode a list of equal-arity row tuples.
+
+        Raises:
+            ValueError: If any row's arity differs — ``zip`` would
+                otherwise silently truncate to the shortest row and a
+                later decode would serve corrupted rows.
+        """
+        n = len(rows)
+        if not n or not arity:
+            if any(len(r) != arity for r in rows):
+                raise ValueError(f"rows are not uniformly arity {arity}")
+            return cls(n, [encode_column([]) for _ in range(arity)])
+        if any(len(r) != arity for r in rows):
+            raise ValueError(f"rows are not uniformly arity {arity}")
+        return cls(n, [encode_column(col) for col in zip(*rows)])
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def rows(self) -> list[tuple]:
+        """Materialize the row-tuple view (exact round-trip)."""
+        if not self.columns:
+            return [()] * self.n
+        return list(zip(*[c.values() for c in self.columns]))
+
+    def column_values(self, i: int) -> list:
+        return self.columns[i].values()
+
+    def take_stride(self, start: int, step: int) -> "ColumnBlock":
+        """Rows ``start, start+step, ...`` as a new block (shared dicts)."""
+        if not self.columns:
+            return ColumnBlock(len(range(start, self.n, step)), ())
+        cols = [c.take_stride(start, step) for c in self.columns]
+        return ColumnBlock(len(cols[0]) if cols else 0, cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnBlock<{self.n} rows x {self.arity} cols>"
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+#
+# blob = flag byte + payload.  Flag bits: 0x01 = columnar payload (pickled
+# ``(n, specs)``), 0x00 = pickled row list (fallback); 0x80 = payload is
+# zlib-compressed.  Specs are per column:
+#   ("i", narrow_signed_array)           int column
+#   ("d", narrow_unsigned_codes, values) dictionary column
+#   ("o", values)                        object column
+# Narrowing picks the smallest array typecode covering the value range, so
+# small-domain columns cost 1-2 bytes per row before compression.
+
+_F_COLS = 0x01
+_F_ZLIB = 0x80
+_COMPRESS_MIN = 256
+
+
+def _narrow_signed(arr: array) -> array:
+    if not len(arr):
+        return array("b", bytes(0))
+    lo, hi = min(arr), max(arr)
+    tc = _narrow_typecode(lo, hi)
+    return arr if tc == arr.typecode else array(tc, arr)
+
+
+def _narrow_codes(codes: array, n_values: int) -> array:
+    tc = _narrow_unsigned_typecode(max(0, n_values - 1))
+    return array(tc, codes)
+
+
+def _pack_spec(col: Column) -> tuple:
+    if col.kind == "i":
+        return ("i", _narrow_signed(col.data))
+    if col.kind == "d":
+        d = col.dictionary or []
+        # Remap codes to the values this column actually uses: strided
+        # slices share the parent relation's full dictionary, and shipping
+        # it verbatim would send every part all distinct values of the
+        # whole relation (inflating the wire past the row-pickle baseline
+        # on high-cardinality columns).  First-occurrence order keeps the
+        # blob deterministic.
+        remap: dict[int, int] = {}
+        used: list = []
+        codes = array("q", bytes(0))
+        append = codes.append
+        get = remap.get
+        for c in col.data:
+            nc = get(c)
+            if nc is None:
+                nc = remap[c] = len(used)
+                used.append(d[c])
+            append(nc)
+        return ("d", _narrow_codes(codes, len(used)), used)
+    return ("o", list(col.data))
+
+
+def _pack_rows(part: Sequence) -> tuple | None:
+    """Columnar packing of a row list; ``None`` when rows aren't uniform tuples."""
+    n = len(part)
+    if n == 0:
+        return (0, ())
+    first = part[0]
+    if type(first) is not tuple:
+        return None
+    arity = len(first)
+    for r in part:
+        if type(r) is not tuple or len(r) != arity:
+            return None
+    if arity == 0:
+        return (n, ())
+    return (n, tuple(_pack_spec(encode_column(col)) for col in zip(*part)))
+
+
+def _pack_block(block: ColumnBlock) -> tuple:
+    return (block.n, tuple(_pack_spec(c) for c in block.columns))
+
+
+def _finish(flag: int, payload: bytes) -> bytes:
+    if len(payload) > _COMPRESS_MIN:
+        z = zlib.compress(payload, 1)
+        if len(z) < len(payload):
+            return bytes((flag | _F_ZLIB,)) + z
+    return bytes((flag,)) + payload
+
+
+def pack_blob(part: Sequence, block: ColumnBlock | None = None) -> bytes:
+    """Serialize one part for the wire (columnar when possible).
+
+    Args:
+        part: The row list the receiver must reconstruct exactly.
+        block: The part's already-encoded :class:`ColumnBlock`, when the
+            owner is columnar-backed — skips re-encoding from rows.
+
+    May raise whatever :mod:`pickle` raises on unpicklable values; callers
+    (the multiprocess backend) already treat that as "run inline".
+    """
+    packed = _pack_block(block) if block is not None else _pack_rows(part)
+    if packed is None:
+        return _finish(0x00, pickle.dumps(list(part), _PROTO))
+    return _finish(_F_COLS, pickle.dumps(packed, _PROTO))
+
+
+def unpack_blob(blob: bytes) -> list[tuple]:
+    """Invert :func:`pack_blob`: the exact original row list."""
+    flag = blob[0]
+    payload = blob[1:]
+    if flag & _F_ZLIB:
+        payload = zlib.decompress(payload)
+    data = pickle.loads(payload)
+    if not flag & _F_COLS:
+        return data
+    n, specs = data
+    if not specs:
+        return [()] * n
+    value_lists = []
+    for spec in specs:
+        tag = spec[0]
+        if tag == "i":
+            value_lists.append(spec[1].tolist())
+        elif tag == "d":
+            d = spec[2]
+            value_lists.append([d[c] for c in spec[1]])
+        else:
+            value_lists.append(spec[1])
+    return list(zip(*value_lists))
+
+
+def packed_size(part: Sequence, block: ColumnBlock | None = None) -> int:
+    """Wire bytes :func:`pack_blob` would ship for ``part`` (bench helper)."""
+    return len(pack_blob(part, block))

@@ -1,15 +1,25 @@
 """Schema-carrying relations (sets of tuples, optionally annotated).
 
-A :class:`Relation` stores rows as Python tuples aligned with an attribute
-tuple.  Natural-join semantics are set semantics: rows are deduplicated at
+A :class:`Relation` presents rows as Python tuples aligned with an
+attribute tuple, but is *columnar-backed*: the authoritative storage is a
+:class:`~repro.data.columns.ColumnBlock` (typed, dictionary-encoded
+columns) derived lazily from the deduplicated rows — or supplied directly
+via :meth:`Relation.from_columns`.  The row view and the column view are
+always interchangeable; decoding is an exact round-trip (types included),
+so every consumer of ``rows`` sees precisely what it always saw.
+
+Natural-join semantics are set semantics: rows are deduplicated at
 construction.  For annotated relations (paper Section 6) duplicates combine
-their annotations with the semiring's ``plus``.
+their annotations with the semiring's ``plus``.  Both construction paths —
+rows in, columns in — apply the identical dedup/combine pass, so the two
+representations can never disagree on contents.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro.data.columns import ColumnBlock
 from repro.errors import SchemaError
 from repro.semiring import Semiring
 
@@ -88,14 +98,74 @@ class Relation:
             self._annotations = tuple(combined.values())
             self.semiring = semiring
         # Lazy caches (the relation is immutable): membership set for
-        # __contains__/__eq__, attribute index for positions().
+        # __contains__/__eq__, attribute index for positions(), columnar
+        # backing for the data plane (encoded once, shared by renames).
         self._row_set: frozenset | None = None
         self._attr_pos: dict[str, int] | None = None
+        self._cols: ColumnBlock | None = None
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        attrs: Sequence[str],
+        block: ColumnBlock,
+        annotations: Iterable[Any] | None = None,
+        semiring: Semiring | None = None,
+    ) -> "Relation":
+        """Construct from a :class:`~repro.data.columns.ColumnBlock`.
+
+        Semantically identical to constructing from ``block.rows()`` —
+        the same dedup / annotation-combining pass runs — but when the
+        block holds no duplicates it is kept as the columnar backing, so
+        no re-encoding ever happens on the columnar fast path.
+        """
+        if block.arity != len(tuple(attrs)):
+            raise SchemaError(
+                f"block arity {block.arity} != {len(tuple(attrs))} attrs in {name!r}"
+            )
+        rel = cls(name, attrs, block.rows(), annotations, semiring)
+        if len(rel._rows) == block.n:
+            rel._cols = block
+        return rel
 
     # ------------------------------------------------------------------
     @property
     def rows(self) -> tuple[Row, ...]:
         return self._rows
+
+    @property
+    def columns(self) -> ColumnBlock:
+        """The columnar backing (encoded lazily, then cached)."""
+        cols = self._cols
+        if cols is None:
+            cols = self._cols = ColumnBlock.from_rows(self._rows, len(self.attrs))
+        return cols
+
+    def renamed(self, name: str, attrs: Sequence[str] | None = None) -> "Relation":
+        """The same relation under a new name / attribute names.
+
+        A metadata-only operation: rows, annotations, and the columnar
+        backing are shared with ``self`` (both are immutable).  ``attrs``
+        must have the original arity; passing ``None`` keeps the old names.
+        """
+        attrs = self.attrs if attrs is None else tuple(attrs)
+        if len(attrs) != len(self.attrs):
+            raise SchemaError(
+                f"cannot rename {self.attrs} to {attrs}: arity differs"
+            )
+        clone = object.__new__(type(self))
+        clone.name = name
+        clone.attrs = attrs
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"relation {name!r} has duplicate attributes {attrs}")
+        clone._rows = self._rows
+        clone._annotations = self._annotations
+        clone.semiring = self.semiring
+        clone._row_set = self._row_set
+        clone._attr_pos = None
+        clone._cols = self._cols
+        return clone
 
     @property
     def annotations(self) -> tuple[Any, ...] | None:

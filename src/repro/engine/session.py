@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.planner import price_fold_orders
+from repro.data.columns import ColumnBlock
 from repro.core.runner import (
     ALGORITHMS,
     auto_algorithm,
@@ -79,6 +80,25 @@ _AGG_ALGORITHMS = ("auto", "rhierarchical", "acyclic", "yannakakis")
 
 
 @dataclass
+class _ColumnarPayload:
+    """A distributed result recorded as shared, immutable column blocks.
+
+    Serving constructs a *fresh* lazy :class:`DistRelation` over the same
+    blocks per replay, so the resident cache stays columnar forever: a
+    caller that materializes rows does so on its own copy, which dies
+    with the caller instead of pinning a row view (and its per-row tuple
+    objects — pure GC ballast) inside the cache.
+    """
+
+    name: str
+    attrs: tuple[str, ...]
+    blocks: list
+
+    def to_relation(self) -> DistRelation:
+        return DistRelation.from_column_parts(self.name, self.attrs, self.blocks)
+
+
+@dataclass
 class _CachedResult:
     """A recorded execution, replayable while its data versions hold.
 
@@ -87,6 +107,7 @@ class _CachedResult:
     same ledger bit for bit, so serving the recording *is* the execution
     (the same argument behind the substrate's ledger-replaying sorted-run
     cache).  Version mismatch ⇒ the recording is unservable.
+    Distributed results are held as a :class:`_ColumnarPayload`.
     """
 
     relation_versions: dict[str, int]
@@ -95,6 +116,12 @@ class _CachedResult:
     report: LoadReport
     meta: dict[str, Any]
     out_size: int
+
+    def served_relation(self) -> Any:
+        rel = self.relation
+        if isinstance(rel, _ColumnarPayload):
+            return rel.to_relation()
+        return rel
 
 
 @dataclass
@@ -159,6 +186,10 @@ class QueryMetrics:
     out_size: int
     wall_seconds: float
     plan_quality: dict[str, int] | None
+    #: Physical bytes the backend shipped across processes for this query
+    #: (0 for in-process backends and replayed recordings).  Observational
+    #: only — the load fields above count logical tuples, never bytes.
+    wire_bytes: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -175,6 +206,7 @@ class QueryMetrics:
             "out_size": self.out_size,
             "wall_seconds": self.wall_seconds,
             "plan_quality": self.plan_quality,
+            "wire_bytes": self.wire_bytes,
         }
 
 
@@ -198,6 +230,7 @@ class EngineStats:
     total_load: int = 0
     max_load: int = 0
     total_wall_seconds: float = 0.0
+    total_wire_bytes: int = 0
     per_query: list[QueryMetrics] = field(default_factory=list)
     max_per_query: int | None = None
 
@@ -214,6 +247,7 @@ class EngineStats:
         self.total_load += metrics.load
         self.max_load = max(self.max_load, metrics.load)
         self.total_wall_seconds += metrics.wall_seconds
+        self.total_wire_bytes += metrics.wire_bytes
         self.per_query.append(metrics)
         if self.max_per_query is not None and len(self.per_query) > self.max_per_query:
             del self.per_query[: len(self.per_query) - self.max_per_query]
@@ -241,6 +275,7 @@ class EngineStats:
             f"{self.invalidations} invalidations / {self.result_hits} "
             f"result replays, total load "
             f"{self.total_load} (max {self.max_load}), "
+            f"{self.total_wire_bytes} wire bytes, "
             f"{self.total_wall_seconds:.3f}s wall"
         ]
         for text, gap in self.plan_gaps().items():
@@ -263,6 +298,7 @@ class EngineStats:
             "total_load": self.total_load,
             "max_load": self.max_load,
             "total_wall_seconds": self.total_wall_seconds,
+            "total_wire_bytes": self.total_wire_bytes,
             "plan_gaps": self.plan_gaps(),
             "per_query": [m.as_dict() for m in self.per_query],
         }
@@ -402,10 +438,14 @@ class Engine:
         key = (binding.relation, version, binding.edge, binding.variables)
         cached = self._bound_cache.get(key)
         if cached is None:
+            # Binding is a rename: rows are already deduplicated (and
+            # annotations combined) in the base relation, so the bound
+            # variant shares rows *and* the columnar backing — distributed
+            # variants slice the same encoded columns for every binding.
             if binding.variables is None:
-                cached = base if base.name == binding.edge else Relation(
-                    binding.edge, base.attrs, base.rows,
-                    base.annotations, base.semiring,
+                cached = (
+                    base if base.name == binding.edge
+                    else base.renamed(binding.edge)
                 )
             else:
                 if len(binding.variables) != len(base.attrs):
@@ -414,10 +454,7 @@ class Engine:
                         f"arity {len(binding.variables)} but relation "
                         f"{binding.relation!r} has columns {base.attrs}"
                     )
-                cached = Relation(
-                    binding.edge, binding.variables, base.rows,
-                    base.annotations, base.semiring,
-                )
+                cached = base.renamed(binding.edge, binding.variables)
             self._bound_cache[key] = cached
         return cached
 
@@ -626,12 +663,13 @@ class Engine:
                 self._stats.record(metrics)
                 return ExecutionResult(
                     prepared=entry,
-                    relation=cached.relation,
+                    relation=cached.served_relation(),
                     scalar=cached.scalar,
                     report=cached.report,
                     metrics=metrics,
                     meta=dict(cached.meta),
                 )
+            wire_before = self._cluster.backend.wire_stats().get("bytes_shipped", 0)
             if entry.kind == "join":
                 rels = self._dist_rels(entry.parsed)
                 self._cluster.reset()
@@ -657,22 +695,48 @@ class Engine:
                 out_size = len(relation) if relation is not None else 1
             wall = time.perf_counter() - t0
             entry.uses += 1
+            wire_bytes = (
+                self._cluster.backend.wire_stats().get("bytes_shipped", 0)
+                - wire_before
+            )
             meta.update(
                 {
                     "algorithm": entry.algorithm,
                     "p": self.p,
                     "backend": self.backend_name,
                     "query_class": entry.query_class,
+                    "wire_bytes": wire_bytes,
                 }
             )
-            entry.cached_result = _CachedResult(
-                relation_versions=versions,
-                relation=relation,
-                scalar=scalar,
-                report=report,
-                meta=dict(meta),
-                out_size=out_size,
-            )
+            if self.result_cache:
+                # The recording holds the columnar form: distributed
+                # results are encoded once into shared column blocks, and
+                # the caller keeps its row-backed relation untouched —
+                # storing the compacted object itself would leave callers
+                # holding BOTH representations after their first row
+                # access, pure GC ballast for the rest of the session.
+                # With the result cache off, nothing is recorded — the
+                # replay path must not pay encoding per execution.
+                stored: Any = relation
+                if isinstance(relation, DistRelation):
+                    blocks = relation.column_parts
+                    if blocks is None:
+                        arity = len(relation.attrs)
+                        blocks = [
+                            ColumnBlock.from_rows(p, arity)
+                            for p in relation.parts
+                        ]
+                    stored = _ColumnarPayload(
+                        relation.name, relation.attrs, list(blocks)
+                    )
+                entry.cached_result = _CachedResult(
+                    relation_versions=versions,
+                    relation=stored,
+                    scalar=scalar,
+                    report=report,
+                    meta=dict(meta),
+                    out_size=out_size,
+                )
             metrics = QueryMetrics(
                 text=entry.parsed.text,
                 kind=entry.kind,
@@ -687,6 +751,7 @@ class Engine:
                 out_size=out_size,
                 wall_seconds=wall,
                 plan_quality=entry.plan_quality,
+                wire_bytes=wire_bytes,
             )
             self._stats.record(metrics)
             return ExecutionResult(

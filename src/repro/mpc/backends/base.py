@@ -115,6 +115,16 @@ class Backend(ABC):
     def close(self) -> None:
         """Release any resources (worker processes, pools).  Idempotent."""
 
+    def wire_stats(self) -> dict:
+        """Cumulative wire-level counters (bytes shipped across processes).
+
+        In-process backends ship nothing and return ``{}``.  Backends that
+        serialize parts report at least ``parts_shipped`` and
+        ``bytes_shipped`` so callers (the engine's per-query metrics, the
+        columnar benchmark) can observe the wire cost of a computation.
+        """
+        return {}
+
     # ------------------------------------------------------------------
     def __enter__(self) -> "Backend":
         return self

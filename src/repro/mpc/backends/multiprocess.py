@@ -23,6 +23,18 @@ on a pool of long-lived worker processes.  Design points:
   sorted-run cache, kept worker-local exactly so no shared mutable state
   exists between processes.  The coordinator mirrors each worker's LRU
   bookkeeping, so cache handshakes never need an extra round trip.
+* **Columnar wire format.**  Parts cross the process boundary as the
+  compact blobs of :func:`repro.data.columns.pack_blob` — per-column
+  minimal-width arrays with shared dictionaries and optional zlib —
+  instead of pickled tuple lists.  Owners that are columnar-backed
+  (:class:`~repro.mpc.distrel.DistRelation`) supply pre-encoded, cached
+  blobs directly; everything else is packed at ship time, with a pickle
+  fallback inside the blob for rows the columnar form cannot represent.
+  Decoding is an exact round-trip, so workers compute on *identical* row
+  lists and results cannot differ from the serial reference.  The
+  cumulative cost of shipped parts is observable via :meth:`wire_stats`
+  (set ``REPRO_WIRE_BASELINE=1`` to also track what pickled tuple lists
+  would have cost — benchmarks use this for the compression gate).
 * **Message delivery stays in the coordinator.**  ``exchange`` outboxes
   are built by coordinator-side algorithm code against coordinator-held
   parts; routing them through workers would serialize every payload twice
@@ -43,6 +55,7 @@ from collections import OrderedDict
 from hashlib import blake2b
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.data.columns import pack_blob, unpack_blob
 from repro.errors import MPCError
 from repro.mpc.backends.base import Backend, deliver_local
 
@@ -69,10 +82,12 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
     """Worker loop: batched map requests in, per-job pickled results out.
 
     Jobs arrive as ``(idx, fingerprint, part_blob)`` where ``part_blob``
-    is the *pre-pickled* part (or ``None`` for a key-only job the
-    coordinator believes is cached).  The cache maps ``(fn_ref,
-    common_bytes, fingerprint, idx)`` to the *pickled* reply, so a warm
-    hit performs no pickling at all — the cached bytes are sent as-is.
+    is the part's wire blob (:func:`repro.data.columns.pack_blob` —
+    columnar when possible, pickled rows otherwise; ``None`` for a
+    key-only job the coordinator believes is cached).  The cache maps
+    ``(fn_ref, common_bytes, fingerprint, idx)`` to the *pickled* reply,
+    so a warm hit performs no (de)serialization at all — the cached bytes
+    are sent as-is.
     A key-only job that misses the cache (the coordinator's mirror is
     best-effort) is answered with a ``"miss"`` reply, never an error; the
     coordinator re-sends the part.
@@ -111,7 +126,7 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
                             pickle.dumps((idx, "miss", None), _PROTO)
                         )
                         continue
-                part = pickle.loads(part_blob)
+                part = unpack_blob(part_blob)
                 blob = pickle.dumps((idx, "ok", fn(part, common, idx)), _PROTO)
                 if key is not None:
                     cache[key] = blob
@@ -145,6 +160,28 @@ class MultiprocessBackend(Backend):
         self._procs: list[Any] = []
         # Coordinator-side mirror of each worker's LRU key set.
         self._mirrors: list[OrderedDict[tuple, None]] = []
+        # Cumulative wire counters (see wire_stats()).
+        self._wire_parts = 0
+        self._wire_bytes = 0
+        self._wire_baseline = 0
+        self._track_baseline = bool(os.environ.get("REPRO_WIRE_BASELINE"))
+
+    # ------------------------------------------------------------------
+    def wire_stats(self) -> dict:
+        """Cumulative part-shipping counters since construction/reset.
+
+        ``parts_shipped`` / ``bytes_shipped`` count every part blob that
+        crossed the process boundary (cache-hit key-only jobs ship no
+        part).  ``baseline_bytes`` is what ``pickle.dumps`` of the same
+        row lists would have cost — tracked only under
+        ``REPRO_WIRE_BASELINE=1`` because it performs the pickling being
+        avoided.
+        """
+        return {
+            "parts_shipped": self._wire_parts,
+            "bytes_shipped": self._wire_bytes,
+            "baseline_bytes": self._wire_baseline,
+        }
 
     # ------------------------------------------------------------------
     def exchange(
@@ -202,11 +239,12 @@ class MultiprocessBackend(Backend):
     ) -> tuple[list[bytes] | None, list[bytes] | None]:
         """Content fingerprints per part, memoized on the owner when possible.
 
-        Returns ``(fingerprints, part_blobs)``.  When the fingerprints are
-        computed here, the pickled parts they were hashed from are returned
-        too, so a cold ship reuses them instead of pickling each part a
-        second time; a memoized-fingerprint hit returns ``(fps, None)``
-        (blobs are not retained — on the warm path parts rarely ship).
+        Returns ``(fingerprints, part_blobs)``.  Fingerprints hash the
+        *wire blobs* (columnar form), so a columnar-backed owner pays no
+        row pickling at all — its cached :meth:`~repro.mpc.distrel.
+        DistRelation.wire_blob` encodings are hashed and reused for any
+        cold ship.  A memoized-fingerprint hit returns ``(fps, None)``
+        (on the warm path parts rarely ship; blobs are rebuilt on demand).
         ``(None, None)`` disables worker memoization (unpicklable rows),
         never correctness.
         """
@@ -216,7 +254,11 @@ class MultiprocessBackend(Backend):
             if cached is not None:
                 return cached, None
         try:
-            blobs = [pickle.dumps(part, _PROTO) for part in parts]
+            wire = getattr(owner, "wire_blob", None)
+            if wire is not None and getattr(owner, "parts", None) is parts:
+                blobs = [wire(i) for i in range(len(parts))]
+            else:
+                blobs = [pack_blob(part) for part in parts]
         except Exception:  # noqa: BLE001 - unpicklable rows
             return None, None
         fps = [blake2b(blob, digest_size=16).digest() for blob in blobs]
@@ -251,10 +293,25 @@ class MultiprocessBackend(Backend):
         assert conns is not None
         w = len(conns)
 
+        wire = getattr(owner, "wire_blob", None) if owner is not None else None
+        if wire is not None and getattr(owner, "parts", None) is not parts:
+            wire = None
+
         def part_blob(idx: int) -> bytes:
-            return blobs[idx] if blobs is not None else pickle.dumps(
-                parts[idx], _PROTO
-            )
+            if blobs is not None:
+                blob = blobs[idx]
+            elif wire is not None:
+                blob = wire(idx)
+            else:
+                blob = pack_blob(parts[idx])
+            self._wire_parts += 1
+            self._wire_bytes += len(blob)
+            if self._track_baseline:
+                try:
+                    self._wire_baseline += len(pickle.dumps(parts[idx], _PROTO))
+                except Exception:  # noqa: BLE001 - baseline is best-effort
+                    pass
+            return blob
 
         # Build one batched request per worker (deterministic affinity).
         # The mirror of each worker's LRU is best-effort: a key sent

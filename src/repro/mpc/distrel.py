@@ -6,12 +6,27 @@ per local server of the group that owns it.  Rows are plain value tuples
 aligned with ``attrs``; annotated executions (Section 6) thread annotations
 through as extra pseudo-attribute columns, so all join machinery stays
 oblivious to them.
+
+Parts exist in up to two interchangeable representations:
+
+* **row parts** — ``parts[i]`` is local server ``i``'s rows as a list of
+  tuples (what every ``core/`` algorithm iterates), and
+* **column parts** — ``column_parts[i]`` is the same data as a typed,
+  dictionary-encoded :class:`~repro.data.columns.ColumnBlock`.
+
+A relation born from :func:`distribute_relation` starts columnar (sliced
+straight from the base relation's column backing, no row pass); its row
+view materializes lazily on first ``.parts`` access and is then cached.
+Either view converts to the other exactly — decoding is a guaranteed
+round-trip — so algorithms, primitives, and the ledger observe identical
+tuples regardless of which representation a relation currently holds.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from repro.data.columns import ColumnBlock, encode_column, pack_blob
 from repro.data.relation import Relation, Row, project_row
 from repro.errors import MPCError, SchemaError
 from repro.mpc.group import Group
@@ -25,28 +40,117 @@ class DistRelation:
     Parts are treated as immutable after construction: every transforming
     operation returns a fresh ``DistRelation``.  The performance substrate
     (:mod:`repro.mpc.substrate`) relies on that to cache per-relation
-    derived state — column kinds, encoded keys, sorted runs — in
-    ``_substrate``, keyed by object identity, with no invalidation needed.
+    derived state — column kinds, encoded keys, sorted runs, wire blobs —
+    in ``_substrate``, keyed by object identity, with no invalidation
+    needed.
 
-    Attributes:
+    Args:
         name: Relation name.
         attrs: Attribute names in column order.
         parts: ``parts[i]`` holds local server ``i``'s rows.
+        owned: The caller hands over freshly built lists it will never
+            touch again, so the per-part defensive copy is skipped.  All
+            internal transforming operations use this fast path; external
+            callers holding onto their lists must leave it off.
     """
 
-    def __init__(self, name: str, attrs: Sequence[str], parts: Sequence[list[Row]]) -> None:
+    def __init__(
+        self,
+        name: str,
+        attrs: Sequence[str],
+        parts: Sequence[list[Row]],
+        *,
+        owned: bool = False,
+    ) -> None:
         self.name = name
         self.attrs: tuple[str, ...] = tuple(attrs)
-        self.parts: list[list[Row]] = [list(p) for p in parts]
+        self._parts: list[list[Row]] | None = (
+            list(parts) if owned else [list(p) for p in parts]
+        )
+        self._cols: list[ColumnBlock] | None = None
         self._substrate: dict = {}
         self._attr_pos: dict[str, int] | None = None
 
+    @classmethod
+    def from_column_parts(
+        cls, name: str, attrs: Sequence[str], blocks: Sequence[ColumnBlock]
+    ) -> "DistRelation":
+        """Construct columnar-first; the row view materializes lazily."""
+        rel = cls.__new__(cls)
+        rel.name = name
+        rel.attrs = tuple(attrs)
+        rel._parts = None
+        rel._cols = list(blocks)
+        rel._substrate = {}
+        rel._attr_pos = None
+        arity = len(rel.attrs)
+        for b in rel._cols:
+            if b.arity != arity:
+                raise SchemaError(
+                    f"column part arity {b.arity} != {arity} attrs in {name!r}"
+                )
+        return rel
+
     # ------------------------------------------------------------------
     @property
+    def parts(self) -> list[list[Row]]:
+        """Row-tuple view of every part (lazily decoded from columns)."""
+        parts = self._parts
+        if parts is None:
+            cols = self._cols
+            assert cols is not None
+            parts = self._parts = [b.rows() for b in cols]
+        return parts
+
+    @property
+    def column_parts(self) -> list[ColumnBlock] | None:
+        """Columnar view, or ``None`` if this relation is row-backed."""
+        return self._cols
+
+    def column_values(self, part_idx: int, col: int) -> list:
+        """One part's values in one column (no row materialization needed)."""
+        cols = self._cols
+        if cols is not None:
+            return cols[part_idx].column_values(col)
+        return [row[col] for row in self.parts[part_idx]]
+
+    def compact(self) -> "DistRelation":
+        """Switch to columnar-only storage (drops the cached row view).
+
+        Used by result caches: the columnar form is the compact resident
+        representation; ``.parts`` re-materializes rows on demand.  Content
+        is unchanged, so identity-keyed substrate caches stay valid.
+        """
+        if self._cols is None:
+            arity = len(self.attrs)
+            self._cols = [
+                ColumnBlock.from_rows(p, arity) for p in self.parts
+            ]
+        self._parts = None
+        return self
+
+    def wire_blob(self, i: int) -> bytes:
+        """Part ``i``'s canonical wire encoding (cached; see ``columns.pack_blob``)."""
+        cache: dict[int, bytes] = self._substrate.setdefault("wire", {})
+        blob = cache.get(i)
+        if blob is None:
+            cols = self._cols
+            block = cols[i] if cols is not None else None
+            blob = pack_blob(self.parts[i] if block is None else (), block)
+            cache[i] = blob
+        return blob
+
+    @property
     def num_parts(self) -> int:
+        cols = self._cols
+        if self._parts is None and cols is not None:
+            return len(cols)
         return len(self.parts)
 
     def total_size(self) -> int:
+        cols = self._cols
+        if self._parts is None and cols is not None:
+            return sum(b.n for b in cols)
         return sum(len(p) for p in self.parts)
 
     def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
@@ -73,7 +177,9 @@ class DistRelation:
 
     def map_parts(self, fn: Callable[[list[Row]], list[Row]], name: str | None = None) -> "DistRelation":
         """Apply a local (free) transformation to every part."""
-        return DistRelation(name or self.name, self.attrs, [fn(p) for p in self.parts])
+        return DistRelation(
+            name or self.name, self.attrs, [fn(p) for p in self.parts], owned=True
+        )
 
     def filter_local(self, predicate: Callable[[Row], bool], name: str | None = None) -> "DistRelation":
         """Local filter (no communication)."""
@@ -81,55 +187,69 @@ class DistRelation:
             name or self.name,
             self.attrs,
             [[r for r in p if predicate(r)] for p in self.parts],
+            owned=True,
         )
 
     def rehash(self, group: Group, key_attrs: Sequence[str], label: str, salt: int = 0) -> "DistRelation":
         """Hash-partition by the given attributes (counts as communication)."""
-        if len(self.parts) != group.size:
+        if self.num_parts != group.size:
             raise MPCError(
-                f"relation has {len(self.parts)} parts but group size is {group.size}"
+                f"relation has {self.num_parts} parts but group size is {group.size}"
             )
         pos = self.positions(key_attrs)
         parts = group.hash_route(
             self.parts, lambda row: project_row(row, pos), label, salt=salt
         )
-        return DistRelation(self.name, self.attrs, parts)
+        return DistRelation(self.name, self.attrs, parts, owned=True)
 
-    def with_parts(self, parts: Sequence[list[Row]], name: str | None = None) -> "DistRelation":
-        return DistRelation(name or self.name, self.attrs, parts)
+    def with_parts(
+        self,
+        parts: Sequence[list[Row]],
+        name: str | None = None,
+        *,
+        owned: bool = False,
+    ) -> "DistRelation":
+        return DistRelation(name or self.name, self.attrs, parts, owned=owned)
 
     def empty_like(self, num_parts: int | None = None) -> "DistRelation":
-        n = num_parts if num_parts is not None else len(self.parts)
-        return DistRelation(self.name, self.attrs, [[] for _ in range(n)])
+        n = num_parts if num_parts is not None else self.num_parts
+        return DistRelation(
+            self.name, self.attrs, [[] for _ in range(n)], owned=True
+        )
 
     def __repr__(self) -> str:
         return (
             f"DistRelation<{self.name}({','.join(self.attrs)}), "
-            f"{self.total_size()} rows over {len(self.parts)} parts>"
+            f"{self.total_size()} rows over {self.num_parts} parts>"
         )
 
 
 def distribute_relation(rel: Relation, group: Group, annotate: bool = False) -> DistRelation:
     """Spread a relation evenly over a group (initial placement is free).
 
+    Slices the base relation's columnar backing directly — part ``i``
+    takes rows ``i, i+p, i+2p, ...`` (the model's "evenly distributed"
+    initial state, identical to the historical round-robin deal) — so no
+    row tuples are built until an algorithm first reads ``.parts``.
+
     Args:
         rel: The RAM relation.
-        group: Target group; rows are dealt round-robin (the model's "evenly
-            distributed" initial state).
+        group: Target group.
         annotate: If True and ``rel`` is annotated, append the annotation as
             a trailing pseudo-attribute column named ``#w:<name>``.
     """
     if annotate and rel.annotated:
         attrs = rel.attrs + (f"#w:{rel.name}",)
-        anns = rel.annotations or ()
-        rows: Iterable[Row] = (r + (w,) for r, w in zip(rel.rows, anns))
+        block = ColumnBlock(
+            len(rel),
+            rel.columns.columns + (encode_column(list(rel.annotations or ())),),
+        )
     else:
         attrs = rel.attrs
-        rows = rel.rows
-    parts: list[list[Row]] = [[] for _ in range(group.size)]
-    for i, row in enumerate(rows):
-        parts[i % group.size].append(row)
-    return DistRelation(rel.name, attrs, parts)
+        block = rel.columns
+    p = group.size
+    blocks = [block.take_stride(i, p) for i in range(p)]
+    return DistRelation.from_column_parts(rel.name, attrs, blocks)
 
 
 def distribute_instance(instance, group: Group, annotate: bool = False) -> dict[str, DistRelation]:

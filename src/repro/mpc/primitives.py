@@ -636,7 +636,7 @@ def semi_join(
     parts = [
         [payload for key, payload, pk, _pv in part if pk == key] for part in found
     ]
-    return DistRelation(rel.name, rel.attrs, parts)
+    return DistRelation(rel.name, rel.attrs, parts, owned=True)
 
 
 def attach_degrees(

@@ -123,22 +123,28 @@ def column_kind(rel: DistRelation, col: int) -> int | None:
     (``bool`` — an ``int`` subclass with a different tag — disqualifies),
     else ``None``.  With caching disabled no scan happens and ``None`` is
     returned, which routes every encoder through plain :func:`orderable`.
+
+    Columnar-backed relations answer from the encoding's per-column kind
+    tags in O(parts) instead of scanning every row.  Dictionary columns
+    report homogeneity of their *dictionary* — a superset of the part's
+    values after slicing — so the tag can only be conservative (``None``
+    where a scan might find homogeneity), never falsely homogeneous; every
+    encoder fast path emits bit-identical keys either way.
     """
     if not _ENABLED:
         return None
     kinds: dict[int, int | None] = rel._substrate.setdefault("kinds", {})
     if col in kinds:
         return kinds[col]
+    blocks = rel.column_parts
     state = 0  # 0 = unseen, _TAG_NUM / _TAG_STR, -1 = heterogeneous
-    for part in rel.parts:
-        for row in part:
-            v = row[col]
-            tv = type(v)
-            if tv is int or tv is float:
-                t = _TAG_NUM
-            elif tv is str:
-                t = _TAG_STR
-            else:
+    if blocks is not None:
+        for block in blocks:
+            c = block.columns[col]
+            if not len(c):
+                continue
+            t = c.order_tag
+            if t is None:
                 state = -1
                 break
             if state == 0:
@@ -146,11 +152,80 @@ def column_kind(rel: DistRelation, col: int) -> int | None:
             elif state != t:
                 state = -1
                 break
-        if state == -1:
-            break
+    else:
+        for part in rel.parts:
+            for row in part:
+                v = row[col]
+                tv = type(v)
+                if tv is int or tv is float:
+                    t = _TAG_NUM
+                elif tv is str:
+                    t = _TAG_STR
+                else:
+                    state = -1
+                    break
+                if state == 0:
+                    state = t
+                elif state != t:
+                    state = -1
+                    break
+            if state == -1:
+                break
     kind = state if state in (_TAG_NUM, _TAG_STR) else None
     kinds[col] = kind
     return kind
+
+
+def _column_lut(rel: DistRelation, col: int) -> dict | None:
+    """``(type, value) -> orderable(value)`` read from column dictionaries.
+
+    For a dictionary-encoded column the :func:`orderable` form of each
+    *distinct* value is computed once (per relation, cached) and key
+    encoding becomes a lookup — the recursion never re-runs per row.  The
+    ``(type, value)`` key mirrors the dictionary encoder's own key, so
+    ``1``/``True``/``1.0`` resolve to their distinct orderable forms.
+    Returns ``None`` when the relation is row-backed, the column has no
+    dictionary, or a dictionary value defies :func:`orderable` (the
+    per-row fallback then raises at the same site the reference would).
+    """
+    if not _ENABLED:
+        return None
+    blocks = rel.column_parts
+    if blocks is None:
+        return None
+    store: dict[int, dict | None] = rel._substrate.setdefault("luts", {})
+    if col in store:
+        return store[col]
+    lut: dict | None = {}
+    for block in blocks:
+        c = block.columns[col]
+        if c.kind != "d":
+            continue
+        try:
+            for v in c.dictionary or ():
+                lut[(v.__class__, v)] = orderable(v)  # type: ignore[index]
+        except TypeError:
+            lut = None
+            break
+    if not lut:
+        lut = None
+    store[col] = lut
+    return lut
+
+
+def _value_encoder(tag: int | None, lut: dict | None) -> Callable[[Any], tuple]:
+    """Single-value ``orderable`` equivalent: tag fast path, LUT, recursion."""
+    if tag is not None:
+        return lambda v: (tag, v)
+    if lut is not None:
+        get = lut.get
+
+        def enc(v: Any) -> tuple:
+            ok = get((v.__class__, v))
+            return orderable(v) if ok is None else ok
+
+        return enc
+    return orderable
 
 
 def projection_encoder_from_tags(
@@ -180,9 +255,22 @@ def projection_encoder(
 
     The fast paths produce *identical* tuples to the generic recursion, so
     anything downstream (splitters, run equality, routing) is unchanged.
+    Heterogeneous columns of a columnar-backed relation resolve through
+    their dictionary LUTs (:func:`_column_lut`) instead of re-running the
+    :func:`orderable` recursion per row.
     """
     pos = tuple(pos)
-    return projection_encoder_from_tags(pos, [column_kind(rel, i) for i in pos])
+    tags = [column_kind(rel, i) for i in pos]
+    if all(t is not None for t in tags):
+        return projection_encoder_from_tags(pos, tags)
+    encs = [
+        (i, _value_encoder(t, _column_lut(rel, i) if t is None else None))
+        for i, t in zip(pos, tags)
+    ]
+    if len(encs) == 1:
+        i0, e0 = encs[0]
+        return lambda row: (5, (e0(row[i0]),))
+    return lambda row: (5, tuple(e(row[i]) for i, e in encs))
 
 
 def scalar_encoder_from_tag(col: int, tag: int | None) -> Callable[[Row], tuple]:
@@ -194,21 +282,35 @@ def scalar_encoder_from_tag(col: int, tag: int | None) -> Callable[[Row], tuple]
 
 def scalar_encoder(rel: DistRelation, col: int) -> Callable[[Row], tuple]:
     """``row -> orderable(row[col])``, specialized when the column allows."""
-    return scalar_encoder_from_tag(col, column_kind(rel, col))
+    tag = column_kind(rel, col)
+    if tag is None:
+        lut = _column_lut(rel, col)
+        if lut is not None:
+            enc = _value_encoder(None, lut)
+            return lambda row: enc(row[col])
+    return scalar_encoder_from_tag(col, tag)
 
 
 def key_encoder(rel: DistRelation, pos: Sequence[int]) -> Callable[[Row], tuple]:
     """``key -> orderable(key)`` for keys projected from ``rel`` at ``pos``.
 
     For callers that already hold projected key tuples (the generic
-    primitives) but know which relation/columns they came from.
+    primitives) but know which relation/columns they came from.  Columns
+    without a homogeneity tag resolve through their dictionary LUTs.
     """
     pos = tuple(pos)
     tags = [column_kind(rel, i) for i in pos]
     if all(t is not None for t in tags):
         tags_t = tuple(tags)
         return lambda key: (5, tuple(zip(tags_t, key)))
-    return orderable
+    luts = [_column_lut(rel, i) if t is None else None for i, t in zip(pos, tags)]
+    if not any(luts):
+        return orderable
+    encs = [_value_encoder(t, lut) for t, lut in zip(tags, luts)]
+    if len(encs) == 1:
+        e0 = encs[0]
+        return lambda key: (5, (e0(key[0]),))
+    return lambda key: (5, tuple(e(v) for e, v in zip(encs, key)))
 
 
 def pair_key_encoder(
@@ -219,28 +321,67 @@ def pair_key_encoder(
 ) -> Callable[[Row], tuple] | None:
     """A shared fast key encoder for keys projected from *two* relations.
 
-    Returns a specialized encoder only when both projections are
-    homogeneous with matching type tags (so one encoder is valid for keys
-    from either side), else ``None`` — callers fall back to
-    :func:`orderable`.
+    When both projections are homogeneous with matching type tags, one
+    tag-stamping encoder serves keys from either side.  Otherwise each
+    position merges the two relations' dictionary LUTs — an encoder built
+    from them is valid for values of *either* side (values absent from
+    both dictionaries fall back to :func:`orderable`, bit-identically).
+    Returns ``None`` only when no fast path exists at any position, so
+    callers can use plain :func:`orderable` without wrapper overhead.
     """
+    pos1 = tuple(pos1)
+    pos2 = tuple(pos2)
     tags1 = [column_kind(rel1, i) for i in pos1]
     tags2 = [column_kind(rel2, i) for i in pos2]
-    if tags1 != tags2 or not all(t is not None for t in tags1):
+    if tags1 == tags2 and all(t is not None for t in tags1):
+        tags_t = tuple(tags1)
+        return lambda key: (5, tuple(zip(tags_t, key)))
+    encs: list[Callable[[Any], tuple]] = []
+    useful = False
+    for j in range(len(pos1)):
+        t1, t2 = tags1[j], tags2[j]
+        if t1 is not None and t1 == t2:
+            encs.append(_value_encoder(t1, None))
+            useful = True
+            continue
+        lut1 = _column_lut(rel1, pos1[j]) if t1 is None else None
+        lut2 = _column_lut(rel2, pos2[j]) if t2 is None else None
+        merged: dict | None = None
+        if lut1 or lut2:
+            merged = dict(lut1 or ())
+            merged.update(lut2 or ())
+            useful = True
+        encs.append(_value_encoder(None, merged))
+    if not useful:
         return None
-    tags_t = tuple(tags1)
-    return lambda key: (5, tuple(zip(tags_t, key)))
+    if len(encs) == 1:
+        e0 = encs[0]
+        return lambda key: (5, (e0(key[0]),))
+    return lambda key: (5, tuple(e(v) for e, v in zip(encs, key)))
 
 
 def projected_keys(rel: DistRelation, pos: Sequence[int]) -> list[list[Row]]:
-    """Per-part projected key tuples, cached per ``(relation, positions)``."""
+    """Per-part projected key tuples, cached per ``(relation, positions)``.
+
+    Columnar-backed relations build the key tuples straight from decoded
+    column value lists — no row tuples are touched (or materialized).
+    """
     pos = tuple(pos)
     if _ENABLED:
         cache: dict[tuple, list] = rel._substrate.setdefault("keys", {})
         got = cache.get(pos)
         if got is not None:
             return got
-    if len(pos) == 1:
+    blocks = rel.column_parts
+    if blocks is not None:
+        if len(pos) == 1:
+            i0 = pos[0]
+            keys = [[(v,) for v in b.column_values(i0)] for b in blocks]
+        else:
+            keys = [
+                list(zip(*[b.column_values(i) for i in pos])) for b in blocks
+            ]
+    elif len(pos) == 1:
         i0 = pos[0]
         keys = [[(row[i0],) for row in part] for part in rel.parts]
     else:

@@ -77,7 +77,7 @@ class TestCartesian:
         cl = Cluster(4)
         g = cl.root_group()
         rels = distribute_instance(inst, g)
-        rels["R2"].parts = [[] for _ in range(4)]
+        rels["R2"] = rels["R2"].empty_like()
         res = hypercube_cartesian(g, [rels["R1"], rels["R2"]])
         assert res.total_size() == 0
 

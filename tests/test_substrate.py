@@ -101,13 +101,27 @@ class TestEncoders:
         enc = scalar_encoder(rel, 0)
         assert enc((True, "b")) == orderable(True) == (1, 1)
 
-    def test_pair_encoder_requires_matching_kinds(self):
+    def test_pair_encoder_matches_orderable_on_both_sides(self):
         _cl, g, rel1 = dist(make_rel([(1, "a"), (2, "b")]), 2)
         rel2 = distribute_relation(make_rel([("x", 1)], attrs=("B", "C")), g)
-        assert pair_key_encoder(rel1, (0,), rel2, (0,)) is None
+        # Mismatched kinds: the dictionary-LUT fallback must still encode
+        # keys from either side bit-identically to plain orderable().
+        enc = pair_key_encoder(rel1, (0,), rel2, (0,))
+        if enc is not None:
+            for key in [(1,), (2,), ("x",), (3.5,), (None,)]:
+                assert enc(key) == orderable(key)
         enc = pair_key_encoder(rel1, (0,), rel2, (1,))
         assert enc is not None
         assert enc((7,)) == orderable((7,))
+
+    def test_pair_encoder_none_without_fast_path(self):
+        # Row-backed relations with mismatched kinds have no dictionaries
+        # to read; the caller's plain-orderable fallback is then cheapest.
+        from repro.mpc.distrel import DistRelation
+
+        r1 = DistRelation("R", ("A",), [[(1,)], [(2,)]])
+        r2 = DistRelation("S", ("B",), [[("x",)], [("y",)]])
+        assert pair_key_encoder(r1, (0,), r2, (0,)) is None
 
 
 class TestRunCacheRecharges:
