@@ -12,9 +12,9 @@ the PR 2 serving workloads (the ``bench_backends`` mix):
   ``bench_backends`` defines them (cold = first request including worker
   start, warm = best of the following fresh requests).
 * **warm engine replay** — a prepared-plan replay loop through
-  :class:`repro.engine.Engine` (result cache off, so the algorithms
-  actually re-run) guarding against warm-path regressions from the
-  columnar refactor.
+  :class:`repro.engine.Engine` (result cache off: warm executions replay
+  the traced physical plan against the backend) guarding against
+  warm-path regressions from the columnar refactor.
 
 Parity is a hard gate: outputs and the full ledger must be bit-identical
 between serial and multiprocess on every workload, or nothing is written
@@ -99,7 +99,7 @@ def _time_backend(request, backend, reps: int):
 
 
 def _engine_replay(quick: bool) -> dict:
-    """Warm prepared-plan replay timing (result cache off: algorithms run)."""
+    """Warm prepared-plan replay timing (result cache off: op replay)."""
     n = 400 if quick else 3000
     rows1 = [(i, (i * 7) % n) for i in range(n)]
     rows2 = [(i, f"s{i % 97}") for i in range(n)]

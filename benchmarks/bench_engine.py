@@ -20,8 +20,10 @@ results otherwise).  Reported per backend:
 * ``engine_cold_seconds`` — first engine pass (parse + prepare + plan
   pricing included),
 * ``engine_replay_seconds`` — best warm pass with the result cache
-  disabled: the algorithms re-run over warm distributed relations and
-  substrate caches,
+  disabled: the traced physical plan replays through the op executor
+  (ledger re-charged bit-exactly, worker-local compute re-issued in
+  fused backend requests — see DESIGN.md 7 and
+  ``benchmarks/bench_plan_fusion.py`` for the mode-by-mode breakdown),
 * ``engine_warm_seconds`` — best warm pass in the default serving
   configuration: unchanged data versions let the engine replay the
   recorded execution (deterministic simulation ⇒ bit-identical outputs
@@ -142,8 +144,8 @@ def _bench_backend(backend: str, quick: bool, reps: int) -> dict:
         if res.report.as_dict() != ref_report.as_dict():
             raise AssertionError(f"engine ledger diverges on {text!r}")
 
-    # ---- warm replay passes (result cache off: algorithms re-run over
-    #      warm distributed relations and substrate caches)
+    # ---- warm replay passes (result cache off: the traced physical
+    #      plan replays through the Executor against the warm backend)
     engine.result_cache = False
     engine_replay = float("inf")
     for _ in range(reps):
@@ -218,9 +220,10 @@ def bench(quick: bool = False, backends: tuple[str, ...] = ()) -> dict:
         "workload": list(WORKLOAD),
         "note": (
             "oneshot = best repeated cold pass (fresh bind + cluster + "
-            "redistribution per request); engine replay = prepared-plan "
-            "re-execution on the persistent session (warm distributed "
-            "relations + substrate caches); engine warm = default serving "
+            "redistribution per request); engine replay = traced physical "
+            "plan replayed through the op executor on the persistent "
+            "session (ledger re-charged bit-exactly, fused backend "
+            "requests); engine warm = default serving "
             "config, where unchanged data versions let the deterministic "
             "simulation's recorded execution replay bit-identically.  "
             "Outputs and full LoadReports are verified against the "

@@ -1,0 +1,235 @@
+"""Plan-fusion benchmark: warm op-replay round-trips vs the re-drive baseline.
+
+A mixed serving workload (line-3 join, binary join, acyclic fork join,
+GROUP BY COUNT) runs through three warm-path configurations of the same
+persistent :class:`repro.engine.Engine` session (result cache off, so
+every warm query actually executes against the backend):
+
+* **fused** — warm executions replay the traced physical plan with the
+  fusion pass on: worker-local ops batch into single
+  ``Backend.run_ops`` round-trips;
+* **unfused** — the same replay with one backend request per op
+  (``fusion=False``);
+* **re-drive** — the pre-plan baseline (``plan_replay=False``): the
+  algorithms' Python control flow re-runs and issues one ``map_parts``
+  request per primitive step, exactly as before this layer existed.
+
+Parity is a hard gate: outputs and the full LoadReport must be
+bit-identical across all three modes (and equal to the cold run) on
+every workload query, or nothing is written and the process exits
+non-zero.  ``--check`` additionally gates the round-trip reduction: the
+fused warm path must issue fewer backend requests than the unfused
+replay AND fewer than the re-drive baseline.
+
+Run:  python benchmarks/bench_plan_fusion.py [--quick] [--check]
+          [--backend NAME] [output.json]
+Writes ``BENCH_plan.json`` (repo root by default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.data.generators import line_trap_instance, random_instance
+from repro.engine import Engine
+from repro.mpc import shutdown_backends
+from repro.query import catalog
+
+P = 8
+
+
+def _base_relations(quick: bool) -> dict:
+    n = 1000 if quick else 5000
+    trap = line_trap_instance(3, n, 2 * n, doubled=True)
+    binary = random_instance(catalog.binary_join(), n, max(8, n // 40), seed=7)
+    fork = random_instance(catalog.fork_join(), n, max(8, n // 8), seed=17)
+    rels = dict(trap.relations)
+    rels.update({f"S{i}": r for i, (_n, r) in enumerate(binary.relations.items(), 1)})
+    rels.update({f"F{i}": r for i, (_n, r) in enumerate(fork.relations.items(), 1)})
+    return rels
+
+
+WORKLOAD = (
+    "Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)",
+    "Q(A,B,C) :- S1(A,B), S2(B,C)",
+    "Q(A,B,C,D,E) :- F1(A,B), F2(B,C), F3(C,D), F4(C,E)",
+    "Q(B; count) :- R1(A,B), R2(B,C), R3(C,D)",
+)
+
+
+def _payload(res):
+    if res.metrics.kind == "join":
+        return {"attrs": res.relation.attrs, "parts": res.relation.parts}
+    return {
+        "scalar": res.scalar,
+        "rows": None if res.relation is None else list(res.relation.rows),
+        "annotations": (
+            None if res.relation is None
+            else list(res.relation.annotations or ())
+        ),
+    }
+
+
+def _engine(relations: dict, backend: str, **kwargs) -> Engine:
+    engine = Engine(p=P, backend=backend, result_cache=False, **kwargs)
+    for name, rel in relations.items():
+        engine.register(rel, name=name)
+    return engine
+
+
+def _warm_pass(engine: Engine, reps: int):
+    """Best warm-pass wall time + per-pass backend requests (constant)."""
+    best = float("inf")
+    requests = None
+    results = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        results = [engine.execute(text) for text in WORKLOAD]
+        best = min(best, time.perf_counter() - t0)
+        reqs = sum(r.metrics.backend_requests for r in results)
+        assert requests is None or requests == reqs  # deterministic schedule
+        requests = reqs
+    return best, requests, results
+
+
+def _bench_backend(backend: str, quick: bool, reps: int) -> dict:
+    relations = _base_relations(quick)
+    fused = _engine(relations, backend)
+    unfused = _engine(relations, backend, fusion=False)
+    redrive = _engine(relations, backend, plan_replay=False)
+
+    t0 = time.perf_counter()
+    cold = [fused.execute(text) for text in WORKLOAD]
+    cold_seconds = time.perf_counter() - t0
+    ref = [(_payload(r), r.report.as_dict()) for r in cold]
+    cold_requests = sum(r.metrics.backend_requests for r in cold)
+
+    for other in (unfused, redrive):
+        for text, (ref_payload, ref_ledger) in zip(WORKLOAD, ref):
+            res = other.execute(text)
+            if _payload(res) != ref_payload or res.report.as_dict() != ref_ledger:
+                raise AssertionError(f"cold divergence on {text!r}")
+
+    fused_s, fused_req, fused_res = _warm_pass(fused, reps)
+    unfused_s, unfused_req, unfused_res = _warm_pass(unfused, reps)
+    redrive_s, redrive_req, redrive_res = _warm_pass(redrive, reps)
+
+    assert all(r.metrics.plan_replayed for r in fused_res)
+    assert all(r.metrics.plan_replayed for r in unfused_res)
+    assert not any(r.metrics.plan_replayed for r in redrive_res)
+
+    # ---- parity gate: every warm mode bit-identical to the cold run
+    for mode, results in (
+        ("fused", fused_res), ("unfused", unfused_res), ("redrive", redrive_res)
+    ):
+        for text, res, (ref_payload, ref_ledger) in zip(WORKLOAD, results, ref):
+            if _payload(res) != ref_payload:
+                raise AssertionError(f"{mode} outputs diverge on {text!r}")
+            if res.report.as_dict() != ref_ledger:
+                raise AssertionError(f"{mode} ledger diverges on {text!r}")
+
+    map_ops = sum(r.metrics.map_ops for r in fused_res)
+    groups = sum(r.metrics.fused_groups for r in fused_res)
+    row = {
+        "backend": backend,
+        "p": P,
+        "queries": len(WORKLOAD),
+        "cold_seconds": round(cold_seconds, 4),
+        "cold_requests": cold_requests,
+        "fused_warm_seconds": round(fused_s, 4),
+        "unfused_warm_seconds": round(unfused_s, 4),
+        "redrive_warm_seconds": round(redrive_s, 4),
+        "fused_requests_per_pass": fused_req,
+        "unfused_requests_per_pass": unfused_req,
+        "redrive_requests_per_pass": redrive_req,
+        "map_ops_per_pass": map_ops,
+        "fusion_groups_per_pass": groups,
+        "fusion_ratio": round(map_ops / groups, 2) if groups else None,
+        "request_reduction_vs_unfused": (
+            round(unfused_req / fused_req, 2) if fused_req else None
+        ),
+        "request_reduction_vs_redrive": (
+            round(redrive_req / fused_req, 2) if fused_req else None
+        ),
+        "replay_speedup_vs_redrive": (
+            round(redrive_s / fused_s, 3) if fused_s else None
+        ),
+        "parity_verified": True,
+    }
+    print(
+        f"{backend:13s} warm requests/pass: fused {fused_req:3d} vs unfused "
+        f"{unfused_req:3d} vs re-drive {redrive_req:3d}  "
+        f"({row['request_reduction_vs_redrive']}x fewer than baseline)  "
+        f"warm wall: fused {fused_s:6.3f}s, re-drive {redrive_s:6.3f}s  "
+        f"parity ok"
+    )
+    return row
+
+
+def bench(quick: bool = False, backends: tuple[str, ...] = ()) -> dict:
+    reps = 2 if quick else 4
+    backends = backends or ("serial", "multiprocess")
+    results = [_bench_backend(b, quick, reps) for b in backends]
+    shutdown_backends()
+    return {
+        "p": P,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "workload": list(WORKLOAD),
+        "note": (
+            "Warm executions with the result cache off: fused/unfused "
+            "replay the traced physical plan through Executor/run_ops "
+            "(fusion on/off); re-drive is the pre-plan baseline "
+            "(plan_replay=False) re-running the algorithms' Python "
+            "control flow with one map_parts request per primitive step. "
+            "Outputs and full LoadReports are bit-identical across all "
+            "modes by the parity gate; requests are backend round-trips "
+            "(Backend.requests deltas)."
+        ),
+        "backends": results,
+    }
+
+
+def main(argv: list[str]) -> None:
+    quick = "--quick" in argv
+    check = "--check" in argv
+    backends: tuple[str, ...] = ()
+    if "--backend" in argv:
+        backends = (argv[argv.index("--backend") + 1],)
+        argv = [a for i, a in enumerate(argv)
+                if a != "--backend" and argv[i - 1] != "--backend"]
+    paths = [a for a in argv if not a.startswith("-")]
+    out_path = (
+        Path(paths[0]) if paths
+        else Path(__file__).parent.parent / "BENCH_plan.json"
+    )
+    data = bench(quick=quick, backends=backends)
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if check:
+        bad = [
+            b for b in data["backends"]
+            if not (
+                b["fused_requests_per_pass"] < b["unfused_requests_per_pass"]
+                and b["fused_requests_per_pass"] < b["redrive_requests_per_pass"]
+            )
+        ]
+        if bad:
+            print(
+                "FAIL: fused warm path did not reduce backend round-trips on "
+                + ", ".join(b["backend"] for b in bad)
+            )
+            raise SystemExit(1)
+        print(
+            "check ok: parity gates passed, fused warm path issues fewer "
+            "backend round-trips than unfused replay and the re-drive "
+            "baseline"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

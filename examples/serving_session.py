@@ -61,6 +61,18 @@ print(batch.stats.summary())
 assert all(r.metrics.plan_reused for r in batch.results)
 
 # ----------------------------------------------------------------------
+# 3b. The traced physical plan behind a warm execution (repro explain).
+# ----------------------------------------------------------------------
+plan = engine.trace_plan(TWO_HOP)
+counts = plan.op_counts()
+print(
+    f"\nphysical plan for two-hop: {len(plan.ops)} ops "
+    f"({counts.get('MapParts', 0)} worker-local, "
+    f"{len(plan.charges())} charges, {plan.charged_units()} units); "
+    f"warm replays fuse them into single backend requests"
+)
+
+# ----------------------------------------------------------------------
 # 4. Data evolves: updates invalidate exactly what they must.
 # ----------------------------------------------------------------------
 engine.register(

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro plan DATA_DIR -p 16
     python -m repro catalog
     python -m repro query 'Q(A,B) :- R1(A,B), R2(B,C)' DATA_DIR -p 16
+    python -m repro explain 'Q(A,B) :- R1(A,B), R2(B,C)' DATA_DIR -p 16
     python -m repro serve DATA_DIR --queries queries.txt -p 16
 
 ``DATA_DIR`` holds one ``<relation>.csv`` per relation (header = attribute
@@ -93,6 +94,17 @@ def _build_parser() -> argparse.ArgumentParser:
     q.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
     q.add_argument("--out", help="write results to this CSV file")
 
+    x = sub.add_parser(
+        "explain",
+        help="print the traced physical plan (ops, fusion groups, "
+        "per-op ledger units) without executing on the serving cluster",
+    )
+    x.add_argument("text", help="e.g. 'Q(A,B) :- R1(A,B), R2(B,C)'")
+    add_common(x)
+    x.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
+    x.add_argument("--no-fuse", action="store_true",
+                   help="show the unfused schedule (one request per op)")
+
     s = sub.add_parser("serve", help="serve a query workload (engine session)")
     add_common(s)
     s.add_argument("--queries", required=True,
@@ -165,6 +177,15 @@ def main(argv: list[str] | None = None) -> int:
         else:
             for row in res.rows()[:20]:
                 print(f"  {row}")
+        return 0
+
+    if args.command == "explain":
+        engine = _load_engine(args)
+        print(
+            engine.explain(
+                args.text, algorithm=args.algorithm, fusion=not args.no_fuse
+            )
+        )
         return 0
 
     if args.command == "serve":

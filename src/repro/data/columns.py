@@ -169,6 +169,23 @@ class Column:
         col = Column(self.kind, self.data[start::step], self.dictionary)
         return col
 
+    def approx_nbytes(self) -> int:
+        """Approximate resident size (cache-accounting, not wire size).
+
+        Typed arrays report their exact buffer size; dictionary values
+        and raw objects are estimated via :func:`sys.getsizeof`.  Shared
+        dictionaries are counted once per referencing column — an
+        overcount, i.e. conservative for the cache bounds built on this.
+        """
+        import sys as _sys
+
+        if self.kind == "i":
+            return self.data.itemsize * len(self.data)
+        if self.kind == "d":
+            base = self.data.itemsize * len(self.data)
+            return base + sum(_sys.getsizeof(v) for v in self.dictionary or ())
+        return sum(_sys.getsizeof(v) for v in self.data)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         extra = f", |dict|={len(self.dictionary)}" if self.kind == "d" else ""
         return f"Column<{self.kind}, {len(self)} values{extra}>"
@@ -264,6 +281,10 @@ class ColumnBlock:
             return ColumnBlock(len(range(start, self.n, step)), ())
         cols = [c.take_stride(start, step) for c in self.columns]
         return ColumnBlock(len(cols[0]) if cols else 0, cols)
+
+    def approx_nbytes(self) -> int:
+        """Approximate resident size of all columns (see ``Column``)."""
+        return 64 + sum(c.approx_nbytes() for c in self.columns)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ColumnBlock<{self.n} rows x {self.arity} cols>"

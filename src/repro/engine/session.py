@@ -22,11 +22,15 @@ queries.  :class:`Engine` is the serving-side answer:
   relation changes, the plan is revalidated (same stats) or recompiled
   (stats drifted) — a stale plan never serves, and stale *data* never
   serves because the distributed-relation caches are version-keyed.
-* **``execute()``** — replay the prepared plan through the same
-  :func:`~repro.core.runner.run_join_algorithm` /
+* **``execute()``** — cold executions drive the resolved algorithm
+  through the same :func:`~repro.core.runner.run_join_algorithm` /
   :func:`~repro.core.runner.run_aggregate_algorithm` seams the one-shot
-  entry points use, so outputs and the per-query
-  :class:`~repro.mpc.cluster.LoadReport` are bit-identical to
+  entry points use, *tracing the physical op schedule as they go*
+  (:mod:`repro.plan`); warm executions replay that schedule through the
+  :class:`~repro.plan.executor.Executor` — ledger re-charged bit-exactly,
+  worker-local compute re-issued in fused ``run_ops`` batches — instead
+  of re-driving Python control flow.  Either way, outputs and the
+  per-query :class:`~repro.mpc.cluster.LoadReport` are bit-identical to
   ``mpc_join`` / ``mpc_join_aggregate`` (see ``tests/test_engine_parity``).
 * **``submit_batch()``** — run many queries against the shared backend,
   optionally from multiple submitter threads, aggregating per-query
@@ -43,6 +47,7 @@ from __future__ import annotations
 import difflib
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
@@ -64,6 +69,7 @@ from repro.errors import EngineError
 from repro.mpc.backends import Backend
 from repro.mpc.cluster import Cluster, LoadReport
 from repro.mpc.distrel import DistRelation, distribute_instance, distribute_relation
+from repro.plan import Executor, PhysicalPlan, TraceRecorder
 from repro.query.classify import classify
 
 __all__ = [
@@ -116,6 +122,9 @@ class _CachedResult:
     report: LoadReport
     meta: dict[str, Any]
     out_size: int
+    #: Approximate resident bytes (columnar blob sizes) — the unit the
+    #: engine's recording LRU budgets against.
+    approx_bytes: int = 0
 
     def served_relation(self) -> Any:
         rel = self.relation
@@ -144,6 +153,12 @@ class PreparedQuery:
         relation_versions: Registered-relation versions at compile time.
         prepare_seconds: Wall time spent compiling.
         uses: Number of executions served by this entry.
+        trace: The traced :class:`~repro.plan.ir.PhysicalPlan` of this
+            entry's last cold execution — the op schedule warm executions
+            replay through the :class:`~repro.plan.executor.Executor`
+            instead of re-driving the algorithm's Python control flow.
+            ``None`` until first executed; refreshed whenever versions
+            move.
     """
 
     parsed: ParsedQuery
@@ -159,6 +174,7 @@ class PreparedQuery:
     prepare_seconds: float
     uses: int = 0
     cached_result: _CachedResult | None = None
+    trace: PhysicalPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -171,6 +187,9 @@ class QueryMetrics:
     ``invalidated`` — a cached plan existed but was recompiled because the
     data stats drifted.  ``result_cached`` — the recorded execution was
     replayed instead of re-simulated (identical outputs and ledger).
+    ``plan_replayed`` — the traced physical plan was replayed through the
+    op executor (fused backend requests, ledger re-charged bit-exactly)
+    instead of re-driving Python control flow.
     """
 
     text: str
@@ -190,6 +209,22 @@ class QueryMetrics:
     #: (0 for in-process backends and replayed recordings).  Observational
     #: only — the load fields above count logical tuples, never bytes.
     wire_bytes: int = 0
+    #: The traced physical plan was replayed through the Executor.
+    plan_replayed: bool = False
+    #: Ops in the physical plan that served (or was traced by) this query.
+    plan_ops: int = 0
+    #: Worker-local (MapParts) ops among them.
+    map_ops: int = 0
+    #: Fused backend-request groups the replay dispatched (0 off-replay).
+    fused_groups: int = 0
+    #: Backend request rounds this execution issued (map dispatches on the
+    #: cold path; run_ops rounds on the replay path; 0 for result serves).
+    backend_requests: int = 0
+
+    @property
+    def fusion_ratio(self) -> float:
+        """Worker-local ops per backend request on the replay path."""
+        return self.map_ops / self.fused_groups if self.fused_groups else 1.0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -207,6 +242,12 @@ class QueryMetrics:
             "wall_seconds": self.wall_seconds,
             "plan_quality": self.plan_quality,
             "wire_bytes": self.wire_bytes,
+            "plan_replayed": self.plan_replayed,
+            "plan_ops": self.plan_ops,
+            "map_ops": self.map_ops,
+            "fused_groups": self.fused_groups,
+            "fusion_ratio": self.fusion_ratio,
+            "backend_requests": self.backend_requests,
         }
 
 
@@ -227,10 +268,12 @@ class EngineStats:
     cache_misses: int = 0
     invalidations: int = 0
     result_hits: int = 0
+    plan_replays: int = 0
     total_load: int = 0
     max_load: int = 0
     total_wall_seconds: float = 0.0
     total_wire_bytes: int = 0
+    total_backend_requests: int = 0
     per_query: list[QueryMetrics] = field(default_factory=list)
     max_per_query: int | None = None
 
@@ -244,10 +287,13 @@ class EngineStats:
             self.invalidations += 1
         if metrics.result_cached:
             self.result_hits += 1
+        if metrics.plan_replayed:
+            self.plan_replays += 1
         self.total_load += metrics.load
         self.max_load = max(self.max_load, metrics.load)
         self.total_wall_seconds += metrics.wall_seconds
         self.total_wire_bytes += metrics.wire_bytes
+        self.total_backend_requests += metrics.backend_requests
         self.per_query.append(metrics)
         if self.max_per_query is not None and len(self.per_query) > self.max_per_query:
             del self.per_query[: len(self.per_query) - self.max_per_query]
@@ -273,9 +319,10 @@ class EngineStats:
             f"{self.queries} queries on backend={self.backend} p={self.p}: "
             f"{self.cache_hits} plan hits / {self.cache_misses} misses / "
             f"{self.invalidations} invalidations / {self.result_hits} "
-            f"result replays, total load "
+            f"result replays / {self.plan_replays} op replays, total load "
             f"{self.total_load} (max {self.max_load}), "
             f"{self.total_wire_bytes} wire bytes, "
+            f"{self.total_backend_requests} backend requests, "
             f"{self.total_wall_seconds:.3f}s wall"
         ]
         for text, gap in self.plan_gaps().items():
@@ -295,10 +342,12 @@ class EngineStats:
             "cache_misses": self.cache_misses,
             "invalidations": self.invalidations,
             "result_hits": self.result_hits,
+            "plan_replays": self.plan_replays,
             "total_load": self.total_load,
             "max_load": self.max_load,
             "total_wall_seconds": self.total_wall_seconds,
             "total_wire_bytes": self.total_wire_bytes,
+            "total_backend_requests": self.total_backend_requests,
             "plan_gaps": self.plan_gaps(),
             "per_query": [m.as_dict() for m in self.per_query],
         }
@@ -352,8 +401,24 @@ class Engine:
             relations' versions are unchanged (default).  The simulation
             is deterministic, so a replayed recording is bit-identical to
             a re-run — outputs and ledger alike; pass ``False`` to force
-            every execution through the algorithms (benchmarking the
-            replay path, ledger-conformance testing).
+            every execution back onto the cluster (the op-replay path, or
+            a full re-drive with ``plan_replay=False``).
+        plan_replay: Replay the traced physical plan on warm executions
+            (default): the recorded op schedule re-charges the ledger
+            bit-exactly and re-issues the worker-local compute through
+            fused :meth:`~repro.mpc.backends.Backend.run_ops` batches,
+            instead of re-driving the algorithm's Python control flow.
+            Pass ``False`` to re-drive every execution (the pre-plan
+            baseline the fusion benchmark compares against).
+        fusion: Batch adjacent worker-local ops of a replayed plan into
+            single backend requests (default); ``False`` dispatches one
+            request per op (the unfused baseline).
+        result_cache_entries: LRU bound on recorded executions held by
+            the session (``None`` = unbounded).  Recordings back both the
+            result cache and plan replay; evicting one falls the next
+            warm execution back to a (re-recording) full drive.
+        result_cache_bytes: Approximate byte bound on the same LRU,
+            measured via columnar blob sizes (``None`` = unbounded).
 
     Example::
 
@@ -369,9 +434,17 @@ class Engine:
         p: int = 8,
         backend: Backend | str | None = None,
         result_cache: bool = True,
+        plan_replay: bool = True,
+        fusion: bool = True,
+        result_cache_entries: int | None = 256,
+        result_cache_bytes: int | None = 128 * 1024 * 1024,
     ) -> None:
         self.p = p
         self.result_cache = result_cache
+        self.plan_replay = plan_replay
+        self.fusion = fusion
+        self.result_cache_entries = result_cache_entries
+        self.result_cache_bytes = result_cache_bytes
         self._cluster = Cluster(p, backend=backend)
         self._group = self._cluster.root_group()
         self._lock = threading.RLock()
@@ -382,6 +455,9 @@ class Engine:
         self._bound_cache: dict[tuple, Relation] = {}
         # (name, version, edge, variables, aggregate|None) -> DistRelation
         self._dist_cache: dict[tuple, DistRelation] = {}
+        # Recording LRU: plan key -> approx bytes, least recent first.
+        self._recordings: OrderedDict[tuple, int] = OrderedDict()
+        self._recording_bytes = 0
         self._stats = EngineStats(
             p=p, backend=self._cluster.backend.name, max_per_query=1024
         )
@@ -409,6 +485,19 @@ class Engine:
                 stale = [k for k in cache if k[0] == name and k[1] != version]
                 for k in stale:
                     del cache[k]
+            # A trace or recording touching the updated relation can never
+            # serve again (its versions no longer match) — drop both now
+            # rather than on next execution, so traces stop pinning the
+            # old-version distributed parts and dead recordings stop
+            # occupying (and evicting from) the recording LRU.
+            for entry in self._plans.values():
+                trace = entry.trace
+                if trace is not None and name in trace.relation_versions:
+                    entry.trace = None
+                cached = entry.cached_result
+                if cached is not None and name in cached.relation_versions:
+                    entry.cached_result = None
+                    self._drop_recording(entry.key)
             return version
 
     def relation_names(self) -> tuple[str, ...]:
@@ -492,6 +581,69 @@ class Engine:
         return rels
 
     # ------------------------------------------------------------------
+    # Recording LRU (backs the result cache AND plan replay)
+    # ------------------------------------------------------------------
+    def _approx_recording_bytes(self, stored: Any) -> int:
+        if isinstance(stored, _ColumnarPayload):
+            return 256 + sum(b.approx_nbytes() for b in stored.blocks)
+        if isinstance(stored, Relation):
+            return 256 + stored.columns.approx_nbytes()
+        return 256
+
+    def _store_recording(self, entry: PreparedQuery, recording: _CachedResult) -> None:
+        """Attach a recording to its plan entry under the LRU bounds.
+
+        The LRU is keyed by plan-cache key and budgets *approximate
+        resident bytes* (columnar blob sizes) alongside an entry count,
+        so a long serving session cannot grow recording memory without
+        limit.  Evicting a recording drops both the result-cache serve
+        and the plan-replay fast path for that entry; the next execution
+        re-drives and re-records.
+        """
+        key = entry.key
+        old = self._recordings.pop(key, None)
+        if old is not None:
+            self._recording_bytes -= old
+        cap_e = self.result_cache_entries
+        cap_b = self.result_cache_bytes
+        if cap_b is not None and recording.approx_bytes > cap_b:
+            # The recording alone exceeds the byte budget: it is not
+            # retained (every execution of this query re-drives) — and it
+            # must not flush everyone else's recordings on its way out.
+            # The trace goes with it (trace lifetime == recording
+            # lifetime): unreplayable, it would only pin its inputs.
+            entry.cached_result = None
+            entry.trace = None
+            return
+        entry.cached_result = recording
+        self._recordings[key] = recording.approx_bytes
+        self._recording_bytes += recording.approx_bytes
+        while self._recordings and (
+            (cap_e is not None and len(self._recordings) > cap_e)
+            or (cap_b is not None and self._recording_bytes > cap_b)
+        ):
+            victim, size = self._recordings.popitem(last=False)
+            self._recording_bytes -= size
+            ventry = self._plans.get(victim)
+            if ventry is not None:
+                ventry.cached_result = None
+                # A trace without its recording can never replay (the
+                # replay path serves outputs from the recording), so it
+                # would only pin its MapParts input parts — drop it too:
+                # trace lifetime is bounded by recording lifetime, and
+                # the LRU's entry cap therefore bounds both.
+                ventry.trace = None
+
+    def _touch_recording(self, key: tuple) -> None:
+        if key in self._recordings:
+            self._recordings.move_to_end(key)
+
+    def _drop_recording(self, key: tuple) -> None:
+        size = self._recordings.pop(key, None)
+        if size is not None:
+            self._recording_bytes -= size
+
+    # ------------------------------------------------------------------
     # Prepare: classify -> auto_algorithm -> priced plan, cached
     # ------------------------------------------------------------------
     def prepare(
@@ -556,6 +708,7 @@ class Engine:
                 return entry, "revalidated"
             entry = self._compile(parsed, algorithm, key)
             self._plans[key] = entry
+            self._drop_recording(key)
             return entry, "invalidated"
         entry = self._compile(parsed, algorithm, key)
         self._plans[key] = entry
@@ -645,6 +798,7 @@ class Engine:
                 and cached.relation_versions == versions
             ):
                 entry.uses += 1
+                self._touch_recording(entry.key)
                 metrics = QueryMetrics(
                     text=entry.parsed.text,
                     kind=entry.kind,
@@ -670,29 +824,73 @@ class Engine:
                     meta=dict(cached.meta),
                 )
             wire_before = self._cluster.backend.wire_stats().get("bytes_shipped", 0)
-            if entry.kind == "join":
-                rels = self._dist_rels(entry.parsed)
+            requests_before = self._cluster.backend.requests
+            trace = entry.trace
+            replay_stats: dict[str, int] | None = None
+            if (
+                self.plan_replay
+                and trace is not None
+                and trace.relation_versions == versions
+                and cached is not None
+                and cached.relation_versions == versions
+            ):
+                # Warm path: replay the traced op schedule through the
+                # Executor.  Charges re-post the recorded count vectors
+                # (ledger bit-identical by construction), worker-local
+                # ops re-issue through fused run_ops batches, and the
+                # outputs are served from the recording — no Python
+                # control flow of the algorithm re-runs.
                 self._cluster.reset()
-                result = run_join_algorithm(
-                    self._group, entry.parsed.query, rels,
-                    entry.algorithm, plan=entry.plan,
+                replay_stats = Executor(self._cluster, fusion=self.fusion).replay(
+                    trace
                 )
                 report = self._cluster.snapshot()
-                relation: DistRelation | Relation | None = result
-                scalar = None
-                out_size = result.total_size()
-                meta: dict[str, Any] = {"out_size": out_size}
+                relation: DistRelation | Relation | None = cached.served_relation()
+                scalar = cached.scalar
+                out_size = cached.out_size
+                meta: dict[str, Any] = dict(cached.meta)
+                meta["plan_replayed"] = True
+                self._touch_recording(entry.key)
+                recording = cached
             else:
-                aggregate = entry.parsed.aggregate or "bool"
+                rec = TraceRecorder() if self.plan_replay else None
+                aggregate = (
+                    None if entry.kind == "join"
+                    else (entry.parsed.aggregate or "bool")
+                )
                 rels = self._dist_rels(entry.parsed, aggregate=aggregate)
                 self._cluster.reset()
-                relation, scalar, meta = run_aggregate_algorithm(
-                    self._group, entry.parsed.query,
-                    entry.parsed.output_attrs or (), rels,
-                    entry.parsed.semiring, algorithm=entry.algorithm,
-                )
+                self._cluster.recorder = rec
+                try:
+                    if entry.kind == "join":
+                        result = run_join_algorithm(
+                            self._group, entry.parsed.query, rels,
+                            entry.algorithm, plan=entry.plan,
+                        )
+                        relation = result
+                        scalar = None
+                        out_size = result.total_size()
+                        meta = {"out_size": out_size}
+                    else:
+                        relation, scalar, meta = run_aggregate_algorithm(
+                            self._group, entry.parsed.query,
+                            entry.parsed.output_attrs or (), rels,
+                            entry.parsed.semiring, algorithm=entry.algorithm,
+                        )
+                        out_size = len(relation) if relation is not None else 1
+                finally:
+                    self._cluster.recorder = None
                 report = self._cluster.snapshot()
-                out_size = len(relation) if relation is not None else 1
+                if rec is not None:
+                    entry.trace = rec.finish(
+                        query=entry.parsed.text,
+                        kind=entry.kind,
+                        algorithm=entry.algorithm,
+                        p=self.p,
+                        backend=self.backend_name,
+                        relation_versions=versions,
+                    )
+                recording = None
             wall = time.perf_counter() - t0
             entry.uses += 1
             wire_bytes = (
@@ -708,15 +906,16 @@ class Engine:
                     "wire_bytes": wire_bytes,
                 }
             )
-            if self.result_cache:
-                # The recording holds the columnar form: distributed
+            if recording is None and (self.result_cache or self.plan_replay):
+                # Record the execution in columnar form: distributed
                 # results are encoded once into shared column blocks, and
                 # the caller keeps its row-backed relation untouched —
                 # storing the compacted object itself would leave callers
                 # holding BOTH representations after their first row
                 # access, pure GC ballast for the rest of the session.
-                # With the result cache off, nothing is recorded — the
-                # replay path must not pay encoding per execution.
+                # The recording backs the result cache (serve without
+                # executing) AND the plan-replay path (outputs while the
+                # Executor re-charges the ledger); the LRU bounds both.
                 stored: Any = relation
                 if isinstance(relation, DistRelation):
                     blocks = relation.column_parts
@@ -729,14 +928,22 @@ class Engine:
                     stored = _ColumnarPayload(
                         relation.name, relation.attrs, list(blocks)
                     )
-                entry.cached_result = _CachedResult(
-                    relation_versions=versions,
-                    relation=stored,
-                    scalar=scalar,
-                    report=report,
-                    meta=dict(meta),
-                    out_size=out_size,
+                self._store_recording(
+                    entry,
+                    _CachedResult(
+                        relation_versions=versions,
+                        relation=stored,
+                        scalar=scalar,
+                        report=report,
+                        meta=dict(meta),
+                        out_size=out_size,
+                        approx_bytes=self._approx_recording_bytes(stored),
+                    ),
                 )
+            plan_ops = len(entry.trace.ops) if entry.trace is not None else 0
+            map_ops = (
+                len(entry.trace.map_ops()) if entry.trace is not None else 0
+            )
             metrics = QueryMetrics(
                 text=entry.parsed.text,
                 kind=entry.kind,
@@ -752,6 +959,15 @@ class Engine:
                 wall_seconds=wall,
                 plan_quality=entry.plan_quality,
                 wire_bytes=wire_bytes,
+                plan_replayed=replay_stats is not None,
+                plan_ops=plan_ops,
+                map_ops=map_ops,
+                fused_groups=(
+                    replay_stats["groups"] if replay_stats is not None else 0
+                ),
+                backend_requests=(
+                    self._cluster.backend.requests - requests_before
+                ),
             )
             self._stats.record(metrics)
             return ExecutionResult(
@@ -762,6 +978,78 @@ class Engine:
                 metrics=metrics,
                 meta=meta,
             )
+
+    # ------------------------------------------------------------------
+    # Explain: trace a plan without executing on the serving cluster
+    # ------------------------------------------------------------------
+    def trace_plan(
+        self, query: str | ParsedQuery, algorithm: str = "auto"
+    ) -> PhysicalPlan:
+        """The physical plan a warm execution of ``query`` would replay.
+
+        Reuses the serving entry's trace when one is valid for the
+        current data versions; otherwise performs one traced execution on
+        a *scratch* serial cluster (same ``p``, freshly distributed
+        copies of the bound relations) so neither the serving ledger nor
+        the warm backend is touched.  The op schedule is
+        backend-independent — ledgers are, by the conformance contract —
+        so the scratch trace is exactly what the serving session would
+        record.
+        """
+        parsed = query if isinstance(query, ParsedQuery) else parse_query(query)
+        with self._lock:
+            entry, _status = self._resolve(parsed, algorithm)
+            versions = self._current_versions(parsed)
+            trace = entry.trace
+            if trace is not None and trace.relation_versions == versions:
+                return trace
+            scratch = Cluster(self.p, backend="serial")
+            group = scratch.root_group()
+            if entry.kind == "join":
+                rels = {
+                    b.edge: distribute_relation(self._bound(b), group)
+                    for b in entry.parsed.bindings
+                }
+            else:
+                rels = {}
+                for b in entry.parsed.bindings:
+                    rel = self._bound(b)
+                    if not rel.annotated:
+                        rel = rel.with_annotations(entry.parsed.semiring)
+                    rels[b.edge] = distribute_relation(rel, group, annotate=True)
+            rec = TraceRecorder()
+            scratch.recorder = rec
+            try:
+                if entry.kind == "join":
+                    run_join_algorithm(
+                        group, entry.parsed.query, rels,
+                        entry.algorithm, plan=entry.plan,
+                    )
+                else:
+                    run_aggregate_algorithm(
+                        group, entry.parsed.query,
+                        entry.parsed.output_attrs or (), rels,
+                        entry.parsed.semiring, algorithm=entry.algorithm,
+                    )
+            finally:
+                scratch.recorder = None
+            return rec.finish(
+                query=entry.parsed.text,
+                kind=entry.kind,
+                algorithm=entry.algorithm,
+                p=self.p,
+                backend=self.backend_name,
+                relation_versions=versions,
+            )
+
+    def explain(
+        self,
+        query: str | ParsedQuery,
+        algorithm: str = "auto",
+        fusion: bool = True,
+    ) -> str:
+        """Render :meth:`trace_plan` — ops, fusion groups, ledger units."""
+        return self.trace_plan(query, algorithm).explain(fusion=fusion)
 
     # ------------------------------------------------------------------
     # Batch submission front
@@ -809,11 +1097,13 @@ class Engine:
             return list(self._plans.values())
 
     def clear_caches(self) -> None:
-        """Drop prepared plans and cached distributed relations."""
+        """Drop prepared plans, cached relations, and recordings."""
         with self._lock:
             self._plans.clear()
             self._bound_cache.clear()
             self._dist_cache.clear()
+            self._recordings.clear()
+            self._recording_bytes = 0
 
     def __repr__(self) -> str:
         return (

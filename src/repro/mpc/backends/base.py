@@ -74,6 +74,13 @@ class Backend(ABC):
     #: Registry name (set by subclasses).
     name: str = "?"
 
+    #: Cumulative backend *request rounds* issued by the coordinator —
+    #: one ``map_parts``/``run_ops`` dispatch for in-process backends,
+    #: one synchronized send/receive across the worker pool for
+    #: process-backed ones.  Callers (engine metrics, the plan-fusion
+    #: benchmark) read deltas of this counter; it never resets.
+    requests: int = 0
+
     @abstractmethod
     def exchange(
         self,
@@ -111,6 +118,40 @@ class Backend(ABC):
         whose immutable ``parts`` these are; backends may use it to key
         worker-local caches and must treat it as opaque.
         """
+
+    def run_ops(
+        self,
+        ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
+        collect: bool = True,
+    ) -> list[Any]:
+        """Execute a batch of worker-local steps (the plan executor's seam).
+
+        Each op is the argument tuple of one :meth:`map_parts` call —
+        ``(fn, parts, common, owner)`` — and the batch executes in plan
+        order.  A backend should dispatch the whole batch in as few
+        request round-trips as its transport allows (the multiprocess
+        backend uses one); the base implementation is the trivial loop,
+        one ``map_parts`` request per op.
+
+        Args:
+            ops: The fused chain of worker-local steps.
+            collect: When False, the caller will discard the results (a
+                plan replay: the query's outputs are pinned by a
+                recording, and re-execution exists to keep worker-side
+                state warm).  A backend may then skip shipping result
+                payloads — or skip execution entirely when it holds no
+                worker-side state — as long as the ops' observable
+                effects on *future* calls are preserved.
+
+        Returns:
+            Per-op results (``map_parts`` return values); entries may be
+            ``None`` when ``collect`` is False.
+        """
+        out: list[Any] = []
+        for fn, parts, common, owner in ops:
+            res = self.map_parts(fn, parts, common, owner)
+            out.append(res if collect else None)
+        return out
 
     def close(self) -> None:
         """Release any resources (worker processes, pools).  Idempotent."""

@@ -1,14 +1,21 @@
 """Shared-nothing worker-process backend.
 
-Runs the pluggable per-server compute stages (:meth:`Backend.map_parts`)
-on a pool of long-lived worker processes.  Design points:
+Runs the pluggable per-server compute stages (:meth:`Backend.map_parts`,
+:meth:`Backend.run_ops`) on a pool of long-lived worker processes.
+Design points:
 
-* **Shared-nothing workers.**  Workers receive pure work items
-  ``(fn, part, common, index)`` as pickled batches — one request per worker
-  per step — and hold no simulator state beyond their local caches.  All
-  coordination (exchange routing, splitters, the load ledger) stays in the
-  coordinator process, so the ledger and every routing decision are
-  byte-identical to the serial reference by construction.
+* **Shared-nothing workers.**  Workers receive pure work items as pickled
+  batches — one request per worker per round — and hold no simulator
+  state beyond their local caches.  All coordination (exchange routing,
+  splitters, the load ledger) stays in the coordinator process, so the
+  ledger and every routing decision are byte-identical to the serial
+  reference by construction.
+* **Batched op rounds.**  One request carries a whole *chain* of
+  map-parts-shaped steps (``("ops", collect, [(fn_ref, common_bytes,
+  jobs), ...])``), so a fused physical-plan group executes in a single
+  IPC round-trip instead of one per primitive step; a plain
+  ``map_parts`` call is the one-step special case of the same protocol.
+  The cumulative round count is observable as :attr:`Backend.requests`.
 * **Deterministic part affinity.**  Part ``i`` always goes to worker
   ``i mod W``, so repeated computations over the same immutable parts hit
   the same worker.
@@ -23,6 +30,10 @@ on a pool of long-lived worker processes.  Design points:
   sorted-run cache, kept worker-local exactly so no shared mutable state
   exists between processes.  The coordinator mirrors each worker's LRU
   bookkeeping, so cache handshakes never need an extra round trip.
+  With ``collect=False`` (plan replay: the caller's outputs are pinned by
+  a recording) cached hits are answered with a tiny ack instead of the
+  result bytes, and misses recompute-and-cache without shipping the
+  result back — the round refreshes worker state at near-zero wire cost.
 * **Columnar wire format.**  Parts cross the process boundary as the
   compact blobs of :func:`repro.data.columns.pack_blob` — per-column
   minimal-width arrays with shared dictionaries and optional zlib —
@@ -79,18 +90,22 @@ def _resolve_fn(ref: str) -> Callable:
 
 
 def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
-    """Worker loop: batched map requests in, per-job pickled results out.
+    """Worker loop: batched op requests in, per-job pickled replies out.
 
-    Jobs arrive as ``(idx, fingerprint, part_blob)`` where ``part_blob``
-    is the part's wire blob (:func:`repro.data.columns.pack_blob` —
-    columnar when possible, pickled rows otherwise; ``None`` for a
-    key-only job the coordinator believes is cached).  The cache maps
-    ``(fn_ref, common_bytes, fingerprint, idx)`` to the *pickled* reply,
-    so a warm hit performs no (de)serialization at all — the cached bytes
-    are sent as-is.
-    A key-only job that misses the cache (the coordinator's mirror is
-    best-effort) is answered with a ``"miss"`` reply, never an error; the
-    coordinator re-sends the part.
+    A request is ``("ops", collect, steps)``; each step is ``(fn_ref,
+    common_bytes, jobs)`` and each job ``(idx, fingerprint, part_blob)``
+    where ``part_blob`` is the part's wire blob
+    (:func:`repro.data.columns.pack_blob` — columnar when possible,
+    pickled rows otherwise; ``None`` for a key-only job the coordinator
+    believes is cached).  The cache maps ``(fn_ref, common_bytes,
+    fingerprint, idx)`` to the *pickled* reply, so a warm hit performs no
+    (de)serialization at all — the cached bytes are sent as-is.  With
+    ``collect`` False the caller discards results: hits and computed
+    misses alike are answered with a tiny ``"ack"`` (the computation is
+    still cached), which keeps fused plan-replay rounds cheap on the
+    wire.  A key-only job that misses the cache (the coordinator's mirror
+    is best-effort) is answered with a ``"miss"`` reply, never an error;
+    the coordinator re-sends the part.
     """
     for path in sys_path:
         if path not in sys.path:
@@ -105,34 +120,43 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
         if req[0] == "stop":
             conn.close()
             return
-        _kind, fn_ref, common_bytes, jobs = req
+        _kind, collect, steps = req
         replies: list[bytes] = []
         try:
-            fn = fns.get(fn_ref)
-            if fn is None:
-                fn = fns[fn_ref] = _resolve_fn(fn_ref)
-            common = pickle.loads(common_bytes)
-            for idx, fingerprint, part_blob in jobs:
-                key = None
-                if fingerprint is not None:
-                    key = (fn_ref, common_bytes, fingerprint, idx)
-                    hit = cache.get(key)
-                    if hit is not None:
-                        cache.move_to_end(key)
-                        replies.append(hit)
-                        continue
-                    if part_blob is None:
-                        replies.append(
-                            pickle.dumps((idx, "miss", None), _PROTO)
-                        )
-                        continue
-                part = unpack_blob(part_blob)
-                blob = pickle.dumps((idx, "ok", fn(part, common, idx)), _PROTO)
-                if key is not None:
-                    cache[key] = blob
-                    if len(cache) > cache_entries:
-                        cache.popitem(last=False)
-                replies.append(blob)
+            for fn_ref, common_bytes, jobs in steps:
+                fn = fns.get(fn_ref)
+                if fn is None:
+                    fn = fns[fn_ref] = _resolve_fn(fn_ref)
+                common = pickle.loads(common_bytes)
+                for idx, fingerprint, part_blob in jobs:
+                    key = None
+                    if fingerprint is not None:
+                        key = (fn_ref, common_bytes, fingerprint, idx)
+                        hit = cache.get(key)
+                        if hit is not None:
+                            cache.move_to_end(key)
+                            replies.append(
+                                hit if collect
+                                else pickle.dumps((idx, "ack", None), _PROTO)
+                            )
+                            continue
+                        if part_blob is None:
+                            replies.append(
+                                pickle.dumps((idx, "miss", None), _PROTO)
+                            )
+                            continue
+                    part = unpack_blob(part_blob)
+                    blob = pickle.dumps(
+                        (idx, "ok", fn(part, common, idx)), _PROTO
+                    )
+                    if key is not None:
+                        cache[key] = blob
+                        if len(cache) > cache_entries:
+                            cache.popitem(last=False)
+                    replies.append(
+                        blob if collect
+                        else pickle.dumps((idx, "ack", None), _PROTO)
+                    )
         except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
             conn.send_bytes(pickle.dumps(("err", repr(exc)), _PROTO))
             continue
@@ -142,7 +166,7 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
 
 
 class MultiprocessBackend(Backend):
-    """Execute ``map_parts`` stages on a pool of real worker processes.
+    """Execute per-server compute on a pool of real worker processes.
 
     Args:
         workers: Pool size; defaults to ``min(cpu_count, 8)``.  Workers are
@@ -165,6 +189,7 @@ class MultiprocessBackend(Backend):
         self._wire_bytes = 0
         self._wire_baseline = 0
         self._track_baseline = bool(os.environ.get("REPRO_WIRE_BASELINE"))
+        self.requests = 0
 
     # ------------------------------------------------------------------
     def wire_stats(self) -> dict:
@@ -266,38 +291,15 @@ class MultiprocessBackend(Backend):
             store["backend_fp"] = fps
         return fps, blobs
 
-    def map_parts(
-        self,
-        fn: Callable[[list, Any, int], Any],
-        parts: Sequence[list],
-        common: Any = None,
-        owner: Any = None,
-    ) -> list[Any]:
-        fn_ref = f"{fn.__module__}:{fn.__qualname__}"
-        if "<locals>" in fn_ref or "<lambda>" in fn_ref:
-            raise MPCError(
-                f"map_parts functions must be module-level, got {fn_ref}"
-            )
-        try:
-            common_bytes = pickle.dumps(common, _PROTO)
-        except Exception:  # noqa: BLE001 - unpicklable common: run inline
-            return [fn(part, common, i) for i, part in enumerate(parts)]
-        if owner is not None:
-            fps, blobs = self._fingerprints(parts, owner)
-        else:
-            fps = blobs = None
-
-        if self._conns is None:
-            self._start()
-        conns = self._conns
-        assert conns is not None
-        w = len(conns)
-
+    def _blob_getter(
+        self, parts: Sequence[list], owner: Any, blobs: list[bytes] | None
+    ) -> Callable[[int], bytes]:
+        """Per-op wire-blob supplier, charging the wire counters per ship."""
         wire = getattr(owner, "wire_blob", None) if owner is not None else None
         if wire is not None and getattr(owner, "parts", None) is not parts:
             wire = None
 
-        def part_blob(idx: int) -> bytes:
+        def get(idx: int) -> bytes:
             if blobs is not None:
                 blob = blobs[idx]
             elif wire is not None:
@@ -313,43 +315,114 @@ class MultiprocessBackend(Backend):
                     pass
             return blob
 
+        return get
+
+    # ------------------------------------------------------------------
+    def map_parts(
+        self,
+        fn: Callable[[list, Any, int], Any],
+        parts: Sequence[list],
+        common: Any = None,
+        owner: Any = None,
+    ) -> list[Any]:
+        return self.run_ops([(fn, parts, common, owner)], collect=True)[0]
+
+    def run_ops(
+        self,
+        ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
+        collect: bool = True,
+    ) -> list[Any]:
+        """Execute a whole op chain in one worker round-trip (plus a miss
+        retry round when the best-effort cache mirror was stale).
+
+        Per-op fallbacks mirror ``map_parts``: unpicklable ``common`` or
+        parts run that op inline; a non-module-level function is an error.
+        """
+        results: list[Any] = [None] * len(ops)
+        # Per shipped op: (k, fn_ref, common_bytes, fn, parts, common,
+        # fps, blob getter).
+        shipped: list[tuple] = []
+        for k, (fn, parts, common, owner) in enumerate(ops):
+            fn_ref = f"{fn.__module__}:{fn.__qualname__}"
+            if "<locals>" in fn_ref or "<lambda>" in fn_ref:
+                raise MPCError(
+                    f"map_parts functions must be module-level, got {fn_ref}"
+                )
+            try:
+                common_bytes = pickle.dumps(common, _PROTO)
+            except Exception:  # noqa: BLE001 - unpicklable common: run inline
+                results[k] = [fn(part, common, i) for i, part in enumerate(parts)]
+                continue
+            if owner is not None:
+                fps, blobs = self._fingerprints(parts, owner)
+            else:
+                fps = blobs = None
+            shipped.append(
+                (k, fn_ref, common_bytes, fn, parts, common, fps,
+                 self._blob_getter(parts, owner, blobs))
+            )
+        if not shipped:
+            return results
+
+        if self._conns is None:
+            self._start()
+        conns = self._conns
+        assert conns is not None
+        w = len(conns)
+
         # Build one batched request per worker (deterministic affinity).
         # The mirror of each worker's LRU is best-effort: a key sent
         # key-only that the worker no longer holds comes back as a "miss"
         # and is re-sent with its part below — never an error.
-        batches: list[list[tuple[int, bytes | None, bytes | None]]] = [
-            [] for _ in range(w)
-        ]
-        try:
-            for idx in range(len(parts)):
-                wi = idx % w
-                fp = fps[idx] if fps is not None else None
-                if fp is None:
-                    batches[wi].append((idx, None, part_blob(idx)))
-                    continue
-                key = (fn_ref, common_bytes, fp, idx)
-                mirror = self._mirrors[wi]
-                if key in mirror:
-                    mirror.move_to_end(key)
-                    batches[wi].append((idx, fp, None))
-                else:
-                    batches[wi].append((idx, fp, part_blob(idx)))
-                    mirror[key] = None
-                    if len(mirror) > _CACHE_ENTRIES:
-                        mirror.popitem(last=False)
-        except Exception:  # noqa: BLE001 - unpicklable parts: run inline
-            return [fn(part, common, i) for i, part in enumerate(parts)]
+        steps_by_worker: list[list[tuple]] = [[] for _ in range(w)]
+        order: list[list[tuple[int, int]]] = [[] for _ in range(w)]
+        retry_info: dict[int, tuple] = {}
+        for k, fn_ref, common_bytes, fn, parts, common, fps, get_blob in shipped:
+            jobs: list[list[tuple]] = [[] for _ in range(w)]
+            try:
+                for idx in range(len(parts)):
+                    wi = idx % w
+                    fp = fps[idx] if fps is not None else None
+                    if fp is None:
+                        jobs[wi].append((idx, None, get_blob(idx)))
+                        continue
+                    key = (fn_ref, common_bytes, fp, idx)
+                    mirror = self._mirrors[wi]
+                    if key in mirror:
+                        mirror.move_to_end(key)
+                        jobs[wi].append((idx, fp, None))
+                    else:
+                        jobs[wi].append((idx, fp, get_blob(idx)))
+                        mirror[key] = None
+                        if len(mirror) > _CACHE_ENTRIES:
+                            mirror.popitem(last=False)
+            except Exception:  # noqa: BLE001 - unpicklable parts: run inline
+                results[k] = [fn(part, common, i) for i, part in enumerate(parts)]
+                continue
+            results[k] = [None] * len(parts)
+            retry_info[k] = (fn_ref, common_bytes, fps, get_blob)
+            for wi in range(w):
+                if jobs[wi]:
+                    steps_by_worker[wi].append((fn_ref, common_bytes, jobs[wi]))
+                    order[wi].extend((k, job[0]) for job in jobs[wi])
 
-        results: list[Any] = [None] * len(parts)
-        missed = self._round(fn_ref, common_bytes, batches, results)
+        missed = self._ops_round(steps_by_worker, order, collect, results)
         if missed:
-            retry: list[list[tuple[int, bytes | None, bytes | None]]] = [
-                [] for _ in range(w)
-            ]
-            for idx in missed:
-                fp = fps[idx] if fps is not None else None
-                retry[idx % w].append((idx, fp, part_blob(idx)))
-            still_missed = self._round(fn_ref, common_bytes, retry, results)
+            steps2: list[list[tuple]] = [[] for _ in range(w)]
+            order2: list[list[tuple[int, int]]] = [[] for _ in range(w)]
+            grouped: dict[tuple[int, int], list[int]] = {}
+            for k, idx in missed:
+                grouped.setdefault((idx % w, k), []).append(idx)
+            for (wi, k), idxs in sorted(grouped.items()):
+                fn_ref, common_bytes, fps, get_blob = retry_info[k]
+                idxs.sort()
+                jobs2 = [
+                    (idx, fps[idx] if fps is not None else None, get_blob(idx))
+                    for idx in idxs
+                ]
+                steps2[wi].append((fn_ref, common_bytes, jobs2))
+                order2[wi].extend((k, idx) for idx in idxs)
+            still_missed = self._ops_round(steps2, order2, collect, results)
             if still_missed:  # pragma: no cover - protocol invariant
                 raise MPCError(
                     f"workers missed jobs {sorted(still_missed)} even with "
@@ -357,30 +430,33 @@ class MultiprocessBackend(Backend):
                 )
         return results
 
-    def _round(
+    def _ops_round(
         self,
-        fn_ref: str,
-        common_bytes: bytes,
-        batches: Sequence[list],
+        steps_by_worker: Sequence[list],
+        order: Sequence[list[tuple[int, int]]],
+        collect: bool,
         results: list[Any],
-    ) -> list[int]:
-        """One request/reply round; fills ``results``, returns missed idxs.
+    ) -> list[tuple[int, int]]:
+        """One request/reply round; fills ``results``, returns missed jobs.
 
         Replies from *every* worker are always drained, even when one of
         them reports an error — a shared backend must never leave stale
-        responses in a pipe for the next call to misread.
+        responses in a pipe for the next call to misread.  Counts as one
+        backend request round when anything ships.
         """
         conns = self._conns
         assert conns is not None
         sent: list[int] = []
-        for wi, batch in enumerate(batches):
-            if batch:
+        for wi, steps in enumerate(steps_by_worker):
+            if steps:
                 conns[wi].send_bytes(
-                    pickle.dumps(("map", fn_ref, common_bytes, batch), _PROTO)
+                    pickle.dumps(("ops", collect, steps), _PROTO)
                 )
                 sent.append(wi)
+        if sent:
+            self.requests += 1
 
-        missed: list[int] = []
+        missed: list[tuple[int, int]] = []
         errors: list[str] = []
         dead: list[str] = []
         for wi in sent:
@@ -389,12 +465,15 @@ class MultiprocessBackend(Backend):
                 if header[0] == "err":
                     errors.append(f"worker {wi}: {header[1]}")
                     continue
-                for _ in range(header[1]):
+                expected = order[wi]
+                for j in range(header[1]):
                     idx, status, value = pickle.loads(conns[wi].recv_bytes())
+                    k = expected[j][0]
                     if status == "miss":
-                        missed.append(idx)
-                    else:
-                        results[idx] = value
+                        missed.append((k, idx))
+                    elif status == "ok":
+                        results[k][idx] = value
+                    # "ack": worker-side cache refreshed; nothing to store.
             except (EOFError, OSError) as exc:  # pragma: no cover
                 dead.append(f"worker {wi} died: {exc}")
         if dead:  # pragma: no cover - defensive: restart the whole pool

@@ -34,4 +34,25 @@ class SerialBackend(Backend):
         common: Any = None,
         owner: Any = None,
     ) -> list[Any]:
+        self.requests += 1
         return [fn(part, common, i) for i, part in enumerate(parts)]
+
+    def run_ops(
+        self,
+        ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
+        collect: bool = True,
+    ) -> list[Any]:
+        """The trivial loop, counted as one request round.
+
+        With ``collect=False`` nothing executes: serial holds no
+        worker-side state (memos live on the relations' substrate, not
+        here), so a discarded re-execution would have no observable
+        effect on any future call.
+        """
+        self.requests += 1
+        if not collect:
+            return [None] * len(ops)
+        return [
+            [fn(part, common, i) for i, part in enumerate(parts)]
+            for fn, parts, common, _owner in ops
+        ]

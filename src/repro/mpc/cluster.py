@@ -117,6 +117,10 @@ class Cluster:
             raise MPCError(f"cluster needs p >= 1, got {p}")
         self.p = p
         self.backend = get_backend(backend)
+        #: Optional :class:`~repro.plan.trace.TraceRecorder` observing the
+        #: ledger (duck-typed; installed by the engine/explain for the
+        #: duration of one traced execution, ``None`` otherwise).
+        self.recorder = None
         self._totals: list[int] = [0] * p
         self._step_max: int = 0
         self._steps: int = 0
@@ -150,6 +154,9 @@ class Cluster:
         self._step_max = step_max
         self._steps += 1
         self._by_label[label] = self._by_label.get(label, 0) + step_total
+        rec = self.recorder
+        if rec is not None:
+            rec.record_charge((tuple(server_ids),), counts, label)
 
     def tally_members(
         self,
@@ -185,6 +192,9 @@ class Cluster:
         self._step_max = step_max
         self._steps += n
         self._by_label[label] = self._by_label.get(label, 0) + step_total * n
+        rec = self.recorder
+        if rec is not None:
+            rec.record_charge(members, counts, label)
 
     def snapshot(self) -> LoadReport:
         """Current ledger as an immutable report."""

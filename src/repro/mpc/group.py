@@ -66,6 +66,11 @@ class Group:
         for i in local_indices:
             if not 0 <= i < self.size:
                 raise MPCError(f"local index {i} out of range [0, {self.size})")
+        rec = self.cluster.recorder
+        if rec is not None:
+            rec.record_structural(
+                "Subgroup", f"{len(local_indices)} of {self.size} servers"
+            )
         return Group(
             self.cluster,
             [tuple(m[i] for i in local_indices) for m in self.members],
@@ -89,6 +94,9 @@ class Group:
             total *= d
         if total > self.size:
             raise MPCError(f"grid {dims} needs {total} servers, group has {self.size}")
+        rec = self.cluster.recorder
+        if rec is not None:
+            rec.record_structural("GridLines", f"dims={list(dims)}")
         k = len(dims)
         strides = [0] * k
         acc = 1
@@ -176,6 +184,9 @@ class Group:
             raise MPCError(
                 f"expected {self.size} parts, got {len(parts)}"
             )
+        rec = self.cluster.recorder
+        if rec is not None:
+            rec.record_map_parts(fn, parts, common, owner)
         return self.cluster.backend.map_parts(fn, parts, common, owner)
 
     # ------------------------------------------------------------------
@@ -223,6 +234,9 @@ class Group:
                 outbox.append((dst, item))
         outboxes: list[list[tuple[int, Any]]] = [[] for _ in range(self.size)]
         outboxes[src] = outbox
+        rec = self.cluster.recorder
+        if rec is not None:
+            rec.mark_broadcast()
         self.exchange(outboxes, label)
 
     def gather(

@@ -43,6 +43,7 @@ from repro.data.relation import Row
 from repro.errors import MPCError
 from repro.mpc.distrel import DistRelation
 from repro.mpc.group import Group
+from repro.plan.trace import prim_span
 from repro.mpc.substrate import (
     coordinator_for,
     orderable,
@@ -117,6 +118,17 @@ def sample_sort(
     Load: ~``n/p`` per server (PSRS guarantees < 2n/p) plus O(p) sampling
     traffic at the coordinator.
     """
+    with prim_span(group.cluster, "SampleSort", label):
+        return _sample_sort_impl(group, parts, key_fn, label, encoder)
+
+
+def _sample_sort_impl(
+    group: Group,
+    parts: Sequence[Iterable[Any]],
+    key_fn: Callable[[Any], Any],
+    label: str,
+    encoder: Callable[[Any], tuple] | None,
+) -> list[list[tuple[tuple, tuple[int, int], Any]]]:
     p = group.size
     enc = encoder or orderable
     decorated: list[list[tuple[tuple, tuple[int, int], Any]]] = []
@@ -291,6 +303,21 @@ def fold_by_key(
             (aligned with ``rel.parts``); defaults to 1 per row (counting).
         scalar: Key rows by the bare column value instead of a 1-tuple.
     """
+    with prim_span(
+        group.cluster, "FoldByKey", f"{rel.name}[{','.join(key_attrs)}] {label}"
+    ):
+        return _fold_by_key_impl(group, rel, key_attrs, plus, label, values, scalar)
+
+
+def _fold_by_key_impl(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    plus: Callable[[Any, Any], Any] | None,
+    label: str,
+    values: Sequence[Sequence[Any]] | None,
+    scalar: bool,
+) -> list[list[tuple[Any, Any]]]:
     run = sorted_run(group, rel, key_attrs, label, scalar=scalar)
     add = plus if plus is not None else lambda a, b: a + b
     runs_per_server: list[list[tuple[tuple, Any, Any]]] = []
@@ -401,6 +428,20 @@ def number_rows(
     the restricted set, as the heavy-rectangle chunking of
     :func:`repro.core.binary_join.binary_join` requires.
     """
+    with prim_span(
+        group.cluster, "NumberRows", f"{rel.name}[{','.join(key_attrs)}] {label}"
+    ):
+        return _number_rows_impl(group, rel, key_attrs, label, only_keys, scalar)
+
+
+def _number_rows_impl(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    label: str,
+    only_keys: Any | None,
+    scalar: bool,
+) -> list[list[tuple[Any, Row, int]]]:
     run = sorted_run(group, rel, key_attrs, label, scalar=scalar)
     if only_keys is None:
         member = None
@@ -553,6 +594,23 @@ def search_rows(
         Per-server ``(key, payload, pred_key, pred_value)`` quadruples in
         the run's arrangement.
     """
+    with prim_span(
+        group.cluster, "SearchRows", f"{rel.name}[{','.join(key_attrs)}] {label}"
+    ):
+        return _search_rows_impl(
+            group, rel, key_attrs, table_parts, label, payloads, scalar
+        )
+
+
+def _search_rows_impl(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    table_parts: Sequence[Iterable[tuple[Any, Any]]],
+    label: str,
+    payloads: Sequence[Sequence[Any]] | None,
+    scalar: bool,
+) -> list[list[tuple[Any, Any, Any, Any]]]:
     run = sorted_run(group, rel, key_attrs, label, scalar=scalar)
     p = group.size
 
@@ -615,6 +673,18 @@ def semi_join(
     and only union sampling keeps it balanced; the substrate still supplies
     cached projected keys and a specialized encoder.
     """
+    with prim_span(
+        group.cluster, "SemiJoin", f"{rel.name} ⋉ {filter_rel.name} {label}"
+    ):
+        return _semi_join_impl(group, rel, filter_rel, label)
+
+
+def _semi_join_impl(
+    group: Group,
+    rel: DistRelation,
+    filter_rel: DistRelation,
+    label: str,
+) -> DistRelation:
     shared = tuple(sorted(set(rel.attrs) & set(filter_rel.attrs)))
     if not shared:
         # Degenerate: an empty filter kills everything, else no-op.
@@ -661,6 +731,23 @@ def attach_degrees(
         Per-server ``(row, degree)`` pairs (degree 0 if the key is absent
         from the degree table).
     """
+    with prim_span(
+        group.cluster, "AttachDegrees",
+        f"{rel.name}[{','.join(key_attrs)}] {label}",
+    ):
+        return _attach_degrees_impl(
+            group, rel, key_attrs, label, degree_parts, scalar
+        )
+
+
+def _attach_degrees_impl(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    label: str,
+    degree_parts: Sequence[Iterable[tuple[Any, int]]] | None,
+    scalar: bool,
+) -> list[list[tuple[Row, int]]]:
     if degree_parts is not None:
         found = search_rows(
             group, rel, key_attrs, list(degree_parts), f"{label}/lookup",

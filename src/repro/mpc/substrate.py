@@ -43,6 +43,7 @@ from repro.data.relation import Row
 from repro.mpc.distrel import DistRelation
 from repro.mpc.group import Group
 from repro.mpc.hashing import stable_hash
+from repro.plan.trace import prim_span
 
 __all__ = [
     "orderable",
@@ -490,6 +491,20 @@ def sorted_run(
     shuffle exchange are re-issued with identical message counts — so the
     ledger never under-charges; only local encoding/sorting is skipped.
     """
+    with prim_span(
+        group.cluster, "SampleSort",
+        f"run {rel.name}[{','.join(key_attrs)}] {label}",
+    ):
+        return _sorted_run(group, rel, key_attrs, label, scalar)
+
+
+def _sorted_run(
+    group: Group,
+    rel: DistRelation,
+    key_attrs: Sequence[str],
+    label: str,
+    scalar: bool,
+) -> SortedRun:
     pos = rel.positions(key_attrs)
     if _ENABLED:
         runs: dict[tuple, SortedRun] = rel._substrate.setdefault("runs", {})

@@ -1,0 +1,80 @@
+"""The plan executor: replay a recorded op schedule against a cluster.
+
+Replay walks the plan's ops in order:
+
+* a :class:`~repro.plan.ir.Charge` re-posts its recorded member/count
+  vectors through :meth:`Cluster.tally_members` — the *same* entry point
+  the traced execution used — so the replayed
+  :class:`~repro.mpc.cluster.LoadReport` matches the traced one bit for
+  bit (load, step max, step count, totals, by-label);
+* :class:`~repro.plan.ir.MapParts` runs are dispatched through
+  :meth:`Backend.run_ops` in the groups the fusion pass computed, with
+  ``collect=False`` — the results are already pinned by the recording,
+  so the backend only has to guarantee the worker-side effects (memo
+  population) and may skip shipping result payloads back;
+* structural ops are no-ops.
+
+The replay contract (what a replay may and may not change) is stated in
+DESIGN.md section 7; its validity condition — unchanged registered
+relation versions — is enforced by the caller (the engine), exactly like
+the result-cache rule of DESIGN.md 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.plan.fuse import fusion_groups
+from repro.plan.ir import Charge, MapParts, PhysicalPlan
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Replays :class:`PhysicalPlan` objects against one cluster.
+
+    Args:
+        cluster: The (already reset, recorder-free) cluster to charge.
+        fusion: Batch worker-local runs into single ``run_ops`` requests;
+            when False, each worker-local op is its own request (the
+            unfused baseline the benchmarks gate against).
+    """
+
+    def __init__(self, cluster: Any, fusion: bool = True) -> None:
+        self.cluster = cluster
+        self.fusion = fusion
+
+    def replay(self, plan: PhysicalPlan) -> dict[str, int]:
+        """Execute the plan; returns replay stats for the caller's metrics.
+
+        The caller snapshots the cluster afterwards; the snapshot equals
+        the traced execution's report exactly.
+        """
+        cluster = self.cluster
+        backend = cluster.backend
+        tally = cluster.tally_members
+        requests_before = backend.requests
+        groups = fusion_groups(plan.ops, fuse=self.fusion)
+        flush_after = {group[-1]: group for group in groups}
+        ops = plan.ops
+        n_map = 0
+        for i, op in enumerate(ops):
+            if isinstance(op, Charge):
+                tally(op.members, op.counts, op.label)
+            elif isinstance(op, MapParts):
+                n_map += 1
+            group = flush_after.get(i)
+            if group is not None:
+                backend.run_ops(
+                    [
+                        (ops[j].fn, ops[j].parts, ops[j].common, ops[j].owner)
+                        for j in group
+                    ],
+                    collect=False,
+                )
+        return {
+            "ops": len(ops),
+            "map_ops": n_map,
+            "groups": len(groups),
+            "backend_requests": backend.requests - requests_before,
+        }

@@ -1,0 +1,60 @@
+"""The fusion pass: batch adjacent worker-local ops into one request.
+
+At replay time every op in a :class:`~repro.plan.ir.PhysicalPlan` is one
+of two things: a *pure ledger charge* (its payload movement was recorded
+at trace time, so replaying it writes counts and moves no data) or a
+*worker-local recomputation* (a :class:`~repro.plan.ir.MapParts` whose
+inputs are recorded references and whose results feed worker-side caches
+only — the query's outputs are served from the recording).  There are
+therefore **no cross-op data dependencies left at replay**: the only
+thing separating two worker-local steps is plan order, and a maximal run
+of them can execute as one :meth:`~repro.mpc.backends.Backend.run_ops`
+batch — one IPC round-trip on the multiprocess backend instead of one
+per primitive step.
+
+``exchange_barriers=True`` produces the conservative schedule a future
+backend that executes exchanges *on* the workers would need (charge ops
+then order worker state), at the cost of one request per primitive; the
+default treats charges as transparent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.plan.ir import Charge, MapParts, Op
+
+__all__ = ["fusion_groups"]
+
+
+def fusion_groups(
+    ops: Sequence[Op],
+    fuse: bool = True,
+    exchange_barriers: bool = False,
+) -> list[list[int]]:
+    """Indices of :class:`MapParts` ops, grouped into backend requests.
+
+    Args:
+        ops: The plan's op sequence.
+        fuse: When False, every worker-local op is its own group (the
+            unfused baseline: one backend request per primitive step).
+        exchange_barriers: When True, a charge op closes the current
+            group (see module docstring).
+
+    Returns:
+        Groups in plan order; each group is a list of op indices whose
+        steps one ``run_ops`` call executes.
+    """
+    if not fuse:
+        return [[i] for i, op in enumerate(ops) if isinstance(op, MapParts)]
+    groups: list[list[int]] = []
+    current: list[int] = []
+    for i, op in enumerate(ops):
+        if isinstance(op, MapParts):
+            current.append(i)
+        elif exchange_barriers and isinstance(op, Charge) and current:
+            groups.append(current)
+            current = []
+    if current:
+        groups.append(current)
+    return groups

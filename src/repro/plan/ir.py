@@ -1,0 +1,280 @@
+"""The physical operator IR: what one query execution *did* to the cluster.
+
+A :class:`PhysicalPlan` is a flat sequence of :class:`Op` records traced
+from one execution of a core driver.  Three op families exist:
+
+* **Charges** (:class:`Exchange`, :class:`Broadcast`) — one ledger write
+  each: the member tuples and per-server received counts of one
+  :meth:`~repro.mpc.cluster.Cluster.tally_members` call.  Replaying a
+  charge re-posts exactly those counts under exactly that label, so the
+  replayed :class:`~repro.mpc.cluster.LoadReport` is bit-identical to the
+  traced one by construction (the same argument as the substrate's
+  sorted-run ledger replay, DESIGN.md 3.2/3.4).
+* **Worker-local compute** (:class:`MapParts`) — one
+  :meth:`~repro.mpc.group.Group.map_parts` dispatch: a module-level pure
+  function, its picklable ``common`` descriptor, and *references* to the
+  immutable input parts and their owning relation.  References are cheap
+  for base inputs (the version-pinned distributed relations already
+  resident in the engine's caches) but do pin any mid-execution
+  intermediate a driver sorted, which is why the engine bounds trace
+  lifetime by recording lifetime under its LRU.  Holding them is what
+  lets a replay re-issue the compute through
+  :meth:`~repro.mpc.backends.Backend.run_ops` in fused batches.
+* **Structure** (:class:`SampleSort`, :class:`FoldByKey`,
+  :class:`SearchRows`, :class:`NumberRows`, :class:`SemiJoin`,
+  :class:`AttachDegrees` spans; :class:`Subgroup` / :class:`GridLines`
+  markers) — the primitive vocabulary of paper Section 2 and the grid
+  shape of Section 3.2 Case 2.  Spans scope the low-level steps recorded
+  while a primitive ran, giving ``explain`` its per-op ledger
+  attribution; they charge nothing and replay as no-ops.
+
+Ops are recorded with the :class:`~repro.plan.trace.TraceRecorder` and
+replayed by the :class:`~repro.plan.executor.Executor`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Op",
+    "Charge",
+    "Exchange",
+    "Broadcast",
+    "MapParts",
+    "Subgroup",
+    "GridLines",
+    "PrimSpan",
+    "SampleSort",
+    "FoldByKey",
+    "SearchRows",
+    "NumberRows",
+    "SemiJoin",
+    "AttachDegrees",
+    "PhysicalPlan",
+]
+
+
+@dataclass(eq=False)
+class Op:
+    """One step of a traced execution.
+
+    Attributes:
+        label: The ledger/phase label the step ran under ("" for
+            structural ops, which never touch the ledger).
+        path: Kinds of the enclosing primitive spans, outermost first —
+            the per-op attribution used by ``explain``.
+    """
+
+    label: str = ""
+    path: tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(eq=False)
+class Charge(Op):
+    """One ledger write: ``tally_members(members, counts, label)``.
+
+    ``members`` is the group family the counts were tallied on (tuples of
+    global server ids); replaying posts the identical vectors through the
+    same entry point, so every `LoadReport` field reproduces exactly.
+    """
+
+    members: tuple[tuple[int, ...], ...] = ()
+    counts: tuple[int, ...] = ()
+
+    @property
+    def units(self) -> int:
+        """Total units this charge adds to the ledger (all members)."""
+        return sum(self.counts) * len(self.members)
+
+
+@dataclass(eq=False)
+class Exchange(Charge):
+    """A routed exchange step (the general :meth:`Group.exchange` case)."""
+
+
+@dataclass(eq=False)
+class Broadcast(Charge):
+    """An exchange known to be a one-to-all replication."""
+
+
+@dataclass(eq=False)
+class MapParts(Op):
+    """One backend compute dispatch: ``fn(part, common, index)`` per part.
+
+    ``fn``/``parts``/``owner`` are live references captured at trace
+    time; ``parts`` are immutable after construction (the `DistRelation`
+    contract), so a replay under unchanged data versions recomputes the
+    exact traced results.  Local compute is free in the MPC model — the
+    op charges nothing; it exists so a replay keeps backend worker state
+    (content-addressed memos) warm, and it is the unit the fusion pass
+    batches into single `run_ops` round-trips.
+    """
+
+    fn_ref: str = ""
+    fn: Any = None
+    parts: Any = None
+    common: Any = None
+    owner: Any = None
+
+
+@dataclass(eq=False)
+class Subgroup(Op):
+    """Structural marker: a driver narrowed the group to a server subset."""
+
+    detail: str = ""
+
+
+@dataclass(eq=False)
+class GridLines(Op):
+    """Structural marker: a hypercube grid was carved into line families."""
+
+    detail: str = ""
+
+
+@dataclass(eq=False)
+class PrimSpan(Op):
+    """A Section-2 primitive invocation scoping its low-level steps.
+
+    ``ops[start:end]`` of the owning plan are the steps recorded while
+    the primitive ran (spans nest: ``AttachDegrees`` contains the
+    ``SampleSort`` of its relation's sorted run).
+    """
+
+    detail: str = ""
+    start: int = 0
+    end: int = 0
+
+
+@dataclass(eq=False)
+class SampleSort(PrimSpan):
+    """A PSRS pass: decorate+sort, sample gather, splitters, shuffle."""
+
+
+@dataclass(eq=False)
+class FoldByKey(PrimSpan):
+    """Per-key aggregation on a sorted run (count/fold/distinct family)."""
+
+
+@dataclass(eq=False)
+class SearchRows(PrimSpan):
+    """Predecessor search of a relation's rows against a keyed table."""
+
+
+@dataclass(eq=False)
+class NumberRows(PrimSpan):
+    """Consecutive per-key numbering of a relation's rows."""
+
+
+@dataclass(eq=False)
+class SemiJoin(PrimSpan):
+    """The paper's semi-join-by-multi-search reduction."""
+
+
+@dataclass(eq=False)
+class AttachDegrees(PrimSpan):
+    """The fused sum-by-key + multi-search behind heavy/light splits."""
+
+
+@dataclass(eq=False)
+class PhysicalPlan:
+    """A replayable recording of one query execution's op schedule.
+
+    Attributes:
+        query: The query text (or a short description) the trace served.
+        kind: ``"join"`` | ``"project"`` | ``"aggregate"``.
+        algorithm: The resolved algorithm that was driven.
+        p: Cluster size the trace was recorded on.
+        backend: Backend name of the recording session (the schedule
+            itself is backend-independent — ledgers are).
+        relation_versions: Registered-relation versions the trace is
+            valid for; a replay under any other versions is forbidden
+            (the section-3.4-style contract, see DESIGN.md 7).
+        ops: The flat op sequence in execution order.
+    """
+
+    query: str = ""
+    kind: str = ""
+    algorithm: str = ""
+    p: int = 0
+    backend: str = ""
+    relation_versions: dict[str, int] = field(default_factory=dict)
+    ops: list[Op] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def charges(self) -> list[Charge]:
+        return [op for op in self.ops if isinstance(op, Charge)]
+
+    def map_ops(self) -> list[MapParts]:
+        return [op for op in self.ops if isinstance(op, MapParts)]
+
+    def charged_units(self) -> int:
+        """Total ledger units a replay posts (== the traced report total)."""
+        return sum(op.units for op in self.ops if isinstance(op, Charge))
+
+    def op_counts(self) -> dict[str, int]:
+        """Per-op-kind counts (the engine's per-op metrics source)."""
+        return dict(Counter(op.kind for op in self.ops))
+
+    # ------------------------------------------------------------------
+    def explain(self, fusion: bool = True) -> str:
+        """Human-readable plan: ops, fusion groups, per-op ledger units."""
+        from repro.plan.fuse import fusion_groups
+
+        groups = fusion_groups(self.ops, fuse=fusion)
+        group_of: dict[int, int] = {}
+        for gi, group in enumerate(groups):
+            for i in group:
+                group_of[i] = gi
+        n_map = len(self.map_ops())
+        counts = self.op_counts()
+        lines = [
+            f"physical plan: {self.query}",
+            (
+                f"  kind={self.kind} algorithm={self.algorithm} "
+                f"p={self.p} backend={self.backend}"
+            ),
+            (
+                "  ops: "
+                + ", ".join(f"{k} x{v}" for k, v in sorted(counts.items()))
+            ),
+            (
+                f"  ledger: {self.charged_units()} units over "
+                f"{len(self.charges())} charge steps (replayed bit-exactly)"
+            ),
+        ]
+        if n_map:
+            ratio = n_map / len(groups) if groups else 1.0
+            lines.append(
+                f"  fusion: {n_map} worker-local ops -> {len(groups)} "
+                f"backend request(s) ({ratio:.1f}x round-trip reduction)"
+                + ("" if fusion else "  [fusion disabled]")
+            )
+        for i, op in enumerate(self.ops):
+            pad = "  " * (len(op.path) + 1)
+            if isinstance(op, PrimSpan):
+                units = sum(
+                    c.units
+                    for c in self.ops[op.start : op.end]
+                    if isinstance(c, Charge)
+                )
+                lines.append(f"{pad}[{op.kind}] {op.detail}  units={units}")
+            elif isinstance(op, Charge):
+                fam = f" x{len(op.members)}" if len(op.members) > 1 else ""
+                lines.append(
+                    f"{pad}{op.kind} {op.label}{fam}  units={op.units}"
+                )
+            elif isinstance(op, MapParts):
+                lines.append(
+                    f"{pad}MapParts {op.fn_ref}  (fusion group "
+                    f"{group_of.get(i, '?')})"
+                )
+            else:
+                lines.append(f"{pad}{op.kind} {getattr(op, 'detail', '')}")
+        return "\n".join(lines)

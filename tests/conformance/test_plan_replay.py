@@ -1,0 +1,160 @@
+"""Plan-replay conformance: fused == unfused == re-drive, per backend.
+
+The physical-plan layer adds a third way to execute a warm query (next to
+full re-drive and result-cache serving): replay the traced op schedule
+through the Executor, with worker-local ops batched into fused
+``run_ops`` requests.  The contract mirrors the substrate's cache rules
+(DESIGN.md 3.4 / 7): replay may change wall-clock and backend round-trip
+counts **only** — outputs and every LoadReport field must be
+bit-identical to the cold execution, on every registered backend, fused
+or not.
+
+A hypothesis layer drives the same invariant over randomized instances,
+so the grid's fixed seeds are not the only shapes pinned down.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generators import line_trap_instance, random_instance
+from repro.data.relation import Relation
+from repro.engine import Engine
+from repro.mpc.backends import available_backends
+from repro.query import catalog
+
+BACKENDS = available_backends()
+
+P = 6
+
+
+def _payload(res):
+    if res.metrics.kind == "join":
+        return {
+            "attrs": res.relation.attrs,
+            "parts": [list(part) for part in res.relation.parts],
+        }
+    return {
+        "scalar": res.scalar,
+        "rows": None if res.relation is None else list(res.relation.rows),
+        "annotations": (
+            None if res.relation is None
+            else list(res.relation.annotations or ())
+        ),
+    }
+
+
+def _engine(relations: dict[str, Relation], backend: str, **kwargs) -> Engine:
+    engine = Engine(p=P, backend=backend, result_cache=False, **kwargs)
+    for name, rel in relations.items():
+        engine.register(rel, name=name)
+    return engine
+
+
+def _check_replay_modes(relations: dict[str, Relation], text: str, backend: str):
+    """Cold vs fused-replay vs unfused-replay vs re-drive: all identical."""
+    fused = _engine(relations, backend)
+    unfused = _engine(relations, backend, fusion=False)
+    redrive = _engine(relations, backend, plan_replay=False)
+
+    cold = fused.execute(text)
+    ref_payload, ref_ledger = _payload(cold), cold.report.as_dict()
+
+    unfused_cold = unfused.execute(text)
+    assert _payload(unfused_cold) == ref_payload
+    assert unfused_cold.report.as_dict() == ref_ledger
+
+    warm_fused = fused.execute(text)
+    warm_unfused = unfused.execute(text)
+    warm_redrive = redrive.execute(redrive.execute(text).metrics.text)
+
+    assert warm_fused.metrics.plan_replayed
+    assert warm_unfused.metrics.plan_replayed
+    assert not warm_redrive.metrics.plan_replayed
+
+    for mode, res in (
+        ("fused", warm_fused),
+        ("unfused", warm_unfused),
+        ("re-drive", warm_redrive),
+    ):
+        assert _payload(res) == ref_payload, f"{mode} outputs differ"
+        assert res.report.as_dict() == ref_ledger, f"{mode} ledger differs"
+
+    # The round-trip reduction the fusion pass exists for.
+    if warm_fused.metrics.map_ops > 1:
+        assert (
+            warm_fused.metrics.backend_requests
+            < warm_unfused.metrics.backend_requests
+        )
+    return warm_fused
+
+
+# ----------------------------------------------------------------------
+# Grid cells (fixed seeds, both backends)
+# ----------------------------------------------------------------------
+
+def _binary():
+    q = catalog.binary_join()
+    inst = random_instance(q, 180, 20, seed=7)
+    return dict(inst.relations), "Q(A,B,C) :- R1(A,B), R2(B,C)"
+
+
+def _line3_trap():
+    inst = line_trap_instance(3, 200, 900, doubled=True)
+    return (
+        dict(inst.relations),
+        "Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)",
+    )
+
+
+def _fork():
+    q = catalog.fork_join()
+    inst = random_instance(q, 120, 8, seed=17)
+    return (
+        dict(inst.relations),
+        "Q(A,B,C,D,E) :- F1(A,B), F2(B,C), F3(C,D), F4(C,E)"
+        .replace("F", "R"),
+    )
+
+
+def _groupby():
+    q = catalog.line3()
+    inst = random_instance(q, 150, 10, seed=23)
+    return dict(inst.relations), "Q(B; count) :- R1(A,B), R2(B,C), R3(C,D)"
+
+
+CELLS = {
+    "binary/full": _binary,
+    "line3/trap": _line3_trap,
+    "acyclic/fork": _fork,
+    "aggregate/groupby": _groupby,
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("cell", sorted(CELLS), ids=sorted(CELLS))
+def test_replay_modes_identical_on_grid(cell, backend):
+    relations, text = CELLS[cell]()
+    _check_replay_modes(relations, text, backend)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis layer: randomized instances, serial + every challenger
+# ----------------------------------------------------------------------
+
+rows_st = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 6)), min_size=0, max_size=60
+)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=12, deadline=None)
+@given(rows1=rows_st, rows2=rows_st)
+def test_replay_modes_identical_on_random_instances(backend, rows1, rows2):
+    relations = {
+        "R1": Relation("R1", ("A", "B"), rows1),
+        "R2": Relation("R2", ("B", "C"), [(b, c) for c, b in rows2]),
+    }
+    _check_replay_modes(relations, "Q(A,B,C) :- R1(A,B), R2(B,C)", backend)

@@ -1,0 +1,353 @@
+"""Unit tests for the physical plan layer (IR, trace, fuse, replay, LRU)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.relation import Relation
+from repro.engine import Engine, parse_query
+from repro.mpc import Cluster, distribute_relation
+from repro.mpc.backends import SerialBackend, get_backend
+from repro.mpc.primitives import attach_degrees, count_by_key, semi_join
+from repro.plan import (
+    Broadcast,
+    Charge,
+    Exchange,
+    Executor,
+    MapParts,
+    TraceRecorder,
+    fusion_groups,
+)
+
+
+def _traced_primitives(p: int = 6):
+    """Trace a mixed primitive run; return (plan, report, outputs)."""
+    rel_ram = Relation("R", ("A", "B"), [((i * 7) % 13, i % 5) for i in range(150)])
+    flt_ram = Relation("S", ("B", "C"), [(i % 5, i) for i in range(40)])
+    cluster = Cluster(p, backend="serial")
+    group = cluster.root_group()
+    rel = distribute_relation(rel_ram, group)
+    flt = distribute_relation(flt_ram, group)
+    rec = TraceRecorder()
+    cluster.recorder = rec
+    outs = (
+        attach_degrees(group, rel, ("B",), "deg"),
+        count_by_key(group, rel, ("A",), "cnt"),
+        semi_join(group, rel, flt, "sj").parts,
+    )
+    cluster.recorder = None
+    plan = rec.finish("prims", "join", "none", p, "serial", {})
+    return plan, cluster.snapshot(), outs
+
+
+class TestTrace:
+    def test_charges_account_for_every_ledger_unit(self):
+        plan, report, _ = _traced_primitives()
+        assert plan.charged_units() == report.total
+        assert len(plan.charges()) == report.steps
+
+    def test_primitive_vocabulary_is_recorded(self):
+        plan, _, _ = _traced_primitives()
+        counts = plan.op_counts()
+        for kind in ("AttachDegrees", "FoldByKey", "SemiJoin", "SampleSort"):
+            assert counts.get(kind, 0) >= 1, counts
+        assert counts.get("MapParts", 0) >= 1
+        assert counts.get("Broadcast", 0) >= 1
+
+    def test_spans_scope_their_steps(self):
+        plan, _, _ = _traced_primitives()
+        span = next(op for op in plan.ops if op.kind == "AttachDegrees")
+        inner = plan.ops[span.start : span.end]
+        assert any(op.kind == "SampleSort" for op in inner)
+        assert all(
+            op.path and op.path[0] == "AttachDegrees" for op in inner
+        )
+
+    def test_broadcast_charges_are_tagged(self):
+        plan, _, _ = _traced_primitives()
+        broadcasts = [op for op in plan.ops if isinstance(op, Broadcast)]
+        assert broadcasts and all("splitters" in b.label or "bcast" in b.label
+                                  for b in broadcasts)
+
+    def test_recording_is_pure_observation(self):
+        """Tracing must not change outputs or the ledger."""
+        rel_ram = Relation("R", ("A", "B"), [(i % 9, i % 4) for i in range(120)])
+        ref_cluster = Cluster(5, backend="serial")
+        ref_group = ref_cluster.root_group()
+        ref = count_by_key(ref_group, distribute_relation(rel_ram, ref_group), ("A",), "c")
+        traced_cluster = Cluster(5, backend="serial")
+        traced_cluster.recorder = TraceRecorder()
+        traced_group = traced_cluster.root_group()
+        got = count_by_key(
+            traced_group, distribute_relation(rel_ram, traced_group), ("A",), "c"
+        )
+        traced_cluster.recorder = None
+        assert got == ref
+        assert traced_cluster.snapshot().as_dict() == ref_cluster.snapshot().as_dict()
+
+
+class TestFusion:
+    def test_unfused_is_one_group_per_map_op(self):
+        plan, _, _ = _traced_primitives()
+        groups = fusion_groups(plan.ops, fuse=False)
+        n_map = len(plan.map_ops())
+        assert len(groups) == n_map and all(len(g) == 1 for g in groups)
+
+    def test_fused_merges_across_replay_pure_charges(self):
+        plan, _, _ = _traced_primitives()
+        groups = fusion_groups(plan.ops, fuse=True)
+        assert len(groups) == 1
+        assert sum(len(g) for g in groups) == len(plan.map_ops())
+
+    def test_exchange_barriers_split_groups(self):
+        plan, _, _ = _traced_primitives()
+        conservative = fusion_groups(plan.ops, fuse=True, exchange_barriers=True)
+        assert len(conservative) >= len(fusion_groups(plan.ops, fuse=True))
+        assert sum(len(g) for g in conservative) == len(plan.map_ops())
+
+    def test_groups_are_map_ops_in_plan_order(self):
+        plan, _, _ = _traced_primitives()
+        flat = [i for g in fusion_groups(plan.ops, fuse=True) for i in g]
+        assert flat == sorted(flat)
+        assert all(isinstance(plan.ops[i], MapParts) for i in flat)
+
+
+class TestExecutor:
+    @pytest.mark.parametrize("fusion", [True, False])
+    def test_replay_ledger_is_bit_identical(self, fusion):
+        plan, report, _ = _traced_primitives()
+        fresh = Cluster(plan.p, backend="serial")
+        stats = Executor(fresh, fusion=fusion).replay(plan)
+        assert fresh.snapshot().as_dict() == report.as_dict()
+        assert stats["map_ops"] == len(plan.map_ops())
+        assert stats["groups"] == (1 if fusion else stats["map_ops"])
+
+    def test_fused_replay_issues_fewer_backend_requests(self):
+        plan, _, _ = _traced_primitives()
+        backend = SerialBackend()
+        fused = Executor(Cluster(plan.p, backend=backend), fusion=True).replay(plan)
+        unfused = Executor(Cluster(plan.p, backend=backend), fusion=False).replay(plan)
+        assert fused["backend_requests"] < unfused["backend_requests"]
+        assert fused["backend_requests"] == 1
+
+    def test_explain_mentions_ops_and_fusion(self):
+        plan, _, _ = _traced_primitives()
+        text = plan.explain()
+        assert "SampleSort" in text and "MapParts" in text
+        assert "round-trip reduction" in text
+        assert "units" in text
+
+
+class TestRunOps:
+    def test_run_ops_matches_map_parts_loop(self):
+        from tests.test_backends import _len_part, _sort_part
+
+        parts = [[(3, 1), (2, 2)], [(5, 0)], []]
+        ops = [(_sort_part, parts, None, None), (_len_part, parts, "x", None)]
+        for name in ("serial", "multiprocess"):
+            backend = get_backend(name)
+            got = backend.run_ops(ops)
+            assert got == [
+                backend.map_parts(_sort_part, parts),
+                backend.map_parts(_len_part, parts, "x"),
+            ], name
+
+    def test_run_ops_counts_one_request_round(self):
+        from tests.test_backends import _sort_part
+
+        parts = [[(2, 1)], [(1, 9)]]
+        for name in ("serial", "multiprocess"):
+            backend = get_backend(name)
+            before = backend.requests
+            backend.run_ops([(_sort_part, parts, None, None)] * 3)
+            assert backend.requests == before + 1, name
+
+    def test_serial_collect_false_skips_execution(self):
+        calls = []
+
+        def probe(part, common, idx):  # pragma: no cover - must not run
+            calls.append(idx)
+
+        backend = SerialBackend()
+        out = backend.run_ops([(probe, [[1], [2]], None, None)], collect=False)
+        assert out == [None] and calls == []
+
+    def test_multiprocess_collect_false_still_warms_the_memo(self):
+        from tests.test_backends import _sort_part
+
+        class Owner:
+            def __init__(self):
+                self._substrate = {}
+
+        from repro.mpc.backends import MultiprocessBackend
+
+        backend = MultiprocessBackend(workers=2)
+        try:
+            parts = [[(4, 1)], [(2, 9)], [(7, 7)]]
+            backend.run_ops([(_sort_part, parts, None, Owner())], collect=False)
+            shipped = backend.wire_stats()["parts_shipped"]
+            # Same content, fresh owner: every part is already cached
+            # worker-side — nothing re-ships.
+            got = backend.run_ops(
+                [(_sort_part, [list(p) for p in parts], None, Owner())]
+            )[0]
+            assert got == [sorted(p) for p in parts]
+            assert backend.wire_stats()["parts_shipped"] == shipped
+        finally:
+            backend.close()
+
+
+class TestEngineReplay:
+    def _engine(self, **kwargs) -> Engine:
+        eng = Engine(p=4, **kwargs)
+        eng.register(Relation("R1", ("A", "B"), [(i, i % 5) for i in range(60)]))
+        eng.register(Relation("R2", ("B", "C"), [(i % 5, i % 7) for i in range(60)]))
+        return eng
+
+    Q = "Q(A,B,C) :- R1(A,B), R2(B,C)"
+
+    def test_warm_execution_replays_the_traced_plan(self):
+        eng = self._engine(result_cache=False)
+        cold = eng.execute(self.Q)
+        warm = eng.execute(self.Q)
+        assert not cold.metrics.plan_replayed and warm.metrics.plan_replayed
+        assert warm.metrics.plan_ops == cold.metrics.plan_ops > 0
+        assert warm.metrics.fused_groups == 1
+        assert warm.metrics.fusion_ratio == warm.metrics.map_ops
+        assert warm.report.as_dict() == cold.report.as_dict()
+        assert warm.rows() == cold.rows()
+        assert eng.stats().plan_replays == 1
+
+    def test_plan_replay_can_be_disabled(self):
+        eng = self._engine(result_cache=False, plan_replay=False)
+        eng.execute(self.Q)
+        warm = eng.execute(self.Q)
+        assert not warm.metrics.plan_replayed
+        assert warm.metrics.plan_ops == 0
+
+    def test_register_invalidates_the_trace(self):
+        eng = self._engine(result_cache=False)
+        eng.execute(self.Q)
+        eng.register(Relation("R2", ("B", "C"), [(i % 5, i % 3) for i in range(80)]))
+        fresh = eng.execute(self.Q)
+        assert not fresh.metrics.plan_replayed  # stale schedule never replays
+        warm = eng.execute(self.Q)
+        assert warm.metrics.plan_replayed  # re-traced on the fresh versions
+        assert warm.report.as_dict() == fresh.report.as_dict()
+
+    def test_trace_plan_and_explain(self):
+        eng = self._engine()
+        plan = eng.trace_plan(self.Q)
+        assert plan.charged_units() > 0
+        assert plan.op_counts().get("MapParts", 0) >= 1
+        text = eng.explain(self.Q)
+        assert "physical plan" in text and "SampleSort" in text
+        # A served entry's own trace is reused once warm.
+        res = eng.execute(self.Q)
+        assert eng.trace_plan(self.Q) is res.prepared.trace
+
+    def test_scalar_aggregate_replays(self):
+        eng = self._engine(result_cache=False)
+        q = "Q(; count) :- R1(A,B), R2(B,C)"
+        cold = eng.execute(q)
+        warm = eng.execute(q)
+        assert warm.metrics.plan_replayed
+        assert warm.scalar == cold.scalar
+        assert warm.report.as_dict() == cold.report.as_dict()
+
+
+class TestRecordingLRU:
+    def _engine(self, **kwargs) -> Engine:
+        eng = Engine(p=3, **kwargs)
+        eng.register(Relation("R", ("A", "B"), [(i, i % 4) for i in range(40)]))
+        eng.register(Relation("S", ("B", "C"), [(i % 4, i) for i in range(40)]))
+        return eng
+
+    def test_entry_bound_evicts_least_recent(self):
+        eng = self._engine(result_cache_entries=1)
+        q1 = "Q(A,B) :- R(A,B)"
+        q2 = "Q(B,C) :- S(B,C)"
+        first = eng.execute(q1)
+        eng.execute(q2)  # evicts q1's recording
+        assert len(eng._recordings) == 1
+        again = eng.execute(q1)  # falls back to a full (re-recording) drive
+        assert not again.metrics.result_cached and not again.metrics.plan_replayed
+        assert again.report.as_dict() == first.report.as_dict()
+        assert eng.execute(q1).metrics.result_cached  # re-recorded
+
+    def test_byte_bound_is_enforced(self):
+        eng = self._engine(result_cache_bytes=1)  # nothing fits
+        q = "Q(A,B,C) :- R(A,B), S(B,C)"
+        eng.execute(q)
+        assert len(eng._recordings) == 0
+        # The unretained recording's trace dies with it (it could never
+        # replay and would only pin its recorded inputs).
+        assert all(e.trace is None for e in eng.prepared_queries())
+        warm = eng.execute(q)
+        assert not warm.metrics.result_cached and not warm.metrics.plan_replayed
+
+    def test_unbounded_when_none(self):
+        eng = self._engine(result_cache_entries=None, result_cache_bytes=None)
+        for q in ("Q(A,B) :- R(A,B)", "Q(B,C) :- S(B,C)", "Q(A,B,C) :- R(A,B), S(B,C)"):
+            eng.execute(q)
+        assert len(eng._recordings) == 3
+        assert eng._recording_bytes > 0
+
+    def test_oversized_recording_does_not_flush_the_cache(self):
+        eng = self._engine(result_cache_bytes=10_000)
+        small = "Q(A,B) :- R(A,B)"
+        eng.execute(small)
+        assert small in {e.parsed.text for e in eng.prepared_queries()
+                         if e.cached_result is not None}
+        # Shrink the budget so the next (larger) recording alone exceeds
+        # it: the small query's recording must survive untouched.
+        eng.result_cache_bytes = 1
+        eng.execute("Q(A,B,C) :- R(A,B), S(B,C)")
+        kept = {e.parsed.text for e in eng.prepared_queries()
+                if e.cached_result is not None}
+        assert small in kept
+        assert "Q(A,B,C) :- R(A,B), S(B,C)" not in kept
+
+    def test_eviction_drops_the_trace_with_the_recording(self):
+        eng = self._engine(result_cache_entries=1)
+        q1 = "Q(A,B) :- R(A,B)"
+        eng.execute(q1)
+        entry = next(e for e in eng.prepared_queries() if e.parsed.text == q1)
+        assert entry.trace is not None
+        eng.execute("Q(B,C) :- S(B,C)")  # evicts q1's recording
+        assert entry.cached_result is None and entry.trace is None
+
+    def test_register_drops_stale_traces_and_recordings(self):
+        eng = self._engine()
+        q = "Q(A,B) :- R(A,B)"
+        eng.execute(q)
+        entry = next(e for e in eng.prepared_queries() if e.parsed.text == q)
+        assert entry.trace is not None and entry.cached_result is not None
+        eng.register(Relation("R", ("A", "B"), [(i, i % 3) for i in range(50)]))
+        assert entry.trace is None and entry.cached_result is None
+        assert entry.key not in eng._recordings
+
+    def test_clear_caches_resets_the_lru(self):
+        eng = self._engine()
+        eng.execute("Q(A,B) :- R(A,B)")
+        eng.clear_caches()
+        assert len(eng._recordings) == 0 and eng._recording_bytes == 0
+
+
+def test_cli_explain_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    (tmp_path / "R1.csv").write_text("A,B\n1,2\n2,3\n")
+    (tmp_path / "R2.csv").write_text("B,C\n2,5\n3,6\n")
+    rc = main([
+        "explain", "Q(A,B,C) :- R1(A,B), R2(B,C)", str(tmp_path), "-p", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "physical plan" in out
+    assert "fusion" in out and "units" in out
+    rc = main([
+        "explain", "Q(A,B,C) :- R1(A,B), R2(B,C)", str(tmp_path), "-p", "4",
+        "--no-fuse",
+    ])
+    assert rc == 0
