@@ -113,6 +113,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="serve the workload this many times (warm-path demo)")
     s.add_argument("--threads", type=int, default=1,
                    help="submitter threads for submit_batch")
+    s.add_argument("--budget", type=float, default=None,
+                   help="wall-clock seconds per workload round; queries "
+                        "past the budget fast-fail (DeadlineExceeded)")
+    s.add_argument("--chaos", action="store_true",
+                   help="serve on the fault-injecting 'chaos' backend "
+                        "(recovery demo: results stay bit-identical)")
+    s.add_argument("--chaos-seed", type=int, default=None,
+                   help="fault-schedule seed for --chaos (default: "
+                        "REPRO_CHAOS_SEED env or 1)")
     return parser
 
 
@@ -194,15 +203,31 @@ def main(argv: list[str] | None = None) -> int:
                 line.strip() for line in fh
                 if line.strip() and not line.lstrip().startswith("#")
             ]
+        if args.chaos:
+            from repro.mpc.backends.chaos import FaultInjectingBackend
+
+            args.backend = FaultInjectingBackend(seed=args.chaos_seed)
         engine = _load_engine(args)
         report = None
         for _ in range(max(1, args.repeat)):
-            report = engine.submit_batch(workload, threads=args.threads)
+            report = engine.submit_batch(
+                workload, threads=args.threads, budget=args.budget
+            )
         assert report is not None
+        for res in report.results:
+            if not res.ok:
+                print(f"FAILED {res.metrics.text!r}: {res.metrics.error}")
         print("last round:")
         print(report.stats.summary())
         print("session totals:")
         print(engine.stats().summary())
+        fault_stats = engine.backend_fault_stats()
+        if any(fault_stats.values()):
+            print("backend faults: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(fault_stats.items()) if v
+            ))
+        if args.chaos:
+            args.backend.close()
         return 0
 
     if args.command == "classify":

@@ -65,7 +65,13 @@ from repro.data.instance import Instance
 from repro.data.relation import Relation, Row
 from repro.data.stats import stats_fingerprint
 from repro.engine.parser import Binding, ParsedQuery, parse_query
-from repro.errors import EngineError
+from repro.errors import (
+    DeadlineExceeded,
+    EngineError,
+    FaultError,
+    QueryQuarantined,
+    ReproError,
+)
 from repro.mpc.backends import Backend
 from repro.mpc.cluster import Cluster, LoadReport
 from repro.mpc.distrel import DistRelation, distribute_instance, distribute_relation
@@ -220,6 +226,19 @@ class QueryMetrics:
     #: Backend request rounds this execution issued (map dispatches on the
     #: cold path; run_ops rounds on the replay path; 0 for result serves).
     backend_requests: int = 0
+    #: The execution failed (its :class:`ExecutionResult`, if any, carries
+    #: the error); the load fields above are zero.
+    failed: bool = False
+    #: ``"ErrorType: message"`` when ``failed``.
+    error: str | None = None
+    #: The failure was a missed per-query deadline (or batch budget).
+    deadline_exceeded: bool = False
+    #: The query was re-run to completion on the serial backend after the
+    #: warm backend faulted (degradation ladder, second-to-last rung).
+    degraded_serial: bool = False
+    #: Worker faults (deaths + round timeouts) the backend absorbed while
+    #: serving this query — recovered, not failures.
+    fault_events: int = 0
 
     @property
     def fusion_ratio(self) -> float:
@@ -248,6 +267,11 @@ class QueryMetrics:
             "fused_groups": self.fused_groups,
             "fusion_ratio": self.fusion_ratio,
             "backend_requests": self.backend_requests,
+            "failed": self.failed,
+            "error": self.error,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded_serial": self.degraded_serial,
+            "fault_events": self.fault_events,
         }
 
 
@@ -274,11 +298,26 @@ class EngineStats:
     total_wall_seconds: float = 0.0
     total_wire_bytes: int = 0
     total_backend_requests: int = 0
+    failures: int = 0
+    deadline_misses: int = 0
+    #: Quarantine events (a query entered quarantine) and subsequent
+    #: fast-fails served from it.
+    quarantined: int = 0
+    quarantine_fast_fails: int = 0
+    degraded_serial: int = 0
+    fault_events: int = 0
     per_query: list[QueryMetrics] = field(default_factory=list)
     max_per_query: int | None = None
 
     def record(self, metrics: QueryMetrics) -> None:
         self.queries += 1
+        if metrics.failed:
+            self.failures += 1
+        if metrics.deadline_exceeded:
+            self.deadline_misses += 1
+        if metrics.degraded_serial:
+            self.degraded_serial += 1
+        self.fault_events += metrics.fault_events
         if metrics.plan_reused:
             self.cache_hits += 1
         else:
@@ -325,6 +364,17 @@ class EngineStats:
             f"{self.total_backend_requests} backend requests, "
             f"{self.total_wall_seconds:.3f}s wall"
         ]
+        if (
+            self.failures or self.fault_events or self.quarantined
+            or self.quarantine_fast_fails or self.degraded_serial
+        ):
+            lines.append(
+                f"  faults: {self.fault_events} absorbed, {self.failures} "
+                f"failures ({self.deadline_misses} deadline), "
+                f"{self.degraded_serial} serial degradations, "
+                f"{self.quarantined} quarantined "
+                f"(+{self.quarantine_fast_fails} fast-fails)"
+            )
         for text, gap in self.plan_gaps().items():
             lines.append(
                 f"  plan gap {gap['gap']:.2f}x (best {gap['best']} / worst "
@@ -348,6 +398,12 @@ class EngineStats:
             "total_wall_seconds": self.total_wall_seconds,
             "total_wire_bytes": self.total_wire_bytes,
             "total_backend_requests": self.total_backend_requests,
+            "failures": self.failures,
+            "deadline_misses": self.deadline_misses,
+            "quarantined": self.quarantined,
+            "quarantine_fast_fails": self.quarantine_fast_fails,
+            "degraded_serial": self.degraded_serial,
+            "fault_events": self.fault_events,
             "plan_gaps": self.plan_gaps(),
             "per_query": [m.as_dict() for m in self.per_query],
         }
@@ -361,14 +417,25 @@ class ExecutionResult:
     joins (distributed, exactly as :func:`~repro.core.runner.mpc_join`
     emits it), a :class:`~repro.data.relation.Relation` for join-project /
     group-by aggregates, or ``None`` for total aggregates (see ``scalar``).
+
+    ``error`` is ``None`` on success.  A direct :meth:`Engine.execute`
+    raises instead of returning a failed result; only
+    :meth:`Engine.submit_batch` embeds failures (so batch results stay
+    aligned with the submitted queries) — check :attr:`ok` before using
+    the payload of a batch result.
     """
 
-    prepared: PreparedQuery
+    prepared: PreparedQuery | None
     relation: DistRelation | Relation | None
     scalar: Any
     report: LoadReport
     metrics: QueryMetrics
     meta: dict[str, Any] = field(default_factory=dict)
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     def rows(self) -> list[Row]:
         if isinstance(self.relation, DistRelation):
@@ -419,6 +486,15 @@ class Engine:
             warm execution back to a (re-recording) full drive.
         result_cache_bytes: Approximate byte bound on the same LRU,
             measured via columnar blob sizes (``None`` = unbounded).
+        degrade_to_serial: When the warm backend faults past its own
+            recovery (a :class:`~repro.errors.FaultError` escapes), re-run
+            the query to completion on a scratch serial cluster — the
+            second-to-last rung of the degradation ladder — verifying the
+            result against any valid cached recording (determinism is the
+            oracle).  ``False`` skips straight to quarantine: the failure
+            is recorded and subsequent submissions of the same query
+            fast-fail with :class:`~repro.errors.QueryQuarantined` until
+            its input relations change version.
 
     Example::
 
@@ -438,6 +514,7 @@ class Engine:
         fusion: bool = True,
         result_cache_entries: int | None = 256,
         result_cache_bytes: int | None = 128 * 1024 * 1024,
+        degrade_to_serial: bool = True,
     ) -> None:
         self.p = p
         self.result_cache = result_cache
@@ -445,6 +522,7 @@ class Engine:
         self.fusion = fusion
         self.result_cache_entries = result_cache_entries
         self.result_cache_bytes = result_cache_bytes
+        self.degrade_to_serial = degrade_to_serial
         self._cluster = Cluster(p, backend=backend)
         self._group = self._cluster.root_group()
         self._lock = threading.RLock()
@@ -458,6 +536,9 @@ class Engine:
         # Recording LRU: plan key -> approx bytes, least recent first.
         self._recordings: OrderedDict[tuple, int] = OrderedDict()
         self._recording_bytes = 0
+        # plan key -> {"versions", "error"}: queries that exhausted the
+        # degradation ladder; paroled when their input versions move.
+        self._quarantine: dict[tuple, dict[str, Any]] = {}
         self._stats = EngineStats(
             p=p, backend=self._cluster.backend.name, max_per_query=1024
         )
@@ -772,13 +853,32 @@ class Engine:
     # Execute: replay the prepared plan on the warm cluster
     # ------------------------------------------------------------------
     def execute(
-        self, query: str | ParsedQuery | PreparedQuery, algorithm: str = "auto"
+        self,
+        query: str | ParsedQuery | PreparedQuery,
+        algorithm: str = "auto",
+        deadline: float | None = None,
     ) -> ExecutionResult:
         """Run a query, preparing (or reusing the cached plan) as needed.
 
         Outputs and the per-query :class:`~repro.mpc.cluster.LoadReport`
         are bit-identical to the one-shot entry points run on the same
         instance with the same resolved algorithm.
+
+        Args:
+            deadline: Seconds this call may spend executing (``None`` =
+                unbounded).  Checked cooperatively at every ledger post,
+                so an expired deadline cancels the query *between
+                simulated communication rounds* and raises
+                :class:`~repro.errors.DeadlineExceeded`; partial ledger
+                state is discarded.  A deadline miss is a failure of this
+                call only — it never quarantines the query.
+
+        Raises:
+            QueryQuarantined: The query previously exhausted the
+                degradation ladder and its input relations are unchanged.
+            DeadlineExceeded: The deadline expired mid-execution.
+            FaultError: The backend faulted past recovery and
+                ``degrade_to_serial`` is off (quarantines the query).
         """
         if isinstance(query, PreparedQuery):
             parsed, algorithm = query.parsed, query.key[2]
@@ -791,6 +891,24 @@ class Engine:
             invalidated = status == "invalidated"
             t0 = time.perf_counter()
             versions = self._current_versions(parsed)
+            held = self._quarantine.get(entry.key)
+            if held is not None:
+                if held["versions"] == versions:
+                    self._stats.quarantine_fast_fails += 1
+                    exc: ReproError = QueryQuarantined(
+                        "query is quarantined until its relations change: "
+                        + held["error"]
+                    )
+                    self._record_failure(entry, exc, t0)
+                    raise exc
+                # Data moved since the failure: parole and retry for real.
+                del self._quarantine[entry.key]
+            if deadline is not None and deadline <= 0:
+                exc = DeadlineExceeded(
+                    "deadline expired before execution began"
+                )
+                self._record_failure(entry, exc, t0)
+                raise exc
             cached = entry.cached_result
             if (
                 self.result_cache
@@ -823,161 +941,379 @@ class Engine:
                     metrics=metrics,
                     meta=dict(cached.meta),
                 )
-            wire_before = self._cluster.backend.wire_stats().get("bytes_shipped", 0)
-            requests_before = self._cluster.backend.requests
-            trace = entry.trace
-            replay_stats: dict[str, int] | None = None
+            self._cluster.deadline = (
+                time.monotonic() + deadline if deadline is not None else None
+            )
+            faults_before = self._fault_level()
+            try:
+                return self._execute_on_cluster(
+                    entry, versions, cached, t0,
+                    cache_hit, plan_reused, invalidated, faults_before,
+                )
+            except DeadlineExceeded as exc:
+                # Cooperative cancellation fired between rounds; the
+                # partial ledger is discarded.  A miss never quarantines —
+                # the same query with a looser deadline is fine.
+                self._cluster.recorder = None
+                self._cluster.reset()
+                self._record_failure(entry, exc, t0)
+                raise
+            except FaultError as exc:
+                # The backend faulted past its own recovery.  Next rung of
+                # the ladder: re-run on a scratch serial cluster; if that
+                # is off (or itself fails), quarantine the query.
+                self._cluster.recorder = None
+                self._cluster.reset()
+                if self.degrade_to_serial:
+                    try:
+                        return self._serial_degrade(
+                            entry, versions, exc, t0,
+                            cache_hit, plan_reused, invalidated,
+                            faults_before,
+                        )
+                    except DeadlineExceeded as exc2:
+                        self._record_failure(entry, exc2, t0)
+                        raise
+                    except ReproError as exc2:
+                        self._quarantine_entry(entry, versions, exc2)
+                        self._record_failure(entry, exc2, t0)
+                        raise
+                self._quarantine_entry(entry, versions, exc)
+                self._record_failure(entry, exc, t0)
+                raise
+            finally:
+                self._cluster.deadline = None
+
+    def _execute_on_cluster(
+        self,
+        entry: PreparedQuery,
+        versions: dict[str, int],
+        cached: _CachedResult | None,
+        t0: float,
+        cache_hit: bool,
+        plan_reused: bool,
+        invalidated: bool,
+        faults_before: int,
+    ) -> ExecutionResult:
+        """One execution on the warm cluster (replay or cold drive).
+
+        The fault/deadline/degradation policy lives in :meth:`execute`;
+        this method only runs and records.  Caller holds the lock and has
+        already armed ``self._cluster.deadline``.
+        """
+        wire_before = self._cluster.backend.wire_stats().get("bytes_shipped", 0)
+        requests_before = self._cluster.backend.requests
+        trace = entry.trace
+        replay_stats: dict[str, int] | None = None
+        if (
+            self.plan_replay
+            and trace is not None
+            and trace.relation_versions == versions
+            and cached is not None
+            and cached.relation_versions == versions
+        ):
+            # Warm path: replay the traced op schedule through the
+            # Executor.  Charges re-post the recorded count vectors
+            # (ledger bit-identical by construction), worker-local
+            # ops re-issue through fused run_ops batches, and the
+            # outputs are served from the recording — no Python
+            # control flow of the algorithm re-runs.
+            self._cluster.reset()
+            replay_stats = Executor(self._cluster, fusion=self.fusion).replay(
+                trace
+            )
+            report = self._cluster.snapshot()
+            relation: DistRelation | Relation | None = cached.served_relation()
+            scalar = cached.scalar
+            out_size = cached.out_size
+            meta: dict[str, Any] = dict(cached.meta)
+            meta["plan_replayed"] = True
+            self._touch_recording(entry.key)
+            recording = cached
+        else:
+            rec = TraceRecorder() if self.plan_replay else None
+            aggregate = (
+                None if entry.kind == "join"
+                else (entry.parsed.aggregate or "bool")
+            )
+            rels = self._dist_rels(entry.parsed, aggregate=aggregate)
+            self._cluster.reset()
+            self._cluster.recorder = rec
+            try:
+                if entry.kind == "join":
+                    result = run_join_algorithm(
+                        self._group, entry.parsed.query, rels,
+                        entry.algorithm, plan=entry.plan,
+                    )
+                    relation = result
+                    scalar = None
+                    out_size = result.total_size()
+                    meta = {"out_size": out_size}
+                else:
+                    relation, scalar, meta = run_aggregate_algorithm(
+                        self._group, entry.parsed.query,
+                        entry.parsed.output_attrs or (), rels,
+                        entry.parsed.semiring, algorithm=entry.algorithm,
+                    )
+                    out_size = len(relation) if relation is not None else 1
+            finally:
+                self._cluster.recorder = None
+            report = self._cluster.snapshot()
+            if rec is not None:
+                entry.trace = rec.finish(
+                    query=entry.parsed.text,
+                    kind=entry.kind,
+                    algorithm=entry.algorithm,
+                    p=self.p,
+                    backend=self.backend_name,
+                    relation_versions=versions,
+                )
+            recording = None
+        wall = time.perf_counter() - t0
+        entry.uses += 1
+        wire_bytes = (
+            self._cluster.backend.wire_stats().get("bytes_shipped", 0)
+            - wire_before
+        )
+        meta.update(
+            {
+                "algorithm": entry.algorithm,
+                "p": self.p,
+                "backend": self.backend_name,
+                "query_class": entry.query_class,
+                "wire_bytes": wire_bytes,
+            }
+        )
+        if recording is None and (self.result_cache or self.plan_replay):
+            # Record the execution in columnar form: distributed
+            # results are encoded once into shared column blocks, and
+            # the caller keeps its row-backed relation untouched —
+            # storing the compacted object itself would leave callers
+            # holding BOTH representations after their first row
+            # access, pure GC ballast for the rest of the session.
+            # The recording backs the result cache (serve without
+            # executing) AND the plan-replay path (outputs while the
+            # Executor re-charges the ledger); the LRU bounds both.
+            stored: Any = relation
+            if isinstance(relation, DistRelation):
+                blocks = relation.column_parts
+                if blocks is None:
+                    arity = len(relation.attrs)
+                    blocks = [
+                        ColumnBlock.from_rows(p, arity)
+                        for p in relation.parts
+                    ]
+                stored = _ColumnarPayload(
+                    relation.name, relation.attrs, list(blocks)
+                )
+            self._store_recording(
+                entry,
+                _CachedResult(
+                    relation_versions=versions,
+                    relation=stored,
+                    scalar=scalar,
+                    report=report,
+                    meta=dict(meta),
+                    out_size=out_size,
+                    approx_bytes=self._approx_recording_bytes(stored),
+                ),
+            )
+        plan_ops = len(entry.trace.ops) if entry.trace is not None else 0
+        map_ops = (
+            len(entry.trace.map_ops()) if entry.trace is not None else 0
+        )
+        metrics = QueryMetrics(
+            text=entry.parsed.text,
+            kind=entry.kind,
+            algorithm=entry.algorithm,
+            cache_hit=cache_hit,
+            plan_reused=plan_reused,
+            invalidated=invalidated,
+            result_cached=False,
+            load=report.load,
+            max_step_load=report.max_step_load,
+            steps=report.steps,
+            out_size=out_size,
+            wall_seconds=wall,
+            plan_quality=entry.plan_quality,
+            wire_bytes=wire_bytes,
+            plan_replayed=replay_stats is not None,
+            plan_ops=plan_ops,
+            map_ops=map_ops,
+            fused_groups=(
+                replay_stats["groups"] if replay_stats is not None else 0
+            ),
+            backend_requests=(
+                self._cluster.backend.requests - requests_before
+            ),
+            fault_events=self._fault_level() - faults_before,
+        )
+        self._stats.record(metrics)
+        return ExecutionResult(
+            prepared=entry,
+            relation=relation,
+            scalar=scalar,
+            report=report,
+            metrics=metrics,
+            meta=meta,
+        )
+
+    # ------------------------------------------------------------------
+    # Failure policy: record, quarantine, degrade (DESIGN.md section 8)
+    # ------------------------------------------------------------------
+    def _fault_level(self) -> int:
+        """Cumulative faults the backend has absorbed (deltas per query)."""
+        fs = self._cluster.backend.fault_stats()
+        return fs.get("worker_deaths", 0) + fs.get("round_timeouts", 0)
+
+    def _record_failure(
+        self, entry: PreparedQuery, exc: Exception, t0: float
+    ) -> None:
+        metrics = QueryMetrics(
+            text=entry.parsed.text,
+            kind=entry.kind,
+            algorithm=entry.algorithm,
+            cache_hit=False,
+            plan_reused=False,
+            invalidated=False,
+            result_cached=False,
+            load=0,
+            max_step_load=0,
+            steps=0,
+            out_size=0,
+            wall_seconds=time.perf_counter() - t0,
+            plan_quality=entry.plan_quality,
+            failed=True,
+            error=f"{type(exc).__name__}: {exc}",
+            deadline_exceeded=isinstance(exc, DeadlineExceeded),
+        )
+        self._stats.record(metrics)
+
+    def _quarantine_entry(
+        self, entry: PreparedQuery, versions: dict[str, int], exc: Exception
+    ) -> None:
+        """Mark the query unservable until its input versions move.
+
+        The original failure text is kept so fast-fails carry it; the
+        version snapshot is the parole condition (new data genuinely
+        changes the execution, so it deserves a fresh attempt).
+        """
+        self._quarantine[entry.key] = {
+            "versions": dict(versions),
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+        self._stats.quarantined += 1
+
+    def quarantined_queries(self) -> dict[str, str]:
+        """Currently quarantined query texts and their original errors."""
+        with self._lock:
+            out: dict[str, str] = {}
+            for key, held in self._quarantine.items():
+                entry = self._plans.get(key)
+                text = entry.parsed.text if entry is not None else str(key[0])
+                out[text] = held["error"]
+            return out
+
+    def _serial_degrade(
+        self,
+        entry: PreparedQuery,
+        versions: dict[str, int],
+        fault: Exception,
+        t0: float,
+        cache_hit: bool,
+        plan_reused: bool,
+        invalidated: bool,
+        faults_before: int,
+    ) -> ExecutionResult:
+        """Re-run a faulted query to completion on a scratch serial cluster.
+
+        The scratch cluster inherits the remaining deadline and gets
+        freshly distributed copies of the bound relations (the serving
+        caches stay warm-backend-shaped).  Because ledgers and outputs
+        are backend-independent (the conformance contract), the rerun is
+        *the same execution* — and when a recording of this query is
+        still valid, that is checked, not assumed: a ledger or size
+        mismatch means a determinism violation, which must surface, never
+        serve.
+        """
+        scratch = Cluster(self.p, backend="serial")
+        scratch.deadline = self._cluster.deadline
+        group = scratch.root_group()
+        if entry.kind == "join":
+            rels = {
+                b.edge: distribute_relation(self._bound(b), group)
+                for b in entry.parsed.bindings
+            }
+            result = run_join_algorithm(
+                group, entry.parsed.query, rels,
+                entry.algorithm, plan=entry.plan,
+            )
+            relation: DistRelation | Relation | None = result
+            scalar = None
+            out_size = result.total_size()
+            meta: dict[str, Any] = {"out_size": out_size}
+        else:
+            rels = {}
+            for b in entry.parsed.bindings:
+                rel = self._bound(b)
+                if not rel.annotated:
+                    rel = rel.with_annotations(entry.parsed.semiring)
+                rels[b.edge] = distribute_relation(rel, group, annotate=True)
+            relation, scalar, meta = run_aggregate_algorithm(
+                group, entry.parsed.query,
+                entry.parsed.output_attrs or (), rels,
+                entry.parsed.semiring, algorithm=entry.algorithm,
+            )
+            out_size = len(relation) if relation is not None else 1
+        report = scratch.snapshot()
+        cached = entry.cached_result
+        if cached is not None and cached.relation_versions == versions:
             if (
-                self.plan_replay
-                and trace is not None
-                and trace.relation_versions == versions
-                and cached is not None
-                and cached.relation_versions == versions
+                report.as_dict() != cached.report.as_dict()
+                or out_size != cached.out_size
             ):
-                # Warm path: replay the traced op schedule through the
-                # Executor.  Charges re-post the recorded count vectors
-                # (ledger bit-identical by construction), worker-local
-                # ops re-issue through fused run_ops batches, and the
-                # outputs are served from the recording — no Python
-                # control flow of the algorithm re-runs.
-                self._cluster.reset()
-                replay_stats = Executor(self._cluster, fusion=self.fusion).replay(
-                    trace
+                raise EngineError(
+                    "serial degradation diverged from the cached recording "
+                    "(determinism violation); refusing to serve"
                 )
-                report = self._cluster.snapshot()
-                relation: DistRelation | Relation | None = cached.served_relation()
-                scalar = cached.scalar
-                out_size = cached.out_size
-                meta: dict[str, Any] = dict(cached.meta)
-                meta["plan_replayed"] = True
-                self._touch_recording(entry.key)
-                recording = cached
-            else:
-                rec = TraceRecorder() if self.plan_replay else None
-                aggregate = (
-                    None if entry.kind == "join"
-                    else (entry.parsed.aggregate or "bool")
-                )
-                rels = self._dist_rels(entry.parsed, aggregate=aggregate)
-                self._cluster.reset()
-                self._cluster.recorder = rec
-                try:
-                    if entry.kind == "join":
-                        result = run_join_algorithm(
-                            self._group, entry.parsed.query, rels,
-                            entry.algorithm, plan=entry.plan,
-                        )
-                        relation = result
-                        scalar = None
-                        out_size = result.total_size()
-                        meta = {"out_size": out_size}
-                    else:
-                        relation, scalar, meta = run_aggregate_algorithm(
-                            self._group, entry.parsed.query,
-                            entry.parsed.output_attrs or (), rels,
-                            entry.parsed.semiring, algorithm=entry.algorithm,
-                        )
-                        out_size = len(relation) if relation is not None else 1
-                finally:
-                    self._cluster.recorder = None
-                report = self._cluster.snapshot()
-                if rec is not None:
-                    entry.trace = rec.finish(
-                        query=entry.parsed.text,
-                        kind=entry.kind,
-                        algorithm=entry.algorithm,
-                        p=self.p,
-                        backend=self.backend_name,
-                        relation_versions=versions,
-                    )
-                recording = None
-            wall = time.perf_counter() - t0
-            entry.uses += 1
-            wire_bytes = (
-                self._cluster.backend.wire_stats().get("bytes_shipped", 0)
-                - wire_before
-            )
-            meta.update(
-                {
-                    "algorithm": entry.algorithm,
-                    "p": self.p,
-                    "backend": self.backend_name,
-                    "query_class": entry.query_class,
-                    "wire_bytes": wire_bytes,
-                }
-            )
-            if recording is None and (self.result_cache or self.plan_replay):
-                # Record the execution in columnar form: distributed
-                # results are encoded once into shared column blocks, and
-                # the caller keeps its row-backed relation untouched —
-                # storing the compacted object itself would leave callers
-                # holding BOTH representations after their first row
-                # access, pure GC ballast for the rest of the session.
-                # The recording backs the result cache (serve without
-                # executing) AND the plan-replay path (outputs while the
-                # Executor re-charges the ledger); the LRU bounds both.
-                stored: Any = relation
-                if isinstance(relation, DistRelation):
-                    blocks = relation.column_parts
-                    if blocks is None:
-                        arity = len(relation.attrs)
-                        blocks = [
-                            ColumnBlock.from_rows(p, arity)
-                            for p in relation.parts
-                        ]
-                    stored = _ColumnarPayload(
-                        relation.name, relation.attrs, list(blocks)
-                    )
-                self._store_recording(
-                    entry,
-                    _CachedResult(
-                        relation_versions=versions,
-                        relation=stored,
-                        scalar=scalar,
-                        report=report,
-                        meta=dict(meta),
-                        out_size=out_size,
-                        approx_bytes=self._approx_recording_bytes(stored),
-                    ),
-                )
-            plan_ops = len(entry.trace.ops) if entry.trace is not None else 0
-            map_ops = (
-                len(entry.trace.map_ops()) if entry.trace is not None else 0
-            )
-            metrics = QueryMetrics(
-                text=entry.parsed.text,
-                kind=entry.kind,
-                algorithm=entry.algorithm,
-                cache_hit=cache_hit,
-                plan_reused=plan_reused,
-                invalidated=invalidated,
-                result_cached=False,
-                load=report.load,
-                max_step_load=report.max_step_load,
-                steps=report.steps,
-                out_size=out_size,
-                wall_seconds=wall,
-                plan_quality=entry.plan_quality,
-                wire_bytes=wire_bytes,
-                plan_replayed=replay_stats is not None,
-                plan_ops=plan_ops,
-                map_ops=map_ops,
-                fused_groups=(
-                    replay_stats["groups"] if replay_stats is not None else 0
-                ),
-                backend_requests=(
-                    self._cluster.backend.requests - requests_before
-                ),
-            )
-            self._stats.record(metrics)
-            return ExecutionResult(
-                prepared=entry,
-                relation=relation,
-                scalar=scalar,
-                report=report,
-                metrics=metrics,
-                meta=meta,
-            )
+        entry.uses += 1
+        meta.update(
+            {
+                "algorithm": entry.algorithm,
+                "p": self.p,
+                "backend": self.backend_name,
+                "query_class": entry.query_class,
+                "wire_bytes": 0,
+                "degraded_serial": True,
+                "degraded_from": f"{type(fault).__name__}: {fault}",
+            }
+        )
+        metrics = QueryMetrics(
+            text=entry.parsed.text,
+            kind=entry.kind,
+            algorithm=entry.algorithm,
+            cache_hit=cache_hit,
+            plan_reused=plan_reused,
+            invalidated=invalidated,
+            result_cached=False,
+            load=report.load,
+            max_step_load=report.max_step_load,
+            steps=report.steps,
+            out_size=out_size,
+            wall_seconds=time.perf_counter() - t0,
+            plan_quality=entry.plan_quality,
+            degraded_serial=True,
+            fault_events=self._fault_level() - faults_before,
+        )
+        self._stats.record(metrics)
+        return ExecutionResult(
+            prepared=entry,
+            relation=relation,
+            scalar=scalar,
+            report=report,
+            metrics=metrics,
+            meta=meta,
+        )
 
     # ------------------------------------------------------------------
     # Explain: trace a plan without executing on the serving cluster
@@ -1058,6 +1394,7 @@ class Engine:
         self,
         queries: Sequence[str | ParsedQuery | PreparedQuery],
         threads: int = 1,
+        budget: float | None = None,
     ) -> BatchReport:
         """Run many queries against the shared backend.
 
@@ -1068,23 +1405,85 @@ class Engine:
                 serialize on the shared cluster (per-query ledgers need
                 exclusive access), so >1 exercises concurrent submission,
                 not parallel simulation.
+            budget: Wall-clock seconds for the *whole batch* (``None`` =
+                unbounded).  Each query executes under the remaining
+                budget as its deadline; once the budget is spent, the
+                rest of the batch fast-fails with
+                :class:`~repro.errors.DeadlineExceeded`.
 
         Returns:
             :class:`BatchReport` with per-query results and aggregated
-            :class:`EngineStats` for just this batch.
+            :class:`EngineStats` for just this batch.  Unlike a direct
+            :meth:`execute`, a failed query does not abort the batch:
+            its :class:`ExecutionResult` carries the error (``ok`` is
+            False, the report is empty) so one poisoned query cannot
+            take the whole submission down.
         """
         if not queries:
             raise EngineError("empty batch")
+        cutoff = time.monotonic() + budget if budget is not None else None
+
+        def run(q: str | ParsedQuery | PreparedQuery) -> ExecutionResult:
+            try:
+                remaining = (
+                    cutoff - time.monotonic() if cutoff is not None else None
+                )
+                return self.execute(q, deadline=remaining)
+            except ReproError as exc:
+                return self._failed_result(q, exc)
+
         if threads <= 1:
-            results = [self.execute(q) for q in queries]
+            results = [run(q) for q in queries]
         else:
             with ThreadPoolExecutor(max_workers=threads) as pool:
-                results = list(pool.map(self.execute, queries))
+                results = list(pool.map(run, queries))
         stats = EngineStats(p=self.p, backend=self.backend_name)
         for res in results:
             stats.record(res.metrics)
-        stats.prepares = sum(1 for r in results if not r.metrics.plan_reused)
+        stats.prepares = sum(
+            1 for r in results if r.ok and not r.metrics.plan_reused
+        )
         return BatchReport(results=results, stats=stats)
+
+    def _failed_result(
+        self, query: str | ParsedQuery | PreparedQuery, exc: ReproError
+    ) -> ExecutionResult:
+        """An error embedded as a result (batch alignment; empty ledger)."""
+        if isinstance(query, PreparedQuery):
+            text = query.parsed.text
+        elif isinstance(query, ParsedQuery):
+            text = query.text
+        else:
+            text = str(query)
+        metrics = QueryMetrics(
+            text=text,
+            kind="?",
+            algorithm="?",
+            cache_hit=False,
+            plan_reused=False,
+            invalidated=False,
+            result_cached=False,
+            load=0,
+            max_step_load=0,
+            steps=0,
+            out_size=0,
+            wall_seconds=0.0,
+            plan_quality=None,
+            failed=True,
+            error=f"{type(exc).__name__}: {exc}",
+            deadline_exceeded=isinstance(exc, DeadlineExceeded),
+        )
+        return ExecutionResult(
+            prepared=None,
+            relation=None,
+            scalar=None,
+            report=LoadReport(
+                p=self.p, totals=(0,) * self.p, load=0,
+                max_step_load=0, steps=0, by_label={},
+            ),
+            metrics=metrics,
+            error=exc,
+        )
 
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
@@ -1092,18 +1491,24 @@ class Engine:
         with self._lock:
             return self._stats
 
+    def backend_fault_stats(self) -> dict:
+        """The warm backend's cumulative fault/recovery counters."""
+        with self._lock:
+            return self._cluster.backend.fault_stats()
+
     def prepared_queries(self) -> list[PreparedQuery]:
         with self._lock:
             return list(self._plans.values())
 
     def clear_caches(self) -> None:
-        """Drop prepared plans, cached relations, and recordings."""
+        """Drop prepared plans, cached relations, recordings, quarantine."""
         with self._lock:
             self._plans.clear()
             self._bound_cache.clear()
             self._dist_cache.clear()
             self._recordings.clear()
             self._recording_bytes = 0
+            self._quarantine.clear()
 
     def __repr__(self) -> str:
         return (

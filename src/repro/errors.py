@@ -47,3 +47,74 @@ class MPCError(ReproError):
 
 class AllocationError(MPCError):
     """Server allocation could not satisfy the requested sub-problem demands."""
+
+
+# ----------------------------------------------------------------------
+# Fault taxonomy (DESIGN.md section 8).
+#
+# Faults are *environmental* failures — a worker process dying, a round
+# hanging past its timeout — as opposed to the deterministic errors above
+# (bad queries, bad data, simulator misuse).  The distinction matters
+# because faults are retryable: re-executing the same pure computation on
+# a respawned worker, inline, or on the serial backend yields the exact
+# same result (the simulation is deterministic), so every layer from the
+# backend up owns a rung of the degradation ladder
+# (respawn -> resubmit -> inline -> serial -> quarantine).
+# ----------------------------------------------------------------------
+
+
+class FaultError(MPCError):
+    """Base class for recoverable environmental faults.
+
+    Catching this type is how the engine separates "retry/degrade"
+    failures from deterministic errors that would fail identically on
+    any backend.
+    """
+
+
+class WorkerDied(FaultError):
+    """A backend worker process exited (or its pipe broke) mid-round."""
+
+    def __init__(self, message: str, worker: int | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+
+
+class RoundTimeout(FaultError):
+    """A backend round did not complete within its configured timeout.
+
+    Raised internally when a worker is declared hung; surfaces to callers
+    only wrapped in :class:`RetryExhausted` (the supervisor kills and
+    respawns hung workers rather than propagating).
+    """
+
+    def __init__(self, message: str, worker: int | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+
+
+class RetryExhausted(FaultError):
+    """Recovery gave up: the retry budget is spent and degradation is off.
+
+    ``__cause__`` carries the last underlying fault (:class:`WorkerDied`
+    or :class:`RoundTimeout`).
+    """
+
+
+class DeadlineExceeded(FaultError):
+    """A query (or batch) ran past its caller-supplied deadline.
+
+    Checked cooperatively at every ledger post — i.e. between simulated
+    communication rounds — so a deadline cancels a query mid-execution,
+    not just before it starts.
+    """
+
+
+class QueryQuarantined(EngineError):
+    """The engine fast-failed a query previously marked unservable.
+
+    A query that exhausts the whole degradation ladder is quarantined:
+    until its input relations change version, further submissions raise
+    this error immediately (carrying the original failure text) instead
+    of burning the retry budget again.
+    """

@@ -22,6 +22,7 @@ from typing import Callable
 
 from repro.errors import MPCError
 from repro.mpc.backends.base import Backend, deliver_local
+from repro.mpc.backends.chaos import FaultInjectingBackend
 from repro.mpc.backends.multiprocess import MultiprocessBackend
 from repro.mpc.backends.serial import SerialBackend
 
@@ -29,6 +30,7 @@ __all__ = [
     "Backend",
     "SerialBackend",
     "MultiprocessBackend",
+    "FaultInjectingBackend",
     "deliver_local",
     "register_backend",
     "available_backends",
@@ -93,3 +95,4 @@ def shutdown_backends() -> None:
 
 register_backend("serial", SerialBackend)
 register_backend("multiprocess", MultiprocessBackend)
+register_backend("chaos", FaultInjectingBackend)

@@ -166,6 +166,20 @@ class Backend(ABC):
         """
         return {}
 
+    def fault_stats(self) -> dict:
+        """Cumulative fault and recovery counters.
+
+        In-process backends cannot fault and return ``{}``.  Supervised
+        backends report at least ``worker_deaths``, ``round_timeouts``,
+        ``respawns``, ``resubmitted_jobs``, and ``inline_degradations``;
+        fault-injecting wrappers add ``injected_*`` counters.  Like
+        :attr:`requests`, these are monotone — callers read deltas.
+        Whatever a backend counts here, its *results* must stay inside the
+        conformance contract: recovery may change wall-clock and request
+        counts, never outputs or ledgers.
+        """
+        return {}
+
     # ------------------------------------------------------------------
     def __enter__(self) -> "Backend":
         return self

@@ -1,4 +1,4 @@
-"""Shared-nothing worker-process backend.
+"""Shared-nothing worker-process backend with worker supervision.
 
 Runs the pluggable per-server compute stages (:meth:`Backend.map_parts`,
 :meth:`Backend.run_ops`) on a pool of long-lived worker processes.
@@ -16,6 +16,20 @@ Design points:
   IPC round-trip instead of one per primitive step; a plain
   ``map_parts`` call is the one-step special case of the same protocol.
   The cumulative round count is observable as :attr:`Backend.requests`.
+* **Worker supervision.**  Every round is bounded by a configurable
+  ``round_timeout``: the coordinator polls worker pipes instead of
+  blocking, so a worker that died (broken pipe, EOF) or hangs past the
+  timeout is detected, killed if needed, and **respawned alone** — the
+  rest of the pool keeps its processes and caches.  Replies already
+  received in the failed round are kept; only the failed worker's
+  unacknowledged slice is resubmitted, bounded by ``retry_budget``
+  resubmission rounds with exponential backoff.  When the budget is
+  spent the remaining slice degrades to inline (serial) execution in
+  the coordinator rather than failing the query — every step of the
+  ladder recomputes the same pure function on the same immutable parts,
+  so outputs and ledgers are bit-identical to the fault-free run (the
+  conformance grid enforces this under the ``chaos`` backend).
+  Recovery events are observable via :meth:`fault_stats`.
 * **Deterministic part affinity.**  Part ``i`` always goes to worker
   ``i mod W``, so repeated computations over the same immutable parts hit
   the same worker.
@@ -29,7 +43,9 @@ Design points:
   result bytes.  This is the cross-request analogue of the substrate's
   sorted-run cache, kept worker-local exactly so no shared mutable state
   exists between processes.  The coordinator mirrors each worker's LRU
-  bookkeeping, so cache handshakes never need an extra round trip.
+  bookkeeping, so cache handshakes never need an extra round trip; a
+  respawned worker's mirror is cleared, so its memo re-seeds lazily as
+  parts are next used.
   With ``collect=False`` (plan replay: the caller's outputs are pinned by
   a recording) cached hits are answered with a tiny ack instead of the
   result bytes, and misses recompute-and-cache without shipping the
@@ -62,12 +78,13 @@ import atexit
 import os
 import pickle
 import sys
+import time
 from collections import OrderedDict
 from hashlib import blake2b
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.data.columns import pack_blob, unpack_blob
-from repro.errors import MPCError
+from repro.errors import MPCError, RetryExhausted, RoundTimeout, WorkerDied
 from repro.mpc.backends.base import Backend, deliver_local
 
 __all__ = ["MultiprocessBackend"]
@@ -76,6 +93,10 @@ _PROTO = pickle.HIGHEST_PROTOCOL
 
 #: Max memoized results per worker (LRU).  Mirrored by the coordinator.
 _CACHE_ENTRIES = 256
+
+#: Environment overrides for the supervision knobs (constructor wins).
+ROUND_TIMEOUT_ENV = "REPRO_ROUND_TIMEOUT"
+RETRY_BUDGET_ENV = "REPRO_RETRY_BUDGET"
 
 
 def _resolve_fn(ref: str) -> Callable:
@@ -106,6 +127,13 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
     wire.  A key-only job that misses the cache (the coordinator's mirror
     is best-effort) is answered with a ``"miss"`` reply, never an error;
     the coordinator re-sends the part.
+
+    A ``("sleep", seconds)`` request stalls the loop — the fault-injection
+    hook the ``chaos`` backend uses to emulate a hung worker.  A request
+    that fails to decode (corrupted bytes) terminates the worker quietly:
+    the broken pipe is the coordinator's death signal, and the supervisor
+    respawns.  Likewise a send on a pipe the supervisor already replaced
+    (the worker was declared hung) exits quietly instead of tracebacking.
     """
     for path in sys_path:
         if path not in sys.path:
@@ -117,9 +145,14 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
             req = pickle.loads(conn.recv_bytes())
         except (EOFError, OSError):
             return
+        except Exception:  # noqa: BLE001 - corrupt request: die, be respawned
+            return
         if req[0] == "stop":
             conn.close()
             return
+        if req[0] == "sleep":
+            time.sleep(req[1])
+            continue
         _kind, collect, steps = req
         replies: list[bytes] = []
         try:
@@ -158,30 +191,74 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
                         else pickle.dumps((idx, "ack", None), _PROTO)
                     )
         except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
-            conn.send_bytes(pickle.dumps(("err", repr(exc)), _PROTO))
+            try:
+                conn.send_bytes(pickle.dumps(("err", repr(exc)), _PROTO))
+            except OSError:
+                return
             continue
-        conn.send_bytes(pickle.dumps(("ok", len(replies)), _PROTO))
-        for blob in replies:
-            conn.send_bytes(blob)
+        try:
+            conn.send_bytes(pickle.dumps(("ok", len(replies)), _PROTO))
+            for blob in replies:
+                conn.send_bytes(blob)
+        except OSError:
+            return
+
+
+class _WorkerGone(Exception):
+    """Internal: one worker left a round (dead pipe or hung past timeout)."""
+
+    def __init__(self, fault: "WorkerDied | RoundTimeout") -> None:
+        self.fault = fault
 
 
 class MultiprocessBackend(Backend):
-    """Execute per-server compute on a pool of real worker processes.
+    """Execute per-server compute on a supervised pool of worker processes.
 
     Args:
         workers: Pool size; defaults to ``min(cpu_count, 8)``.  Workers are
             started lazily on the first shipped computation and shut down
             via :meth:`close` (also registered with :mod:`atexit`).
+        round_timeout: Seconds the coordinator waits on a worker's round
+            replies before declaring it hung (killed + respawned, slice
+            resubmitted).  ``None`` disables the watchdog.  Defaults to
+            the ``REPRO_ROUND_TIMEOUT`` env var, else 60s.
+        retry_budget: Resubmission rounds allowed after worker faults
+            before the remaining slice degrades.  Defaults to the
+            ``REPRO_RETRY_BUDGET`` env var, else 3.
+        backoff_base: First-retry backoff in seconds; doubles per fault
+            round (capped at 2s).  0 disables sleeping.
+        degrade_to_inline: After the retry budget is spent, run the
+            unrecovered slice inline in the coordinator (the default —
+            a degraded round, never a failed query).  ``False`` raises
+            :class:`~repro.errors.RetryExhausted` instead, for callers
+            that own a higher rung of the degradation ladder.
     """
 
     name = "multiprocess"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        round_timeout: float | None = None,
+        retry_budget: int | None = None,
+        backoff_base: float = 0.05,
+        degrade_to_inline: bool = True,
+    ) -> None:
         if workers is not None and workers < 1:
             raise MPCError(f"need at least one worker, got {workers}")
         self.workers = workers or max(1, min(os.cpu_count() or 1, 8))
+        if round_timeout is None:
+            round_timeout = float(os.environ.get(ROUND_TIMEOUT_ENV, 60.0))
+        self.round_timeout = round_timeout if round_timeout > 0 else None
+        if retry_budget is None:
+            retry_budget = int(os.environ.get(RETRY_BUDGET_ENV, 3))
+        self.retry_budget = max(0, retry_budget)
+        self.backoff_base = backoff_base
+        self.degrade_to_inline = degrade_to_inline
         self._conns: list[Any] | None = None
         self._procs: list[Any] = []
+        self._ctx: Any = None
+        self._src_paths: list[str] = []
         # Coordinator-side mirror of each worker's LRU key set.
         self._mirrors: list[OrderedDict[tuple, None]] = []
         # Cumulative wire counters (see wire_stats()).
@@ -190,6 +267,15 @@ class MultiprocessBackend(Backend):
         self._wire_baseline = 0
         self._track_baseline = bool(os.environ.get("REPRO_WIRE_BASELINE"))
         self.requests = 0
+        # Cumulative recovery counters (see fault_stats()).
+        self._fault_stats = {
+            "worker_deaths": 0,
+            "round_timeouts": 0,
+            "respawns": 0,
+            "resubmitted_jobs": 0,
+            "inline_degradations": 0,
+        }
+        self._last_fault: WorkerDied | RoundTimeout | None = None
 
     # ------------------------------------------------------------------
     def wire_stats(self) -> dict:
@@ -208,6 +294,17 @@ class MultiprocessBackend(Backend):
             "baseline_bytes": self._wire_baseline,
         }
 
+    def fault_stats(self) -> dict:
+        """Cumulative supervision counters since construction.
+
+        ``worker_deaths`` (broken pipes / EOF), ``round_timeouts`` (hung
+        workers killed by the watchdog), ``respawns`` (single-worker
+        restarts), ``resubmitted_jobs`` (jobs re-sent after a fault), and
+        ``inline_degradations`` (jobs that ran inline after the retry
+        budget was spent).  All zero on a fault-free session.
+        """
+        return dict(self._fault_stats)
+
     # ------------------------------------------------------------------
     def exchange(
         self,
@@ -218,45 +315,90 @@ class MultiprocessBackend(Backend):
         return deliver_local(outboxes, size, count_self)
 
     # ------------------------------------------------------------------
+    def _spawn_worker(self) -> tuple[Any, Any]:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child, self._src_paths, _CACHE_ENTRIES),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        return parent, proc
+
     def _start(self) -> None:
         import multiprocessing as mp
 
         method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        ctx = mp.get_context(method)
+        self._ctx = mp.get_context(method)
+        self._src_paths = [p for p in sys.path if p]
         self._conns = []
         self._procs = []
         self._mirrors = []
-        src_paths = [p for p in sys.path if p]
         for _ in range(self.workers):
-            parent, child = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child, src_paths, _CACHE_ENTRIES),
-                daemon=True,
-            )
-            proc.start()
-            child.close()
+            parent, proc = self._spawn_worker()
             self._conns.append(parent)
             self._procs.append(proc)
             self._mirrors.append(OrderedDict())
         atexit.register(self.close)
 
+    def _respawn(self, wi: int) -> None:
+        """Replace one dead/hung worker; the rest of the pool is untouched.
+
+        The fresh worker's memo starts empty, so its coordinator mirror is
+        cleared too — the content-addressed cache re-seeds lazily as parts
+        are next shipped (exactly the cold-start protocol, scoped to one
+        worker).
+        """
+        conns = self._conns
+        assert conns is not None
+        try:
+            conns[wi].close()
+        except OSError:  # pragma: no cover - close on a broken pipe
+            pass
+        proc = self._procs[wi]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1)
+            if proc.is_alive():  # pragma: no cover - terminate unstoppable
+                proc.kill()
+                proc.join(timeout=1)
+        else:
+            proc.join(timeout=1)  # reap promptly; never leave a zombie
+        conns[wi], self._procs[wi] = self._spawn_worker()
+        self._mirrors[wi] = OrderedDict()
+        self._fault_stats["respawns"] += 1
+
     def close(self) -> None:
-        if self._conns is None:
-            return
-        for conn in self._conns:
-            try:
-                conn.send_bytes(pickle.dumps(("stop",), _PROTO))
-                conn.close()
-            except OSError:
-                pass
-        for proc in self._procs:
-            proc.join(timeout=2)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
+        """Stop the pool.  Idempotent, bounded, and zombie-free.
+
+        Escalates per worker: cooperative stop + ``join(1)``, then
+        ``terminate()`` + ``join(1)``, then ``kill()`` — a hung worker can
+        delay shutdown by at most a few seconds and never outlives it.
+        """
+        conns, procs = self._conns, self._procs
         self._conns = None
         self._procs = []
         self._mirrors = []
+        if conns is None:
+            return
+        for conn in conns:
+            try:
+                conn.send_bytes(pickle.dumps(("stop",), _PROTO))
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
+        for proc in procs:
+            proc.join(timeout=1)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1)
+            if proc.is_alive():  # pragma: no cover - terminate unstoppable
+                proc.kill()
+                proc.join(timeout=1)
 
     # ------------------------------------------------------------------
     def _fingerprints(
@@ -332,16 +474,18 @@ class MultiprocessBackend(Backend):
         ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
         collect: bool = True,
     ) -> list[Any]:
-        """Execute a whole op chain in one worker round-trip (plus a miss
-        retry round when the best-effort cache mirror was stale).
+        """Execute a whole op chain in one worker round-trip, plus recovery
+        rounds when the cache mirror was stale or a worker faulted.
 
         Per-op fallbacks mirror ``map_parts``: unpicklable ``common`` or
         parts run that op inline; a non-module-level function is an error.
+        Worker deaths and hung rounds are recovered per the supervision
+        policy (respawn → resubmit → inline; see the class docstring).
         """
         results: list[Any] = [None] * len(ops)
-        # Per shipped op: (k, fn_ref, common_bytes, fn, parts, common,
-        # fps, blob getter).
-        shipped: list[tuple] = []
+        # Per shipped op k: (fn_ref, common_bytes, fps, blob getter,
+        # fn, parts, common) — the last three feed the inline rungs.
+        shipped: dict[int, tuple] = {}
         for k, (fn, parts, common, owner) in enumerate(ops):
             fn_ref = f"{fn.__module__}:{fn.__qualname__}"
             if "<locals>" in fn_ref or "<lambda>" in fn_ref:
@@ -357,9 +501,9 @@ class MultiprocessBackend(Backend):
                 fps, blobs = self._fingerprints(parts, owner)
             else:
                 fps = blobs = None
-            shipped.append(
-                (k, fn_ref, common_bytes, fn, parts, common, fps,
-                 self._blob_getter(parts, owner, blobs))
+            shipped[k] = (
+                fn_ref, common_bytes, fps,
+                self._blob_getter(parts, owner, blobs), fn, parts, common,
             )
         if not shipped:
             return results
@@ -376,8 +520,8 @@ class MultiprocessBackend(Backend):
         # and is re-sent with its part below — never an error.
         steps_by_worker: list[list[tuple]] = [[] for _ in range(w)]
         order: list[list[tuple[int, int]]] = [[] for _ in range(w)]
-        retry_info: dict[int, tuple] = {}
-        for k, fn_ref, common_bytes, fn, parts, common, fps, get_blob in shipped:
+        for k in sorted(shipped):
+            fn_ref, common_bytes, fps, get_blob, fn, parts, common = shipped[k]
             jobs: list[list[tuple]] = [[] for _ in range(w)]
             try:
                 for idx in range(len(parts)):
@@ -398,23 +542,43 @@ class MultiprocessBackend(Backend):
                             mirror.popitem(last=False)
             except Exception:  # noqa: BLE001 - unpicklable parts: run inline
                 results[k] = [fn(part, common, i) for i, part in enumerate(parts)]
+                del shipped[k]
                 continue
             results[k] = [None] * len(parts)
-            retry_info[k] = (fn_ref, common_bytes, fps, get_blob)
             for wi in range(w):
                 if jobs[wi]:
                     steps_by_worker[wi].append((fn_ref, common_bytes, jobs[wi]))
                     order[wi].extend((k, job[0]) for job in jobs[wi])
 
-        missed = self._ops_round(steps_by_worker, order, collect, results)
-        if missed:
+        missed, failed = self._ops_round(steps_by_worker, order, collect, results)
+        fault_rounds = 0
+        miss_rounds = 0
+        while missed or failed:
+            pending = sorted(set(missed) | set(failed))
+            if failed:
+                self._fault_stats["resubmitted_jobs"] += len(failed)
+                fault_rounds += 1
+                if fault_rounds > self.retry_budget:
+                    self._degrade_inline(pending, shipped, results)
+                    break
+                if self.backoff_base:
+                    time.sleep(
+                        min(self.backoff_base * (2 ** (fault_rounds - 1)), 2.0)
+                    )
+            else:
+                # Pure mirror-miss retry: one round resolves it unless the
+                # protocol is broken — degrade instead of looping forever.
+                miss_rounds += 1
+                if miss_rounds > 2:  # pragma: no cover - protocol invariant
+                    self._degrade_inline(pending, shipped, results)
+                    break
             steps2: list[list[tuple]] = [[] for _ in range(w)]
             order2: list[list[tuple[int, int]]] = [[] for _ in range(w)]
             grouped: dict[tuple[int, int], list[int]] = {}
-            for k, idx in missed:
+            for k, idx in pending:
                 grouped.setdefault((idx % w, k), []).append(idx)
             for (wi, k), idxs in sorted(grouped.items()):
-                fn_ref, common_bytes, fps, get_blob = retry_info[k]
+                fn_ref, common_bytes, fps, get_blob = shipped[k][:4]
                 idxs.sort()
                 jobs2 = [
                     (idx, fps[idx] if fps is not None else None, get_blob(idx))
@@ -422,13 +586,52 @@ class MultiprocessBackend(Backend):
                 ]
                 steps2[wi].append((fn_ref, common_bytes, jobs2))
                 order2[wi].extend((k, idx) for idx in idxs)
-            still_missed = self._ops_round(steps2, order2, collect, results)
-            if still_missed:  # pragma: no cover - protocol invariant
-                raise MPCError(
-                    f"workers missed jobs {sorted(still_missed)} even with "
-                    f"parts attached"
-                )
+            missed, failed = self._ops_round(steps2, order2, collect, results)
         return results
+
+    def _degrade_inline(
+        self,
+        jobs: Sequence[tuple[int, int]],
+        shipped: dict[int, tuple],
+        results: list[Any],
+    ) -> None:
+        """Last backend rung: run unrecovered jobs inline in the coordinator.
+
+        The functions are pure and the parts immutable, so the inline
+        results are identical to what a healthy worker would have
+        returned — a degraded round, never a wrong one.  With
+        ``degrade_to_inline=False`` the caller owns the next rung and
+        gets :class:`~repro.errors.RetryExhausted` instead.
+        """
+        if not self.degrade_to_inline:
+            raise RetryExhausted(
+                f"{len(jobs)} jobs unrecovered after {self.retry_budget} "
+                f"resubmission rounds"
+            ) from self._last_fault
+        self._fault_stats["inline_degradations"] += len(jobs)
+        for k, idx in jobs:
+            fn, parts, common = shipped[k][4:]
+            results[k][idx] = fn(parts[idx], common, idx)
+
+    # ------------------------------------------------------------------
+    def _recv(self, conn: Any, deadline: float | None) -> Any:
+        """One framed reply, bounded by the round deadline."""
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not conn.poll(remaining):
+                fault = RoundTimeout(
+                    f"worker reply not received within {self.round_timeout}s"
+                )
+                self._last_fault = fault
+                self._fault_stats["round_timeouts"] += 1
+                raise _WorkerGone(fault)
+        try:
+            return pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError) as exc:
+            fault = WorkerDied(f"worker pipe broke mid-round: {exc!r}")
+            self._last_fault = fault
+            self._fault_stats["worker_deaths"] += 1
+            raise _WorkerGone(fault) from exc
 
     def _ops_round(
         self,
@@ -436,49 +639,78 @@ class MultiprocessBackend(Backend):
         order: Sequence[list[tuple[int, int]]],
         collect: bool,
         results: list[Any],
-    ) -> list[tuple[int, int]]:
-        """One request/reply round; fills ``results``, returns missed jobs.
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """One supervised request/reply round; fills ``results``.
 
-        Replies from *every* worker are always drained, even when one of
+        Returns ``(missed, failed)``: cache-mirror misses to re-send with
+        parts attached, and jobs lost to dead or hung workers (those
+        workers are already respawned on return).  Replies received
+        before a worker fault are kept — only the unacknowledged tail of
+        the faulted worker's slice comes back in ``failed``.  Replies
+        from every *healthy* worker are always drained, even when one of
         them reports an error — a shared backend must never leave stale
-        responses in a pipe for the next call to misread.  Counts as one
-        backend request round when anything ships.
+        responses in a pipe for the next call to misread (a faulted
+        worker's pipe is replaced wholesale by the respawn, which
+        restores the same invariant).  Counts as one backend request
+        round when anything ships.
         """
         conns = self._conns
         assert conns is not None
         sent: list[int] = []
+        failed: list[tuple[int, int]] = []
+        dead: list[int] = []
         for wi, steps in enumerate(steps_by_worker):
-            if steps:
+            if not steps:
+                continue
+            try:
                 conns[wi].send_bytes(
                     pickle.dumps(("ops", collect, steps), _PROTO)
                 )
                 sent.append(wi)
+            except OSError as exc:
+                # Dead before dispatch: this round's whole slice is lost
+                # (nothing was acknowledged), but the pool and every other
+                # worker's round proceed untouched.
+                self._last_fault = WorkerDied(
+                    f"worker {wi} dead at dispatch: {exc!r}", worker=wi
+                )
+                self._fault_stats["worker_deaths"] += 1
+                failed.extend(order[wi])
+                dead.append(wi)
         if sent:
             self.requests += 1
 
+        deadline = (
+            time.monotonic() + self.round_timeout
+            if self.round_timeout is not None
+            else None
+        )
         missed: list[tuple[int, int]] = []
         errors: list[str] = []
-        dead: list[str] = []
         for wi in sent:
+            expected = order[wi]
+            done = 0
             try:
-                header = pickle.loads(conns[wi].recv_bytes())
+                header = self._recv(conns[wi], deadline)
                 if header[0] == "err":
                     errors.append(f"worker {wi}: {header[1]}")
                     continue
-                expected = order[wi]
                 for j in range(header[1]):
-                    idx, status, value = pickle.loads(conns[wi].recv_bytes())
+                    idx, status, value = self._recv(conns[wi], deadline)
                     k = expected[j][0]
                     if status == "miss":
                         missed.append((k, idx))
                     elif status == "ok":
                         results[k][idx] = value
                     # "ack": worker-side cache refreshed; nothing to store.
-            except (EOFError, OSError) as exc:  # pragma: no cover
-                dead.append(f"worker {wi} died: {exc}")
-        if dead:  # pragma: no cover - defensive: restart the whole pool
-            self.close()
-            raise MPCError("; ".join(dead))
+                    done = j + 1
+            except _WorkerGone as exc:
+                exc.fault.worker = wi
+                # Keep everything drained so far; resubmit only the tail.
+                failed.extend(expected[done:])
+                dead.append(wi)
+        for wi in dead:
+            self._respawn(wi)
         if errors:
             raise MPCError(f"map_parts failed in {'; '.join(errors)}")
-        return missed
+        return missed, failed

@@ -21,10 +21,11 @@ Initial data placement is free, matching the model.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
-from repro.errors import MPCError
+from repro.errors import DeadlineExceeded, MPCError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mpc.backends import Backend
@@ -121,6 +122,13 @@ class Cluster:
         #: ledger (duck-typed; installed by the engine/explain for the
         #: duration of one traced execution, ``None`` otherwise).
         self.recorder = None
+        #: Optional absolute ``time.monotonic()`` cutoff.  Checked at every
+        #: ledger post — i.e. between simulated communication rounds, the
+        #: natural cancellation points of the MPC model — so a caller's
+        #: deadline cancels a query *mid-execution* without backends or
+        #: algorithms knowing deadlines exist.  The engine sets and clears
+        #: it around each query.
+        self.deadline: float | None = None
         self._totals: list[int] = [0] * p
         self._step_max: int = 0
         self._steps: int = 0
@@ -136,6 +144,7 @@ class Cluster:
             counts: Units received per listed server.
             label: Phase label for the report breakdown.
         """
+        self.check_deadline()
         if len(server_ids) != len(counts):
             raise MPCError("server_ids and counts length mismatch")
         step_total = 0
@@ -171,6 +180,7 @@ class Cluster:
         member loop — the replicas are deterministic copies, so their step
         total and step max are identical by construction.
         """
+        self.check_deadline()
         step_total = 0
         step_max = self._step_max
         for c in counts:
@@ -195,6 +205,14 @@ class Cluster:
         rec = self.recorder
         if rec is not None:
             rec.record_charge(members, counts, label)
+
+    def check_deadline(self) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceeded` past the cutoff."""
+        dl = self.deadline
+        if dl is not None and time.monotonic() > dl:
+            raise DeadlineExceeded(
+                f"query exceeded its deadline ({self._steps} ledger steps in)"
+            )
 
     def snapshot(self) -> LoadReport:
         """Current ledger as an immutable report."""

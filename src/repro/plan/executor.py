@@ -72,6 +72,10 @@ class Executor:
                     ],
                     collect=False,
                 )
+                # Charge ops check the deadline inside tally_members; this
+                # covers replays whose remaining ops are all backend rounds,
+                # so a deadline cancels between rounds either way.
+                cluster.check_deadline()
         return {
             "ops": len(ops),
             "map_ops": n_map,

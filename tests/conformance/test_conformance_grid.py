@@ -64,6 +64,39 @@ def test_backend_replay_is_deterministic(cell, challenger):
     assert second[1] == first[1], ledger_diff(first[1], second[1])
 
 
+@pytest.mark.parametrize("cell", GRID[:4], ids=CELL_IDS[:4])
+def test_chaos_cells_actually_injected_faults(cell):
+    """The chaos grid cells must not pass vacuously.
+
+    The shared ``chaos`` backend injects at its default rate, which on a
+    short run could legitimately draw zero faults.  This cell re-runs
+    under a private high-rate injector and asserts both halves of the
+    recovery oracle: faults were really injected *and* outputs/ledger
+    still match the fault-free serial reference bit for bit.
+    """
+    from repro.mpc.backends import FaultInjectingBackend, MultiprocessBackend
+
+    ref_out, ref_ledger = reference_run(cell)
+    chaos = FaultInjectingBackend(
+        inner=MultiprocessBackend(
+            workers=2, round_timeout=1.0, backoff_base=0.0
+        ),
+        seed=11, rate=0.7, kinds=("kill", "corrupt", "drop"),
+    )
+    try:
+        got_out, got_ledger = cell.run(chaos)
+        stats = chaos.fault_stats()
+        injected = sum(v for k, v in stats.items() if k.startswith("injected_"))
+        assert injected > 0, "no faults drawn — the chaos cell proved nothing"
+        assert got_out == ref_out, f"chaos changed outputs on {cell.name}"
+        assert got_ledger == ref_ledger, (
+            f"chaos changed the ledger on {cell.name}:\n"
+            + ledger_diff(ref_ledger, got_ledger)
+        )
+    finally:
+        chaos.close()
+
+
 @pytest.mark.parametrize("challenger", CHALLENGERS)
 def test_every_ledger_field_is_compared(challenger):
     """Meta-test: as_dict() exposes every LoadReport field the issue names.

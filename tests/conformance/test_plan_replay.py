@@ -82,8 +82,11 @@ def _check_replay_modes(relations: dict[str, Relation], text: str, backend: str)
         assert _payload(res) == ref_payload, f"{mode} outputs differ"
         assert res.report.as_dict() == ref_ledger, f"{mode} ledger differs"
 
-    # The round-trip reduction the fusion pass exists for.
-    if warm_fused.metrics.map_ops > 1:
+    # The round-trip reduction the fusion pass exists for.  Chaos is
+    # exempt from this one *performance* assert only: injected faults add
+    # recovery round-trips that can deterministically swamp the fusion
+    # saving.  Its correctness asserts above still bind.
+    if warm_fused.metrics.map_ops > 1 and backend != "chaos":
         assert (
             warm_fused.metrics.backend_requests
             < warm_unfused.metrics.backend_requests
