@@ -122,6 +122,9 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--chaos-seed", type=int, default=None,
                    help="fault-schedule seed for --chaos (default: "
                         "REPRO_CHAOS_SEED env or 1)")
+    s.add_argument("--no-pipeline", action="store_true",
+                   help="await every replay round synchronously instead of "
+                        "overlapping charge posting with in-flight rounds")
     return parser
 
 
@@ -132,7 +135,11 @@ def _load_engine(args) -> "Engine":
     from repro.engine import Engine
     from repro.io import read_relation_csv
 
-    engine = Engine(p=args.servers, backend=args.backend)
+    engine = Engine(
+        p=args.servers,
+        backend=args.backend,
+        pipeline=not getattr(args, "no_pipeline", False),
+    )
     for path in sorted(Path(args.data_dir).glob("*.csv")):
         engine.register(read_relation_csv(path))
     return engine

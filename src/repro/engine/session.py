@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.planner import price_fold_orders
-from repro.data.columns import ColumnBlock
+from repro.data.columns import ColumnBlock, pack_blob
 from repro.core.runner import (
     ALGORITHMS,
     auto_algorithm,
@@ -128,9 +128,9 @@ class _CachedResult:
     report: LoadReport
     meta: dict[str, Any]
     out_size: int
-    #: Approximate resident bytes (columnar blob sizes) — the unit the
-    #: engine's recording LRU budgets against.
-    approx_bytes: int = 0
+    #: Resident bytes (packed columnar blob sizes, byte-exact) — the unit
+    #: the engine's recording LRU budgets against.
+    stored_bytes: int = 0
 
     def served_relation(self) -> Any:
         rel = self.relation
@@ -480,12 +480,21 @@ class Engine:
         fusion: Batch adjacent worker-local ops of a replayed plan into
             single backend requests (default); ``False`` dispatches one
             request per op (the unfused baseline).
+        pipeline: Dispatch replayed backend rounds asynchronously
+            (default): the executor posts ledger charges while a round is
+            in flight, and — because each warm replay runs on its own
+            scratch ledger over the shared backend — concurrent
+            :meth:`submit_batch` submitters overlap whole queries instead
+            of serializing on the engine lock.  ``False`` awaits every
+            round synchronously (the PR-5 behaviour, kept as the
+            benchmark baseline).
         result_cache_entries: LRU bound on recorded executions held by
             the session (``None`` = unbounded).  Recordings back both the
             result cache and plan replay; evicting one falls the next
             warm execution back to a (re-recording) full drive.
-        result_cache_bytes: Approximate byte bound on the same LRU,
-            measured via columnar blob sizes (``None`` = unbounded).
+        result_cache_bytes: Byte bound on the same LRU, measured as the
+            exact packed-blob size of each recording's column blocks
+            (``None`` = unbounded).
         degrade_to_serial: When the warm backend faults past its own
             recovery (a :class:`~repro.errors.FaultError` escapes), re-run
             the query to completion on a scratch serial cluster — the
@@ -512,6 +521,7 @@ class Engine:
         result_cache: bool = True,
         plan_replay: bool = True,
         fusion: bool = True,
+        pipeline: bool = True,
         result_cache_entries: int | None = 256,
         result_cache_bytes: int | None = 128 * 1024 * 1024,
         degrade_to_serial: bool = True,
@@ -520,6 +530,7 @@ class Engine:
         self.result_cache = result_cache
         self.plan_replay = plan_replay
         self.fusion = fusion
+        self.pipeline = pipeline
         self.result_cache_entries = result_cache_entries
         self.result_cache_bytes = result_cache_bytes
         self.degrade_to_serial = degrade_to_serial
@@ -664,20 +675,37 @@ class Engine:
     # ------------------------------------------------------------------
     # Recording LRU (backs the result cache AND plan replay)
     # ------------------------------------------------------------------
-    def _approx_recording_bytes(self, stored: Any) -> int:
+    def _recording_nbytes(self, stored: Any) -> int:
+        """Resident bytes of a recording's payload, byte-exact.
+
+        Sizes are the *packed blob* lengths of the stored column blocks —
+        the canonical resident encoding — not ``approx_nbytes()``
+        estimates: the estimate priced dictionary columns by their code
+        arrays alone, undercounting dictionary-heavy blocks (wide string
+        dictionaries can dwarf their uint8 codes) badly enough for the
+        ``result_cache_bytes`` cap to be blown in practice.  Blocks whose
+        object columns resist pickling fall back to the estimate — better
+        an approximate charge than an unrecordable execution.
+        """
+        def block_bytes(block: ColumnBlock) -> int:
+            try:
+                return len(pack_blob((), block))
+            except Exception:  # noqa: BLE001 - unpicklable values
+                return block.approx_nbytes()
+
         if isinstance(stored, _ColumnarPayload):
-            return 256 + sum(b.approx_nbytes() for b in stored.blocks)
+            return 256 + sum(block_bytes(b) for b in stored.blocks)
         if isinstance(stored, Relation):
-            return 256 + stored.columns.approx_nbytes()
+            return 256 + block_bytes(stored.columns)
         return 256
 
     def _store_recording(self, entry: PreparedQuery, recording: _CachedResult) -> None:
         """Attach a recording to its plan entry under the LRU bounds.
 
-        The LRU is keyed by plan-cache key and budgets *approximate
-        resident bytes* (columnar blob sizes) alongside an entry count,
-        so a long serving session cannot grow recording memory without
-        limit.  Evicting a recording drops both the result-cache serve
+        The LRU is keyed by plan-cache key and budgets byte-exact
+        resident sizes (packed columnar blob lengths) alongside an entry
+        count, so a long serving session cannot grow recording memory
+        without limit.  Evicting a recording drops both the result-cache serve
         and the plan-replay fast path for that entry; the next execution
         re-drives and re-records.
         """
@@ -687,7 +715,7 @@ class Engine:
             self._recording_bytes -= old
         cap_e = self.result_cache_entries
         cap_b = self.result_cache_bytes
-        if cap_b is not None and recording.approx_bytes > cap_b:
+        if cap_b is not None and recording.stored_bytes > cap_b:
             # The recording alone exceeds the byte budget: it is not
             # retained (every execution of this query re-drives) — and it
             # must not flush everyone else's recordings on its way out.
@@ -697,8 +725,8 @@ class Engine:
             entry.trace = None
             return
         entry.cached_result = recording
-        self._recordings[key] = recording.approx_bytes
-        self._recording_bytes += recording.approx_bytes
+        self._recordings[key] = recording.stored_bytes
+        self._recording_bytes += recording.stored_bytes
         while self._recordings and (
             (cap_e is not None and len(self._recordings) > cap_e)
             or (cap_b is not None and self._recording_bytes > cap_b)
@@ -941,134 +969,241 @@ class Engine:
                     metrics=metrics,
                     meta=dict(cached.meta),
                 )
-            self._cluster.deadline = (
+            deadline_at = (
                 time.monotonic() + deadline if deadline is not None else None
             )
             faults_before = self._fault_level()
-            try:
-                return self._execute_on_cluster(
-                    entry, versions, cached, t0,
+            trace = entry.trace
+            warm = (
+                self.plan_replay
+                and trace is not None
+                and trace.relation_versions == versions
+                and cached is not None
+                and cached.relation_versions == versions
+            )
+            if not warm:
+                # Cold (or re-drive) path: owns the serving cluster and
+                # its recorder, so it runs under the engine lock end to
+                # end.
+                self._cluster.deadline = deadline_at
+                try:
+                    return self._execute_on_cluster(
+                        entry, versions, t0,
+                        cache_hit, plan_reused, invalidated, faults_before,
+                    )
+                except DeadlineExceeded as exc:
+                    # Cooperative cancellation fired between rounds; the
+                    # partial ledger is discarded.  A miss never
+                    # quarantines — the same query with a looser deadline
+                    # is fine.
+                    self._cluster.recorder = None
+                    self._cluster.reset()
+                    self._record_failure(entry, exc, t0)
+                    raise
+                except FaultError as exc:
+                    self._cluster.recorder = None
+                    self._cluster.reset()
+                    return self._handle_fault(
+                        entry, versions, exc, t0, deadline_at,
+                        cache_hit, plan_reused, invalidated, faults_before,
+                    )
+                finally:
+                    self._cluster.deadline = None
+        # Warm path: replay the traced schedule on a scratch ledger over
+        # the shared backend, OUTSIDE the engine lock.  Charges are
+        # replay-pure and outputs come from the recording, so nothing
+        # per-query touches the serving cluster — concurrent submitters
+        # overlap whole replays, and the backend serializes its rounds
+        # internally (I/O lock + ordered dispatcher).
+        try:
+            return self._replay_warm(
+                entry, trace, cached, t0, deadline_at,
+                cache_hit, plan_reused, invalidated, faults_before,
+            )
+        except DeadlineExceeded as exc:
+            with self._lock:
+                self._record_failure(entry, exc, t0)
+            raise
+        except FaultError as exc:
+            with self._lock:
+                return self._handle_fault(
+                    entry, versions, exc, t0, deadline_at,
                     cache_hit, plan_reused, invalidated, faults_before,
                 )
-            except DeadlineExceeded as exc:
-                # Cooperative cancellation fired between rounds; the
-                # partial ledger is discarded.  A miss never quarantines —
-                # the same query with a looser deadline is fine.
-                self._cluster.recorder = None
-                self._cluster.reset()
-                self._record_failure(entry, exc, t0)
+
+    def _handle_fault(
+        self,
+        entry: PreparedQuery,
+        versions: dict[str, int],
+        exc: Exception,
+        t0: float,
+        deadline_at: float | None,
+        cache_hit: bool,
+        plan_reused: bool,
+        invalidated: bool,
+        faults_before: int,
+    ) -> ExecutionResult:
+        """The backend faulted past its own recovery: next rungs of the
+        ladder — re-run on a scratch serial cluster; if that is off (or
+        itself fails), quarantine the query.  Caller holds the lock.
+        """
+        if self.degrade_to_serial:
+            try:
+                return self._serial_degrade(
+                    entry, versions, exc, t0, deadline_at,
+                    cache_hit, plan_reused, invalidated,
+                    faults_before,
+                )
+            except DeadlineExceeded as exc2:
+                self._record_failure(entry, exc2, t0)
                 raise
-            except FaultError as exc:
-                # The backend faulted past its own recovery.  Next rung of
-                # the ladder: re-run on a scratch serial cluster; if that
-                # is off (or itself fails), quarantine the query.
-                self._cluster.recorder = None
-                self._cluster.reset()
-                if self.degrade_to_serial:
-                    try:
-                        return self._serial_degrade(
-                            entry, versions, exc, t0,
-                            cache_hit, plan_reused, invalidated,
-                            faults_before,
-                        )
-                    except DeadlineExceeded as exc2:
-                        self._record_failure(entry, exc2, t0)
-                        raise
-                    except ReproError as exc2:
-                        self._quarantine_entry(entry, versions, exc2)
-                        self._record_failure(entry, exc2, t0)
-                        raise
-                self._quarantine_entry(entry, versions, exc)
-                self._record_failure(entry, exc, t0)
+            except ReproError as exc2:
+                self._quarantine_entry(entry, versions, exc2)
+                self._record_failure(entry, exc2, t0)
                 raise
-            finally:
-                self._cluster.deadline = None
+        self._quarantine_entry(entry, versions, exc)
+        self._record_failure(entry, exc, t0)
+        raise exc
+
+    def _replay_warm(
+        self,
+        entry: PreparedQuery,
+        trace: PhysicalPlan,
+        cached: _CachedResult,
+        t0: float,
+        deadline_at: float | None,
+        cache_hit: bool,
+        plan_reused: bool,
+        invalidated: bool,
+        faults_before: int,
+    ) -> ExecutionResult:
+        """One warm execution: replay the traced op schedule, serve the
+        recording.
+
+        Charges re-post the recorded count vectors (ledger bit-identical
+        by construction) onto a per-call scratch ledger over the shared
+        backend, worker-local ops re-issue through fused (and pipelined)
+        ``run_ops`` batches, and the outputs are served from the
+        recording — no Python control flow of the algorithm re-runs and
+        the engine lock is NOT held.  Metric deltas (wire bytes, backend
+        requests, absorbed faults) read shared monotone counters, so
+        under concurrent submitters their per-query attribution is
+        approximate; single-threaded they are exact.
+        """
+        backend = self._cluster.backend
+        wire_before = backend.wire_stats().get("bytes_shipped", 0)
+        requests_before = backend.requests
+        scratch = Cluster(self.p, backend=backend)
+        scratch.deadline = deadline_at
+        replay_stats = Executor(
+            scratch, fusion=self.fusion, pipeline=self.pipeline
+        ).replay(trace)
+        report = scratch.snapshot()
+        relation: DistRelation | Relation | None = cached.served_relation()
+        wall = time.perf_counter() - t0
+        wire_bytes = backend.wire_stats().get("bytes_shipped", 0) - wire_before
+        meta: dict[str, Any] = dict(cached.meta)
+        meta["plan_replayed"] = True
+        meta.update(
+            {
+                "algorithm": entry.algorithm,
+                "p": self.p,
+                "backend": self.backend_name,
+                "query_class": entry.query_class,
+                "wire_bytes": wire_bytes,
+            }
+        )
+        metrics = QueryMetrics(
+            text=entry.parsed.text,
+            kind=entry.kind,
+            algorithm=entry.algorithm,
+            cache_hit=cache_hit,
+            plan_reused=plan_reused,
+            invalidated=invalidated,
+            result_cached=False,
+            load=report.load,
+            max_step_load=report.max_step_load,
+            steps=report.steps,
+            out_size=cached.out_size,
+            wall_seconds=wall,
+            plan_quality=entry.plan_quality,
+            wire_bytes=wire_bytes,
+            plan_replayed=True,
+            plan_ops=len(trace.ops),
+            map_ops=len(trace.map_ops()),
+            fused_groups=replay_stats["groups"],
+            backend_requests=backend.requests - requests_before,
+            fault_events=self._fault_level() - faults_before,
+        )
+        with self._lock:
+            entry.uses += 1
+            self._touch_recording(entry.key)
+            self._stats.record(metrics)
+        return ExecutionResult(
+            prepared=entry,
+            relation=relation,
+            scalar=cached.scalar,
+            report=report,
+            metrics=metrics,
+            meta=meta,
+        )
 
     def _execute_on_cluster(
         self,
         entry: PreparedQuery,
         versions: dict[str, int],
-        cached: _CachedResult | None,
         t0: float,
         cache_hit: bool,
         plan_reused: bool,
         invalidated: bool,
         faults_before: int,
     ) -> ExecutionResult:
-        """One execution on the warm cluster (replay or cold drive).
+        """One cold (or re-drive) execution on the warm serving cluster.
 
         The fault/deadline/degradation policy lives in :meth:`execute`;
-        this method only runs and records.  Caller holds the lock and has
-        already armed ``self._cluster.deadline``.
+        this method only runs, records a trace + recording, and reports.
+        Caller holds the lock and has already armed
+        ``self._cluster.deadline``.
         """
         wire_before = self._cluster.backend.wire_stats().get("bytes_shipped", 0)
         requests_before = self._cluster.backend.requests
-        trace = entry.trace
-        replay_stats: dict[str, int] | None = None
-        if (
-            self.plan_replay
-            and trace is not None
-            and trace.relation_versions == versions
-            and cached is not None
-            and cached.relation_versions == versions
-        ):
-            # Warm path: replay the traced op schedule through the
-            # Executor.  Charges re-post the recorded count vectors
-            # (ledger bit-identical by construction), worker-local
-            # ops re-issue through fused run_ops batches, and the
-            # outputs are served from the recording — no Python
-            # control flow of the algorithm re-runs.
-            self._cluster.reset()
-            replay_stats = Executor(self._cluster, fusion=self.fusion).replay(
-                trace
-            )
-            report = self._cluster.snapshot()
-            relation: DistRelation | Relation | None = cached.served_relation()
-            scalar = cached.scalar
-            out_size = cached.out_size
-            meta: dict[str, Any] = dict(cached.meta)
-            meta["plan_replayed"] = True
-            self._touch_recording(entry.key)
-            recording = cached
-        else:
-            rec = TraceRecorder() if self.plan_replay else None
-            aggregate = (
-                None if entry.kind == "join"
-                else (entry.parsed.aggregate or "bool")
-            )
-            rels = self._dist_rels(entry.parsed, aggregate=aggregate)
-            self._cluster.reset()
-            self._cluster.recorder = rec
-            try:
-                if entry.kind == "join":
-                    result = run_join_algorithm(
-                        self._group, entry.parsed.query, rels,
-                        entry.algorithm, plan=entry.plan,
-                    )
-                    relation = result
-                    scalar = None
-                    out_size = result.total_size()
-                    meta = {"out_size": out_size}
-                else:
-                    relation, scalar, meta = run_aggregate_algorithm(
-                        self._group, entry.parsed.query,
-                        entry.parsed.output_attrs or (), rels,
-                        entry.parsed.semiring, algorithm=entry.algorithm,
-                    )
-                    out_size = len(relation) if relation is not None else 1
-            finally:
-                self._cluster.recorder = None
-            report = self._cluster.snapshot()
-            if rec is not None:
-                entry.trace = rec.finish(
-                    query=entry.parsed.text,
-                    kind=entry.kind,
-                    algorithm=entry.algorithm,
-                    p=self.p,
-                    backend=self.backend_name,
-                    relation_versions=versions,
+        rec = TraceRecorder() if self.plan_replay else None
+        aggregate = (
+            None if entry.kind == "join"
+            else (entry.parsed.aggregate or "bool")
+        )
+        rels = self._dist_rels(entry.parsed, aggregate=aggregate)
+        self._cluster.reset()
+        self._cluster.recorder = rec
+        try:
+            if entry.kind == "join":
+                result = run_join_algorithm(
+                    self._group, entry.parsed.query, rels,
+                    entry.algorithm, plan=entry.plan,
                 )
-            recording = None
+                relation: DistRelation | Relation | None = result
+                scalar = None
+                out_size = result.total_size()
+                meta: dict[str, Any] = {"out_size": out_size}
+            else:
+                relation, scalar, meta = run_aggregate_algorithm(
+                    self._group, entry.parsed.query,
+                    entry.parsed.output_attrs or (), rels,
+                    entry.parsed.semiring, algorithm=entry.algorithm,
+                )
+                out_size = len(relation) if relation is not None else 1
+        finally:
+            self._cluster.recorder = None
+        report = self._cluster.snapshot()
+        if rec is not None:
+            entry.trace = rec.finish(
+                query=entry.parsed.text,
+                kind=entry.kind,
+                algorithm=entry.algorithm,
+                p=self.p,
+                backend=self.backend_name,
+                relation_versions=versions,
+            )
         wall = time.perf_counter() - t0
         entry.uses += 1
         wire_bytes = (
@@ -1084,7 +1219,7 @@ class Engine:
                 "wire_bytes": wire_bytes,
             }
         )
-        if recording is None and (self.result_cache or self.plan_replay):
+        if self.result_cache or self.plan_replay:
             # Record the execution in columnar form: distributed
             # results are encoded once into shared column blocks, and
             # the caller keeps its row-backed relation untouched —
@@ -1115,7 +1250,7 @@ class Engine:
                     report=report,
                     meta=dict(meta),
                     out_size=out_size,
-                    approx_bytes=self._approx_recording_bytes(stored),
+                    stored_bytes=self._recording_nbytes(stored),
                 ),
             )
         plan_ops = len(entry.trace.ops) if entry.trace is not None else 0
@@ -1137,12 +1272,10 @@ class Engine:
             wall_seconds=wall,
             plan_quality=entry.plan_quality,
             wire_bytes=wire_bytes,
-            plan_replayed=replay_stats is not None,
+            plan_replayed=False,
             plan_ops=plan_ops,
             map_ops=map_ops,
-            fused_groups=(
-                replay_stats["groups"] if replay_stats is not None else 0
-            ),
+            fused_groups=0,
             backend_requests=(
                 self._cluster.backend.requests - requests_before
             ),
@@ -1220,6 +1353,7 @@ class Engine:
         versions: dict[str, int],
         fault: Exception,
         t0: float,
+        deadline_at: float | None,
         cache_hit: bool,
         plan_reused: bool,
         invalidated: bool,
@@ -1237,7 +1371,7 @@ class Engine:
         serve.
         """
         scratch = Cluster(self.p, backend="serial")
-        scratch.deadline = self._cluster.deadline
+        scratch.deadline = deadline_at
         group = scratch.root_group()
         if entry.kind == "join":
             rels = {
@@ -1401,10 +1535,13 @@ class Engine:
         Args:
             queries: Query texts / parsed / prepared queries, executed in
                 submission order (results align with the input).
-            threads: Number of submitter threads.  Executions themselves
-                serialize on the shared cluster (per-query ledgers need
-                exclusive access), so >1 exercises concurrent submission,
-                not parallel simulation.
+            threads: Number of submitter threads.  Cold executions
+                serialize on the shared serving cluster (per-query
+                ledgers need exclusive access), but *warm replays* run
+                on per-query scratch ledgers outside the engine lock —
+                with >1 threads many queries' fused op chains flow
+                through the one shared backend concurrently, overlapping
+                at round granularity on its dispatcher.
             budget: Wall-clock seconds for the *whole batch* (``None`` =
                 unbounded).  Each query executes under the remaining
                 budget as its deadline; once the budget is spent, the

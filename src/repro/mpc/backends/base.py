@@ -28,7 +28,10 @@ shared, auditable code no backend can get subtly wrong.
 
 from __future__ import annotations
 
+import queue
+import threading
 from abc import ABC, abstractmethod
+from concurrent.futures import Future
 from typing import Any, Callable, Iterable, Sequence
 
 __all__ = ["Backend", "deliver_local"]
@@ -152,6 +155,63 @@ class Backend(ABC):
             res = self.map_parts(fn, parts, common, owner)
             out.append(res if collect else None)
         return out
+
+    # ------------------------------------------------------------------
+    # Asynchronous dispatch (the pipelined executor's seam)
+    # ------------------------------------------------------------------
+    _dispatcher: "threading.Thread | None" = None
+    _dispatch_queue: "queue.SimpleQueue | None" = None
+    #: Guards lazy dispatcher creation only (class-level: init is rare).
+    _dispatch_init_lock = threading.Lock()
+
+    def submit_ops(
+        self,
+        ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
+        collect: bool = True,
+    ) -> "Future[list[Any]]":
+        """Dispatch a :meth:`run_ops` batch asynchronously.
+
+        Returns a :class:`~concurrent.futures.Future` resolving to the
+        batch's results (or its exception).  Batches are executed by a
+        single backend-owned daemon thread in submission order, so
+        callers get the same sequential round semantics as :meth:`run_ops`
+        — the point is *overlap*: while a round is in flight on the
+        worker pool, the caller can post ledger charges or build the next
+        batch.  Thread-safe; multiple threads may submit concurrently and
+        their batches interleave at round granularity (backends guard
+        their transport with their own I/O lock for the cold path that
+        still calls :meth:`run_ops` directly).
+
+        The dispatcher thread is started lazily on first use and is a
+        daemon — it holds no resources of its own and dies with the
+        process; :meth:`close` does not need to join it.
+        """
+        fut: Future = Future()
+        q = self._dispatch_queue
+        if q is None:
+            with Backend._dispatch_init_lock:
+                q = self._dispatch_queue
+                if q is None:
+                    q = self._dispatch_queue = queue.SimpleQueue()
+                    self._dispatcher = threading.Thread(
+                        target=self._dispatch_loop,
+                        name=f"{self.name}-dispatch", daemon=True,
+                    )
+                    self._dispatcher.start()
+        q.put((fut, ops, collect))
+        return fut
+
+    def _dispatch_loop(self) -> None:
+        q = self._dispatch_queue
+        assert q is not None
+        while True:
+            fut, ops, collect = q.get()
+            if not fut.set_running_or_notify_cancel():
+                continue  # pragma: no cover - cancelled before dispatch
+            try:
+                fut.set_result(self.run_ops(ops, collect))
+            except BaseException as exc:  # noqa: BLE001 - routed to caller
+                fut.set_exception(exc)
 
     def close(self) -> None:
         """Release any resources (worker processes, pools).  Idempotent."""

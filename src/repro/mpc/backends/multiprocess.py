@@ -78,6 +78,7 @@ import atexit
 import os
 import pickle
 import sys
+import threading
 import time
 from collections import OrderedDict
 from hashlib import blake2b
@@ -110,17 +111,47 @@ def _resolve_fn(ref: str) -> Callable:
     return obj
 
 
+#: Sentinel for "this step's common has not been decoded yet" — decoding
+#: is deferred until a job actually computes, so an all-hit (ack) round
+#: never unpickles the common at all.
+_UNSET = object()
+
+
+def _decode_common(spec: Any) -> Any:
+    """Decode a step's ``common``: pickled bytes, or a shm descriptor."""
+    if isinstance(spec, tuple):
+        from repro.mpc.backends.shm import read_descriptor
+
+        return pickle.loads(read_descriptor(spec))
+    return pickle.loads(spec)
+
+
+def _decode_part(blob: Any) -> list:
+    """Decode a job's part: a wire blob, or a shm descriptor (zero-copy)."""
+    if isinstance(blob, tuple):
+        from repro.mpc.backends.shm import read_descriptor_part
+
+        return read_descriptor_part(blob)
+    return unpack_blob(blob)
+
+
 def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
     """Worker loop: batched op requests in, per-job pickled replies out.
 
     A request is ``("ops", collect, steps)``; each step is ``(fn_ref,
-    common_bytes, jobs)`` and each job ``(idx, fingerprint, part_blob)``
+    common_spec, jobs)`` and each job ``(idx, fingerprint, part_blob)``
     where ``part_blob`` is the part's wire blob
     (:func:`repro.data.columns.pack_blob` — columnar when possible,
     pickled rows otherwise; ``None`` for a key-only job the coordinator
-    believes is cached).  The cache maps ``(fn_ref, common_bytes,
-    fingerprint, idx)`` to the *pickled* reply, so a warm hit performs no
-    (de)serialization at all — the cached bytes are sent as-is.  With
+    believes is cached).  ``common_spec`` is the pickled ``common`` —
+    either the bytes themselves or, under the shared-memory backend, a
+    descriptor tuple naming where the bytes live in a mapped segment
+    (same for ``part_blob``, which then decodes zero-copy via
+    :func:`repro.data.columns.unpack_frame_block`).  The cache maps
+    ``(fn_ref, common_spec, fingerprint, idx)`` to the *pickled* reply,
+    so a warm hit performs no (de)serialization at all — the cached
+    bytes are sent as-is, and neither ``fn`` nor ``common`` is even
+    resolved unless some job in the step actually computes.  With
     ``collect`` False the caller discards results: hits and computed
     misses alike are answered with a tiny ``"ack"`` (the computation is
     still cached), which keeps fused plan-replay rounds cheap on the
@@ -156,15 +187,13 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
         _kind, collect, steps = req
         replies: list[bytes] = []
         try:
-            for fn_ref, common_bytes, jobs in steps:
-                fn = fns.get(fn_ref)
-                if fn is None:
-                    fn = fns[fn_ref] = _resolve_fn(fn_ref)
-                common = pickle.loads(common_bytes)
+            for fn_ref, common_spec, jobs in steps:
+                fn: Callable | None = None
+                common: Any = _UNSET
                 for idx, fingerprint, part_blob in jobs:
                     key = None
                     if fingerprint is not None:
-                        key = (fn_ref, common_bytes, fingerprint, idx)
+                        key = (fn_ref, common_spec, fingerprint, idx)
                         hit = cache.get(key)
                         if hit is not None:
                             cache.move_to_end(key)
@@ -178,7 +207,13 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
                                 pickle.dumps((idx, "miss", None), _PROTO)
                             )
                             continue
-                    part = unpack_blob(part_blob)
+                    if fn is None:
+                        fn = fns.get(fn_ref)
+                        if fn is None:
+                            fn = fns[fn_ref] = _resolve_fn(fn_ref)
+                    if common is _UNSET:
+                        common = _decode_common(common_spec)
+                    part = _decode_part(part_blob)
                     blob = pickle.dumps(
                         (idx, "ok", fn(part, common, idx)), _PROTO
                     )
@@ -259,6 +294,11 @@ class MultiprocessBackend(Backend):
         self._procs: list[Any] = []
         self._ctx: Any = None
         self._src_paths: list[str] = []
+        # Serializes whole rounds: the pipelined executor dispatches
+        # run_ops from a backend-owned thread while callers may still hit
+        # the cold path directly, and the worker pipes + mirrors are not
+        # otherwise thread-safe.  Reentrant so subclasses can nest.
+        self._io_lock = threading.RLock()
         # Coordinator-side mirror of each worker's LRU key set.
         self._mirrors: list[OrderedDict[tuple, None]] = []
         # Cumulative wire counters (see wire_stats()).
@@ -375,7 +415,12 @@ class MultiprocessBackend(Backend):
         Escalates per worker: cooperative stop + ``join(1)``, then
         ``terminate()`` + ``join(1)``, then ``kill()`` — a hung worker can
         delay shutdown by at most a few seconds and never outlives it.
+        The :mod:`atexit` callback registered at pool start is dropped
+        here too, so short-lived instances (engine restarts, chaos
+        wrappers, tests) do not pile up interpreter-exit callbacks that
+        would double-close respawned pools.
         """
+        atexit.unregister(self.close)
         conns, procs = self._conns, self._procs
         self._conns = None
         self._procs = []
@@ -459,6 +504,19 @@ class MultiprocessBackend(Backend):
 
         return get
 
+    def _pack_common(self, common_bytes: bytes) -> Any:
+        """Hook: transform a step's pickled ``common`` before it ships.
+
+        The base backend sends the bytes verbatim in every round's
+        request.  The shared-memory subclass interns large payloads in
+        the arena and returns a small descriptor tuple instead, so a
+        common re-used across rounds and workers crosses the pipe once as
+        bytes and thereafter as a few dozen descriptor bytes.  Whatever
+        this returns becomes part of the worker cache key, so it must be
+        stable per content.
+        """
+        return common_bytes
+
     # ------------------------------------------------------------------
     def map_parts(
         self,
@@ -481,7 +539,18 @@ class MultiprocessBackend(Backend):
         parts run that op inline; a non-module-level function is an error.
         Worker deaths and hung rounds are recovered per the supervision
         policy (respawn → resubmit → inline; see the class docstring).
+        Rounds are serialized under the backend's I/O lock, so one
+        backend instance may be driven from several threads (the
+        pipelined executor and cold-path callers) concurrently.
         """
+        with self._io_lock:
+            return self._run_ops(ops, collect)
+
+    def _run_ops(
+        self,
+        ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
+        collect: bool,
+    ) -> list[Any]:
         results: list[Any] = [None] * len(ops)
         # Per shipped op k: (fn_ref, common_bytes, fps, blob getter,
         # fn, parts, common) — the last three feed the inline rungs.
@@ -493,7 +562,7 @@ class MultiprocessBackend(Backend):
                     f"map_parts functions must be module-level, got {fn_ref}"
                 )
             try:
-                common_bytes = pickle.dumps(common, _PROTO)
+                common_spec = self._pack_common(pickle.dumps(common, _PROTO))
             except Exception:  # noqa: BLE001 - unpicklable common: run inline
                 results[k] = [fn(part, common, i) for i, part in enumerate(parts)]
                 continue
@@ -502,7 +571,7 @@ class MultiprocessBackend(Backend):
             else:
                 fps = blobs = None
             shipped[k] = (
-                fn_ref, common_bytes, fps,
+                fn_ref, common_spec, fps,
                 self._blob_getter(parts, owner, blobs), fn, parts, common,
             )
         if not shipped:
@@ -521,7 +590,7 @@ class MultiprocessBackend(Backend):
         steps_by_worker: list[list[tuple]] = [[] for _ in range(w)]
         order: list[list[tuple[int, int]]] = [[] for _ in range(w)]
         for k in sorted(shipped):
-            fn_ref, common_bytes, fps, get_blob, fn, parts, common = shipped[k]
+            fn_ref, common_spec, fps, get_blob, fn, parts, common = shipped[k]
             jobs: list[list[tuple]] = [[] for _ in range(w)]
             try:
                 for idx in range(len(parts)):
@@ -530,7 +599,7 @@ class MultiprocessBackend(Backend):
                     if fp is None:
                         jobs[wi].append((idx, None, get_blob(idx)))
                         continue
-                    key = (fn_ref, common_bytes, fp, idx)
+                    key = (fn_ref, common_spec, fp, idx)
                     mirror = self._mirrors[wi]
                     if key in mirror:
                         mirror.move_to_end(key)
@@ -547,7 +616,7 @@ class MultiprocessBackend(Backend):
             results[k] = [None] * len(parts)
             for wi in range(w):
                 if jobs[wi]:
-                    steps_by_worker[wi].append((fn_ref, common_bytes, jobs[wi]))
+                    steps_by_worker[wi].append((fn_ref, common_spec, jobs[wi]))
                     order[wi].extend((k, job[0]) for job in jobs[wi])
 
         missed, failed = self._ops_round(steps_by_worker, order, collect, results)
@@ -578,13 +647,13 @@ class MultiprocessBackend(Backend):
             for k, idx in pending:
                 grouped.setdefault((idx % w, k), []).append(idx)
             for (wi, k), idxs in sorted(grouped.items()):
-                fn_ref, common_bytes, fps, get_blob = shipped[k][:4]
+                fn_ref, common_spec, fps, get_blob = shipped[k][:4]
                 idxs.sort()
                 jobs2 = [
                     (idx, fps[idx] if fps is not None else None, get_blob(idx))
                     for idx in idxs
                 ]
-                steps2[wi].append((fn_ref, common_bytes, jobs2))
+                steps2[wi].append((fn_ref, common_spec, jobs2))
                 order2[wi].extend((k, idx) for idx in idxs)
             missed, failed = self._ops_round(steps2, order2, collect, results)
         return results

@@ -14,6 +14,20 @@ Replay walks the plan's ops in order:
   population) and may skip shipping result payloads back;
 * structural ops are no-ops.
 
+With ``pipeline=True`` (the default) fused groups are dispatched
+asynchronously through :meth:`Backend.submit_ops`: while a round is in
+flight on the worker pool, the replay loop keeps walking the plan —
+posting the next stretch of ledger charges and building the next group's
+op batch — so coordinator-side bookkeeping overlaps backend I/O instead
+of alternating with it.  This is safe precisely because of the replay
+contract: with ``collect=False`` nothing downstream in the *plan* reads a
+round's results, charges are replay-pure, and the backend executes
+submitted batches in order, so the observable outcome (ledger, worker
+memo state, outputs from the recording) is identical to the sequential
+walk.  All in-flight rounds are drained before :meth:`Executor.replay`
+returns — errors propagate, a deadline can still cancel between rounds,
+and the caller's snapshot/metrics read a quiescent backend.
+
 The replay contract (what a replay may and may not change) is stated in
 DESIGN.md section 7; its validity condition — unchanged registered
 relation versions — is enforced by the caller (the engine), exactly like
@@ -38,11 +52,18 @@ class Executor:
         fusion: Batch worker-local runs into single ``run_ops`` requests;
             when False, each worker-local op is its own request (the
             unfused baseline the benchmarks gate against).
+        pipeline: Overlap charge posting with in-flight backend rounds
+            via :meth:`Backend.submit_ops` (see module docstring).  When
+            False, every round is dispatched and awaited synchronously —
+            the PR-5 behaviour, kept as the benchmark baseline.
     """
 
-    def __init__(self, cluster: Any, fusion: bool = True) -> None:
+    def __init__(
+        self, cluster: Any, fusion: bool = True, pipeline: bool = True
+    ) -> None:
         self.cluster = cluster
         self.fusion = fusion
+        self.pipeline = pipeline
 
     def replay(self, plan: PhysicalPlan) -> dict[str, int]:
         """Execute the plan; returns replay stats for the caller's metrics.
@@ -58,24 +79,46 @@ class Executor:
         flush_after = {group[-1]: group for group in groups}
         ops = plan.ops
         n_map = 0
-        for i, op in enumerate(ops):
-            if isinstance(op, Charge):
-                tally(op.members, op.counts, op.label)
-            elif isinstance(op, MapParts):
-                n_map += 1
-            group = flush_after.get(i)
-            if group is not None:
-                backend.run_ops(
-                    [
+        pending: list[Any] = []  # in-flight Futures, submission order
+        try:
+            for i, op in enumerate(ops):
+                if isinstance(op, Charge):
+                    tally(op.members, op.counts, op.label)
+                elif isinstance(op, MapParts):
+                    n_map += 1
+                group = flush_after.get(i)
+                if group is not None:
+                    batch = [
                         (ops[j].fn, ops[j].parts, ops[j].common, ops[j].owner)
                         for j in group
-                    ],
-                    collect=False,
-                )
-                # Charge ops check the deadline inside tally_members; this
-                # covers replays whose remaining ops are all backend rounds,
-                # so a deadline cancels between rounds either way.
-                cluster.check_deadline()
+                    ]
+                    if self.pipeline:
+                        pending.append(backend.submit_ops(batch, collect=False))
+                    else:
+                        backend.run_ops(batch, collect=False)
+                    # Charge ops check the deadline inside tally_members;
+                    # this covers replays whose remaining ops are all
+                    # backend rounds, so a deadline cancels between rounds
+                    # either way.  (Pipelined, "between rounds" means
+                    # between *submissions* — in-flight rounds are bounded
+                    # by the backend's own round timeout.)
+                    cluster.check_deadline()
+        finally:
+            # Drain every in-flight round before control returns: the
+            # caller reads metrics and may mutate relations next, and a
+            # backend fault must surface from *this* replay, not a later
+            # one.  Even when the loop above raised, all submitted rounds
+            # are awaited (their faults are suppressed in favour of the
+            # original error).
+            drain_error: BaseException | None = None
+            for fut in pending:
+                try:
+                    fut.result()
+                except BaseException as exc:  # noqa: BLE001 - first wins
+                    if drain_error is None:
+                        drain_error = exc
+        if drain_error is not None:
+            raise drain_error
         return {
             "ops": len(ops),
             "map_ops": n_map,

@@ -314,3 +314,74 @@ class TestLoadReport:
         report = self._report()
         assert str(report) == report.summary()
         assert "load=7" in str(report)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle and async dispatch
+# ----------------------------------------------------------------------
+
+class TestLifecycle:
+    def test_close_unregisters_atexit_callback(self):
+        """Regression: close() used to leave its atexit registration
+        behind, so every create/close cycle kept the closed backend (and
+        its pipes/mirrors) alive for the life of the process.  The
+        registration holds a bound method, so liveness is the observable:
+        once close() has unregistered, nothing pins the instance.
+        (atexit._ncallbacks() cannot see this — unregistered slots are
+        NULLed in place, never removed from the count.)"""
+        import gc
+        import weakref
+
+        backend = MultiprocessBackend(workers=2)
+        backend.map_parts(_len_part, [[1], [2]])  # starts the pool
+        backend.close()
+        ref = weakref.ref(backend)
+        del backend
+        gc.collect()
+        assert ref() is None, "closed backend still referenced (atexit leak)"
+
+    def test_close_terminates_all_workers(self):
+        backend = MultiprocessBackend(workers=2)
+        backend.map_parts(_len_part, [[1], [2]])
+        procs = list(backend._procs)
+        assert procs and all(p.is_alive() for p in procs)
+        backend.close()
+        for p in procs:
+            p.join(timeout=5)
+        assert not any(p.is_alive() for p in procs)
+        backend.close()  # idempotent
+
+
+class TestSubmitOps:
+    def test_results_match_run_ops_in_submission_order(self, mp_backend):
+        batches = [
+            [(_sort_part, [[3, 1], [2]], None, None)],
+            [(_len_part, [[1, 2, 3], []], None, None)],
+            [(_sort_part, [[9, 8, 7]], None, None)],
+        ]
+        futures = [mp_backend.submit_ops(b) for b in batches]
+        got = [f.result(timeout=30) for f in futures]
+        assert got == [
+            [[[1, 3], [2]]],
+            [[3, 0]],
+            [[[7, 8, 9]]],
+        ]
+
+    def test_collect_false_returns_none_entries(self, mp_backend):
+        fut = mp_backend.submit_ops(
+            [(_sort_part, [[2, 1]], None, None)], collect=False
+        )
+        res = fut.result(timeout=30)
+        assert len(res) == 1 and res[0] in (None, [None])
+
+    def test_errors_surface_on_the_future(self, mp_backend):
+        fut = mp_backend.submit_ops([(_boom, [[1]], None, None)])
+        with pytest.raises(MPCError, match="intentional failure"):
+            fut.result(timeout=30)
+        # The dispatcher thread survives a failed batch.
+        ok = mp_backend.submit_ops([(_sort_part, [[5, 4]], None, None)])
+        assert ok.result(timeout=30) == [[[4, 5]]]
+
+    def test_serial_backend_supports_submit_ops(self):
+        fut = SerialBackend().submit_ops([(_len_part, [[1], []], None, None)])
+        assert fut.result(timeout=30) == [[1, 0]]

@@ -1,0 +1,143 @@
+"""Backend selection precedence across the engine-backed CLI commands.
+
+The contract (DESIGN.md, the registry docstring): an explicit
+``--backend`` flag beats the ``REPRO_BACKEND`` environment variable,
+which beats the built-in ``serial`` default — for every subcommand that
+builds an engine (``query``, ``serve``, ``explain``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cli as cli
+from repro.data.generators import random_instance
+from repro.io import write_instance_dir
+from repro.mpc.backends import shm_supported, shutdown_backends
+from repro.query import catalog
+
+QUERY = "Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)"
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    inst = random_instance(catalog.line3(), 40, 6, seed=7)
+    path = tmp_path_factory.mktemp("cli") / "data"
+    write_instance_dir(inst, path)
+    return str(path)
+
+
+@pytest.fixture
+def queries_file(tmp_path):
+    path = tmp_path / "queries.txt"
+    path.write_text(f"# workload\n{QUERY}\n")
+    return str(path)
+
+
+@pytest.fixture
+def capture_engine(monkeypatch):
+    """Run the real CLI but record the engine each command builds."""
+    captured: dict = {}
+    original = cli._load_engine
+
+    def spy(args):
+        engine = original(args)
+        captured["backend_arg"] = args.backend
+        captured["engine"] = engine
+        return engine
+
+    monkeypatch.setattr(cli, "_load_engine", spy)
+    yield captured
+    shutdown_backends()
+
+
+def _run(command, data_dir, extra=(), queries_file=None):
+    if command == "serve":
+        argv = ["serve", data_dir, "--queries", queries_file, *extra]
+    else:
+        argv = [command, QUERY, data_dir, *extra]
+    assert cli.main(argv) == 0
+
+
+ENGINE_COMMANDS = ("query", "explain", "serve")
+
+
+class TestBackendPrecedence:
+    @pytest.mark.parametrize("command", ENGINE_COMMANDS)
+    def test_default_is_serial(
+        self, command, data_dir, queries_file, capture_engine, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        _run(command, data_dir, queries_file=queries_file)
+        assert capture_engine["backend_arg"] == "serial"
+        assert capture_engine["engine"].backend_name == "serial"
+
+    @pytest.mark.parametrize("command", ENGINE_COMMANDS)
+    def test_env_var_overrides_default(
+        self, command, data_dir, queries_file, capture_engine, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BACKEND", "multiprocess")
+        _run(command, data_dir, queries_file=queries_file)
+        assert capture_engine["backend_arg"] == "multiprocess"
+        assert capture_engine["engine"].backend_name == "multiprocess"
+
+    @pytest.mark.parametrize("command", ENGINE_COMMANDS)
+    def test_flag_overrides_env_var(
+        self, command, data_dir, queries_file, capture_engine, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BACKEND", "multiprocess")
+        _run(
+            command, data_dir,
+            extra=["--backend", "serial"],
+            queries_file=queries_file,
+        )
+        assert capture_engine["backend_arg"] == "serial"
+        assert capture_engine["engine"].backend_name == "serial"
+
+    @pytest.mark.skipif(not shm_supported(), reason="no shared memory here")
+    @pytest.mark.parametrize("command", ENGINE_COMMANDS)
+    def test_shm_backend_via_flag(
+        self, command, data_dir, queries_file, capture_engine, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        _run(
+            command, data_dir,
+            extra=["--backend", "shm"],
+            queries_file=queries_file,
+        )
+        assert capture_engine["backend_arg"] == "shm"
+        assert capture_engine["engine"].backend_name == "shm"
+
+    @pytest.mark.skipif(not shm_supported(), reason="no shared memory here")
+    def test_shm_backend_via_env(
+        self, data_dir, queries_file, capture_engine, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BACKEND", "shm")
+        _run("serve", data_dir, queries_file=queries_file)
+        assert capture_engine["backend_arg"] == "shm"
+        assert capture_engine["engine"].backend_name == "shm"
+
+    def test_unknown_backend_flag_is_rejected(self, data_dir, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["query", QUERY, data_dir, "--backend", "bogus"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestServePipelineFlag:
+    def test_pipeline_defaults_on(self, data_dir, queries_file, capture_engine):
+        _run("serve", data_dir, queries_file=queries_file)
+        assert capture_engine["engine"].pipeline is True
+
+    def test_no_pipeline_flag(self, data_dir, queries_file, capture_engine):
+        _run(
+            "serve", data_dir,
+            extra=["--no-pipeline"],
+            queries_file=queries_file,
+        )
+        assert capture_engine["engine"].pipeline is False
+
+    def test_query_and_explain_default_to_pipelined(
+        self, data_dir, capture_engine
+    ):
+        _run("query", data_dir)
+        assert capture_engine["engine"].pipeline is True

@@ -34,7 +34,11 @@ from repro.errors import (
     RoundTimeout,
     WorkerDied,
 )
-from repro.mpc.backends import FaultInjectingBackend, MultiprocessBackend
+from repro.mpc.backends import (
+    FaultInjectingBackend,
+    MultiprocessBackend,
+    available_backends,
+)
 from repro.mpc.cluster import Cluster
 from repro.query import catalog
 
@@ -341,6 +345,64 @@ class TestChaosBackend:
                 assert got.report.as_dict() == want.report.as_dict()
         finally:
             chaos.close()
+
+    def test_engine_metrics_see_wire_and_fault_stats_through_chaos(self):
+        """Regression guard for the metrics path under injection: the
+        wrapper must delegate wire_stats/fault_stats/requests to its
+        inner backend, or every per-query delta the engine reports
+        (wire_bytes, backend_requests, fault_events) reads as zero."""
+        chaos = FaultInjectingBackend(
+            inner=MultiprocessBackend(
+                workers=2, round_timeout=1.0, backoff_base=0.0
+            ),
+            seed=3, rate=1.0, kinds=("kill",),
+        )
+        eng = Engine(p=4, backend=chaos, result_cache=False)
+        try:
+            for name, rel in _binary_relations().items():
+                eng.register(rel, name=name)
+            cold = eng.execute(BINARY)
+            assert cold.metrics.wire_bytes > 0
+            assert cold.meta["wire_bytes"] == cold.metrics.wire_bytes
+            assert cold.metrics.backend_requests > 0
+            # Every round drew a kill, so the inner pool's absorbed
+            # faults must be visible through the wrapper's delta.
+            assert cold.metrics.fault_events > 0
+            stats = chaos.wire_stats()
+            assert stats["bytes_shipped"] >= cold.metrics.wire_bytes
+            fs = chaos.fault_stats()
+            assert fs["injected_kill"] > 0 and fs["worker_deaths"] > 0
+        finally:
+            chaos.close()
+
+    @pytest.mark.skipif(
+        "shm" not in available_backends(), reason="no shared memory here"
+    )
+    def test_chaos_wraps_a_private_shm_inner(self):
+        """inner="shm" builds a private SharedMemoryBackend (never the
+        registry's shared instance) and stays bit-identical; closing the
+        wrapper unlinks the private arena."""
+        from repro.mpc.backends import get_backend
+        from repro.mpc.backends.shm import SharedMemoryBackend
+
+        chaos = FaultInjectingBackend(inner="shm", seed=4, rate=0.5)
+        assert isinstance(chaos.inner, SharedMemoryBackend)
+        assert chaos.inner is not get_backend("shm")
+        ref = Engine(p=4, backend="serial", result_cache=False)
+        eng = Engine(p=4, backend=chaos, result_cache=False)
+        try:
+            for name, rel in _binary_relations().items():
+                ref.register(rel, name=name)
+                eng.register(rel, name=name)
+            for _ in range(3):
+                want = ref.execute(BINARY)
+                got = eng.execute(BINARY)
+                assert sorted(got.rows()) == sorted(want.rows())
+                assert got.report.as_dict() == want.report.as_dict()
+        finally:
+            chaos.close()
+        # close() destroyed the private arena: nothing left to unlink.
+        assert chaos.inner.wire_stats()["shm_segments"] == 0
 
     def test_drop_re_drives_the_round(self):
         backend = FaultInjectingBackend(

@@ -286,6 +286,34 @@ class TestRecordingLRU:
         warm = eng.execute(q)
         assert not warm.metrics.result_cached and not warm.metrics.plan_replayed
 
+    def test_dictionary_heavy_recordings_are_priced_byte_exact(self):
+        """Regression: the old `256 + approx_nbytes()` accounting priced a
+        dictionary column by its narrow code array alone, so a recording
+        whose dictionary held a few large values (KBs of string/bytes per
+        distinct value over 1-byte codes) was admitted at a tiny fraction
+        of its resident size and blew the result_cache_bytes cap.  The
+        accounting now measures the packed blob, so the cap must reject
+        such a recording outright."""
+        import random
+
+        rng = random.Random(11)
+        blobs = [rng.randbytes(10_000) for _ in range(4)]  # incompressible
+        rows = [(i, blobs[i % 4]) for i in range(100)]
+        q = "Q(A,B) :- R(A,B)"
+
+        capped = Engine(p=3, result_cache_bytes=20_000)
+        capped.register(Relation("R", ("A", "B"), rows))
+        capped.execute(q)
+        # Resident size is ~40 KB of dictionary values; the code arrays
+        # the old estimate priced are ~100 bytes.  The cap must hold.
+        assert len(capped._recordings) == 0
+        assert capped._recording_bytes == 0
+
+        unbounded = Engine(p=3, result_cache_bytes=None)
+        unbounded.register(Relation("R", ("A", "B"), rows))
+        unbounded.execute(q)
+        assert unbounded._recording_bytes > 30_000  # dictionaries counted
+
     def test_unbounded_when_none(self):
         eng = self._engine(result_cache_entries=None, result_cache_bytes=None)
         for q in ("Q(A,B) :- R(A,B)", "Q(B,C) :- S(B,C)", "Q(A,B,C) :- R(A,B), S(B,C)"):
