@@ -30,6 +30,8 @@ import sys
 import time
 from pathlib import Path
 
+from _common import finish_payload
+
 from repro.core.runner import mpc_join
 from repro.data.generators import line_trap_instance
 from repro.data.relation import Relation
@@ -160,7 +162,7 @@ def main(argv: list[str]) -> None:
         Path(paths[0]) if paths
         else Path(__file__).parent.parent / "BENCH_backends.json"
     )
-    data = bench(quick=quick)
+    data = finish_payload(bench(quick=quick))
     out_path.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {out_path}")
     wins = [w for w in data["workloads"] if w["multiprocess_wins_warm"]]

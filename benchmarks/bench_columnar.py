@@ -32,6 +32,8 @@ import sys
 import time
 from pathlib import Path
 
+from _common import finish_payload
+
 os.environ.setdefault("REPRO_WIRE_BASELINE", "1")
 
 from repro.core.runner import mpc_join  # noqa: E402
@@ -209,7 +211,7 @@ def main(argv: list[str]) -> None:
         Path(paths[0]) if paths
         else Path(__file__).parent.parent / "BENCH_columnar.json"
     )
-    data = bench(quick=quick)
+    data = finish_payload(bench(quick=quick))
     out_path.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {out_path}")
     if check:

@@ -41,6 +41,8 @@ import sys
 import time
 from pathlib import Path
 
+from _common import finish_payload
+
 from repro.core.runner import mpc_join, mpc_join_aggregate
 from repro.data.generators import line_trap_instance, random_instance
 from repro.data.instance import Instance
@@ -245,7 +247,7 @@ def main(argv: list[str]) -> None:
         Path(paths[0]) if paths
         else Path(__file__).parent.parent / "BENCH_engine.json"
     )
-    data = bench(quick=quick, backends=backends)
+    data = finish_payload(bench(quick=quick, backends=backends))
     out_path.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {out_path}")
     losses = [b for b in data["backends"] if not b["engine_wins_warm"]]

@@ -25,6 +25,8 @@ import sys
 import time
 from pathlib import Path
 
+from _common import finish_payload
+
 from repro.data.generators import random_instance
 from repro.engine import Engine
 from repro.mpc.backends import FaultInjectingBackend, MultiprocessBackend
@@ -145,7 +147,7 @@ def main(argv: list[str]) -> None:
         Path(paths[0]) if paths
         else Path(__file__).parent.parent / "BENCH_faults.json"
     )
-    data = bench(quick=quick)
+    data = finish_payload(bench(quick=quick))
     out_path.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {out_path}")
     if check:

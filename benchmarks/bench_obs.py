@@ -1,0 +1,245 @@
+"""Observability overhead benchmark: tracing must be near-free when off.
+
+A mixed serving workload runs through three configurations of the same
+persistent :class:`repro.engine.Engine` session (result cache off, so
+every warm query actually executes against the backend):
+
+* **default** — observability on (the shipped default): the metrics
+  registry records per-query counters/histograms and every execute
+  carries the NULL_SPAN/WireMeter plumbing, but no tracer is attached;
+* **bare** — ``observe=False``: the registry records nothing, the same
+  code path otherwise;
+* **traced** — a live :class:`repro.obs.Tracer` writing JSONL spans.
+
+Parity is a hard gate: outputs and the full LoadReport must be
+bit-identical across all three configurations on every workload query,
+or nothing is written and the process exits non-zero.  The headline
+number is the **disabled-tracing overhead** — best default warm pass vs
+best bare warm pass — gated at <=3% (with a small absolute floor so
+sub-millisecond noise cannot flip the verdict).  The traced-on ratio is
+reported for context but not gated.
+
+Run:  python benchmarks/bench_obs.py [--quick] [--check]
+          [--backend NAME] [output.json]
+Writes ``BENCH_obs.json`` (repo root by default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from _common import finish_payload, latency_summary
+
+from repro.data.generators import line_trap_instance, random_instance
+from repro.engine import Engine
+from repro.mpc import shutdown_backends
+from repro.obs import SpanSink, Tracer
+from repro.obs.check import validate_trace_lines
+from repro.query import catalog
+
+P = 8
+
+#: Overhead gate: best default pass must be within 3% of the bare pass,
+#: or within 2ms absolute (whichever is looser) so timer jitter on a
+#: fast quick run cannot fail the gate spuriously.
+OVERHEAD_RATIO = 1.03
+OVERHEAD_FLOOR_SECONDS = 0.002
+
+
+def _base_relations(quick: bool) -> dict:
+    n = 1000 if quick else 5000
+    trap = line_trap_instance(3, n, 2 * n, doubled=True)
+    binary = random_instance(catalog.binary_join(), n, max(8, n // 40), seed=7)
+    rels = dict(trap.relations)
+    rels.update({f"S{i}": r for i, (_n, r) in enumerate(binary.relations.items(), 1)})
+    return rels
+
+
+WORKLOAD = (
+    "Q(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)",
+    "Q(A,B,C) :- S1(A,B), S2(B,C)",
+    "Q(B; count) :- R1(A,B), R2(B,C), R3(C,D)",
+)
+
+
+def _payload(res):
+    if res.metrics.kind == "join":
+        return {"attrs": res.relation.attrs, "parts": res.relation.parts}
+    return {
+        "scalar": res.scalar,
+        "rows": None if res.relation is None else list(res.relation.rows),
+        "annotations": (
+            None if res.relation is None
+            else list(res.relation.annotations or ())
+        ),
+    }
+
+
+def _engine(relations: dict, backend: str, **kwargs) -> Engine:
+    engine = Engine(p=P, backend=backend, result_cache=False, **kwargs)
+    for name, rel in relations.items():
+        engine.register(rel, name=name)
+    return engine
+
+
+def _warm_pass(engine: Engine, reps: int, inner: int):
+    """Best warm-pass wall time + per-query latency samples.
+
+    Each timed pass executes the workload ``inner`` times so a pass is
+    long enough (tens of ms in full mode) for the overhead *ratio* to
+    measure the instruments rather than timer jitter.
+    """
+    best = float("inf")
+    samples: list[float] = []
+    results = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            results = [engine.execute(text) for text in WORKLOAD]
+        best = min(best, time.perf_counter() - t0)
+        samples.extend(r.metrics.wall_seconds for r in results)
+    return best, samples, results
+
+
+def _bench_backend(backend: str, quick: bool, reps: int, trace_path: Path) -> dict:
+    inner = 3 if quick else 20
+    relations = _base_relations(quick)
+    default = _engine(relations, backend)
+    bare = _engine(relations, backend, observe=False)
+    sink = SpanSink(path=str(trace_path))
+    traced = _engine(relations, backend, tracer=Tracer(sink))
+
+    t0 = time.perf_counter()
+    cold = [default.execute(text) for text in WORKLOAD]
+    cold_seconds = time.perf_counter() - t0
+    ref = [(_payload(r), r.report.as_dict()) for r in cold]
+
+    # ---- parity gate BEFORE any timing: outputs + full ledger identical
+    for mode, engine in (("bare", bare), ("traced", traced)):
+        for text, (ref_payload, ref_ledger) in zip(WORKLOAD, ref):
+            res = engine.execute(text)
+            if _payload(res) != ref_payload:
+                raise AssertionError(f"{mode} outputs diverge on {text!r}")
+            if res.report.as_dict() != ref_ledger:
+                raise AssertionError(f"{mode} ledger diverges on {text!r}")
+
+    default_s, default_samples, default_res = _warm_pass(default, reps, inner)
+    bare_s, bare_samples, _ = _warm_pass(bare, reps, inner)
+    traced_s, _, traced_res = _warm_pass(traced, reps, inner)
+
+    # ---- warm parity too: timing passes must not have changed answers
+    for mode, results in (("default", default_res), ("traced", traced_res)):
+        for text, res, (ref_payload, ref_ledger) in zip(WORKLOAD, results, ref):
+            if _payload(res) != ref_payload or res.report.as_dict() != ref_ledger:
+                raise AssertionError(f"{mode} warm divergence on {text!r}")
+
+    sink.close()
+    lines = trace_path.read_text().splitlines()
+    errors = validate_trace_lines(lines)
+    if errors:
+        raise AssertionError(f"traced run emitted invalid spans: {errors[:3]}")
+
+    budget = max(OVERHEAD_RATIO * bare_s, bare_s + OVERHEAD_FLOOR_SECONDS)
+    row = {
+        "backend": backend,
+        "p": P,
+        "queries": len(WORKLOAD),
+        "executions_per_pass": inner * len(WORKLOAD),
+        "cold_seconds": round(cold_seconds, 4),
+        "default_warm_seconds": round(default_s, 4),
+        "bare_warm_seconds": round(bare_s, 4),
+        "traced_warm_seconds": round(traced_s, 4),
+        "disabled_overhead_ratio": (
+            round(default_s / bare_s, 4) if bare_s else None
+        ),
+        "traced_overhead_ratio": (
+            round(traced_s / bare_s, 4) if bare_s else None
+        ),
+        "overhead_within_budget": bool(default_s <= budget),
+        "spans_emitted": len(lines),
+        "latency_default": latency_summary(default_samples),
+        "latency_bare": latency_summary(bare_samples),
+        "parity_verified": True,
+    }
+    print(
+        f"{backend:13s} warm wall: default {default_s:7.4f}s vs bare "
+        f"{bare_s:7.4f}s ({row['disabled_overhead_ratio']}x, "
+        f"{'ok' if row['overhead_within_budget'] else 'OVER BUDGET'})  "
+        f"traced {traced_s:7.4f}s ({row['traced_overhead_ratio']}x, "
+        f"{len(lines)} spans)  parity ok"
+    )
+    return row
+
+
+def bench(quick: bool = False, backends: tuple[str, ...] = ()) -> dict:
+    reps = 3 if quick else 6
+    backends = backends or ("serial", "multiprocess")
+    results = []
+    for b in backends:
+        trace_path = Path(__file__).parent.parent / f".bench_obs_{b}.jsonl"
+        try:
+            results.append(_bench_backend(b, quick, reps, trace_path))
+        finally:
+            trace_path.unlink(missing_ok=True)
+    shutdown_backends()
+    return {
+        "p": P,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "workload": list(WORKLOAD),
+        "note": (
+            "Warm executions with the result cache off under three "
+            "observability configurations: default (registry on, no "
+            "tracer), bare (observe=False), traced (live JSONL Tracer). "
+            "Outputs and full LoadReports are bit-identical across all "
+            "configurations by the parity gate before any timing; the "
+            "disabled-tracing overhead (default vs bare) is gated at "
+            "<=3% (with a 2ms absolute floor), the traced ratio is "
+            "reported ungated. Latency percentiles come from the same "
+            "repro.obs.percentiles the engine serves."
+        ),
+        "overhead_ratio_budget": OVERHEAD_RATIO,
+        "overhead_floor_seconds": OVERHEAD_FLOOR_SECONDS,
+        "backends": results,
+    }
+
+
+def main(argv: list[str]) -> None:
+    quick = "--quick" in argv
+    check = "--check" in argv
+    backends: tuple[str, ...] = ()
+    if "--backend" in argv:
+        backends = (argv[argv.index("--backend") + 1],)
+        argv = [a for i, a in enumerate(argv)
+                if a != "--backend" and argv[i - 1] != "--backend"]
+    paths = [a for a in argv if not a.startswith("-")]
+    out_path = (
+        Path(paths[0]) if paths
+        else Path(__file__).parent.parent / "BENCH_obs.json"
+    )
+    data = finish_payload(bench(quick=quick, backends=backends))
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if check:
+        bad = [b for b in data["backends"] if not b["overhead_within_budget"]]
+        if bad:
+            print(
+                "FAIL: disabled-tracing overhead exceeded the <=3% budget on "
+                + ", ".join(
+                    f"{b['backend']} ({b['disabled_overhead_ratio']}x)"
+                    for b in bad
+                )
+            )
+            raise SystemExit(1)
+        print(
+            "check ok: parity gates passed and disabled-tracing overhead "
+            "is within the <=3% budget on every backend"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

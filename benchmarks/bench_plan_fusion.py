@@ -34,6 +34,8 @@ import sys
 import time
 from pathlib import Path
 
+from _common import finish_payload
+
 from repro.data.generators import line_trap_instance, random_instance
 from repro.engine import Engine
 from repro.mpc import shutdown_backends
@@ -207,7 +209,7 @@ def main(argv: list[str]) -> None:
         Path(paths[0]) if paths
         else Path(__file__).parent.parent / "BENCH_plan.json"
     )
-    data = bench(quick=quick, backends=backends)
+    data = finish_payload(bench(quick=quick, backends=backends))
     out_path.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {out_path}")
     if check:

@@ -43,6 +43,8 @@ import sys
 import time
 from pathlib import Path
 
+from _common import finish_payload
+
 from repro.data.generators import line_trap_instance, random_instance
 from repro.engine import Engine
 from repro.mpc.backends import FaultInjectingBackend, MultiprocessBackend
@@ -251,7 +253,7 @@ def main(argv: list[str]) -> int:
         Path(paths[0]) if paths
         else Path(__file__).parent.parent / "BENCH_shm.json"
     )
-    data = bench(quick=quick)
+    data = finish_payload(bench(quick=quick))
     out_path.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {out_path}")
     if check and data["speedup_gated"]:

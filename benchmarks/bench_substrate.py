@@ -27,6 +27,8 @@ import sys
 import time
 from pathlib import Path
 
+from _common import finish_payload
+
 from repro.core.runner import mpc_join
 from repro.data.generators import line_trap_instance
 from repro.data.relation import Relation
@@ -145,14 +147,22 @@ def bench(quick: bool = False) -> dict:
             f"{name:22s} cached {cached_s:7.3f}s  bypassed {bypassed_s:7.3f}s"
             f"  speedup {bypassed_s / cached_s:5.2f}x  ledger/outputs ok"
         )
-    return {"p": P, "quick": quick, "workloads": results}
+    return {
+        "p": P,
+        "quick": quick,
+        "workloads": results,
+        "note": (
+            "Cached vs bypassed substrate runs; ledger/outputs asserted equal "
+            "before any speedup is reported."
+        ),
+    }
 
 
 def main(argv: list[str]) -> None:
     quick = "--quick" in argv
     paths = [a for a in argv if not a.startswith("-")]
     out_path = Path(paths[0]) if paths else Path(__file__).parent.parent / "BENCH_substrate.json"
-    data = bench(quick=quick)
+    data = finish_payload(bench(quick=quick))
     out_path.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {out_path}")
     slow = [w for w in data["workloads"]

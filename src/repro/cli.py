@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro query 'Q(A,B) :- R1(A,B), R2(B,C)' DATA_DIR -p 16
     python -m repro explain 'Q(A,B) :- R1(A,B), R2(B,C)' DATA_DIR -p 16
     python -m repro serve DATA_DIR --queries queries.txt -p 16
+    python -m repro stats DATA_DIR --queries queries.txt --format prom
 
 ``DATA_DIR`` holds one ``<relation>.csv`` per relation (header = attribute
 names); the query hypergraph is inferred from the headers.  ``query`` and
@@ -104,6 +105,9 @@ def _build_parser() -> argparse.ArgumentParser:
     x.add_argument("--algorithm", choices=ALGORITHMS, default="auto")
     x.add_argument("--no-fuse", action="store_true",
                    help="show the unfused schedule (one request per op)")
+    x.add_argument("--timings", action="store_true",
+                   help="execute once to warm the backend, then time a "
+                        "per-op replay: wall=/wire= columns per op")
 
     s = sub.add_parser("serve", help="serve a query workload (engine session)")
     add_common(s)
@@ -125,10 +129,31 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--no-pipeline", action="store_true",
                    help="await every replay round synchronously instead of "
                         "overlapping charge posting with in-flight rounds")
+    s.add_argument("--trace", metavar="JSONL",
+                   help="write the session's span records (engine -> "
+                        "executor -> backend -> worker rounds) to this "
+                        "JSONL file")
+    s.add_argument("--metrics-out", metavar="PROM",
+                   help="write the final metrics registry in Prometheus "
+                        "text format to this file")
+
+    st = sub.add_parser(
+        "stats",
+        help="serve a workload and print the unified metrics registry "
+        "(counters, latency histograms, engine/backend stat views)",
+    )
+    add_common(st)
+    st.add_argument("--queries", required=True,
+                    help="file with one query per line ('#' comments)")
+    st.add_argument("--repeat", type=int, default=2,
+                    help="workload rounds (default 2: cold then warm)")
+    st.add_argument("--threads", type=int, default=1)
+    st.add_argument("--format", choices=("json", "prom"), default="json",
+                    help="output format (default json)")
     return parser
 
 
-def _load_engine(args) -> "Engine":
+def _load_engine(args, tracer=None) -> "Engine":
     """Build an engine session with every CSV in the data dir registered."""
     from pathlib import Path
 
@@ -139,6 +164,7 @@ def _load_engine(args) -> "Engine":
         p=args.servers,
         backend=args.backend,
         pipeline=not getattr(args, "no_pipeline", False),
+        tracer=tracer,
     )
     for path in sorted(Path(args.data_dir).glob("*.csv")):
         engine.register(read_relation_csv(path))
@@ -199,7 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         engine = _load_engine(args)
         print(
             engine.explain(
-                args.text, algorithm=args.algorithm, fusion=not args.no_fuse
+                args.text, algorithm=args.algorithm,
+                fusion=not args.no_fuse, timings=args.timings,
             )
         )
         return 0
@@ -214,7 +241,14 @@ def main(argv: list[str] | None = None) -> int:
             from repro.mpc.backends.chaos import FaultInjectingBackend
 
             args.backend = FaultInjectingBackend(seed=args.chaos_seed)
-        engine = _load_engine(args)
+        tracer = None
+        if args.trace:
+            from repro.obs import SpanSink, Tracer
+
+            # Truncate up front: the sink appends on every flush.
+            open(args.trace, "w").close()
+            tracer = Tracer(SpanSink(path=args.trace))
+        engine = _load_engine(args, tracer=tracer)
         report = None
         for _ in range(max(1, args.repeat)):
             report = engine.submit_batch(
@@ -233,8 +267,33 @@ def main(argv: list[str] | None = None) -> int:
             print("backend faults: " + ", ".join(
                 f"{k}={v}" for k, v in sorted(fault_stats.items()) if v
             ))
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace} "
+                  f"({tracer.sink.emitted} spans)")
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as fh:
+                fh.write(engine.metrics_text())
+            print(f"metrics written to {args.metrics_out}")
         if args.chaos:
             args.backend.close()
+        return 0
+
+    if args.command == "stats":
+        import json as _json
+
+        with open(args.queries) as fh:
+            workload = [
+                line.strip() for line in fh
+                if line.strip() and not line.lstrip().startswith("#")
+            ]
+        engine = _load_engine(args)
+        for _ in range(max(1, args.repeat)):
+            engine.submit_batch(workload, threads=args.threads)
+        if args.format == "prom":
+            sys.stdout.write(engine.metrics_text())
+        else:
+            print(_json.dumps(engine.metrics_snapshot(), indent=2))
         return 0
 
     if args.command == "classify":

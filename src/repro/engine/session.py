@@ -75,6 +75,7 @@ from repro.errors import (
 from repro.mpc.backends import Backend
 from repro.mpc.cluster import Cluster, LoadReport
 from repro.mpc.distrel import DistRelation, distribute_instance, distribute_relation
+from repro.obs import MetricsRegistry, NULL_TRACER, WireMeter, percentiles
 from repro.plan import Executor, PhysicalPlan, TraceRecorder
 from repro.query.classify import classify
 
@@ -239,6 +240,9 @@ class QueryMetrics:
     #: Worker faults (deaths + round timeouts) the backend absorbed while
     #: serving this query — recovered, not failures.
     fault_events: int = 0
+    #: Root trace id of this execution's span tree (``None`` when tracing
+    #: is disabled — the engine's default ``NULL_TRACER``).
+    trace_id: str | None = None
 
     @property
     def fusion_ratio(self) -> float:
@@ -272,6 +276,7 @@ class QueryMetrics:
             "deadline_exceeded": self.deadline_exceeded,
             "degraded_serial": self.degraded_serial,
             "fault_events": self.fault_events,
+            "trace_id": self.trace_id,
         }
 
 
@@ -337,6 +342,18 @@ class EngineStats:
         if self.max_per_query is not None and len(self.per_query) > self.max_per_query:
             del self.per_query[: len(self.per_query) - self.max_per_query]
 
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 wall seconds over the retained per-query window.
+
+        Exact sample percentiles (:func:`repro.obs.percentiles`) over
+        ``per_query`` — bounded by ``max_per_query``, so a long session
+        reports its *recent* latency distribution — failed executions
+        excluded.  All zero when nothing qualifies.
+        """
+        return percentiles(
+            m.wall_seconds for m in self.per_query if not m.failed
+        )
+
     def plan_gaps(self) -> dict[str, dict[str, float]]:
         """Per distinct query text: the Figure-3 planned-vs-worst gap."""
         gaps: dict[str, dict[str, float]] = {}
@@ -364,6 +381,12 @@ class EngineStats:
             f"{self.total_backend_requests} backend requests, "
             f"{self.total_wall_seconds:.3f}s wall"
         ]
+        lat = self.latency_percentiles()
+        if any(lat.values()):
+            lines.append(
+                f"  latency: p50={lat['p50'] * 1e3:.2f}ms "
+                f"p95={lat['p95'] * 1e3:.2f}ms p99={lat['p99'] * 1e3:.2f}ms"
+            )
         if (
             self.failures or self.fault_events or self.quarantined
             or self.quarantine_fast_fails or self.degraded_serial
@@ -404,6 +427,7 @@ class EngineStats:
             "quarantine_fast_fails": self.quarantine_fast_fails,
             "degraded_serial": self.degraded_serial,
             "fault_events": self.fault_events,
+            "latency_percentiles": self.latency_percentiles(),
             "plan_gaps": self.plan_gaps(),
             "per_query": [m.as_dict() for m in self.per_query],
         }
@@ -504,6 +528,22 @@ class Engine:
             is recorded and subsequent submissions of the same query
             fast-fail with :class:`~repro.errors.QueryQuarantined` until
             its input relations change version.
+        registry: :class:`~repro.obs.MetricsRegistry` to instrument into
+            (``None`` = a private registry per engine).  The engine
+            registers its query counters/latency histograms plus *views*
+            over :class:`EngineStats` and the backend's wire/fault
+            counters, so one scrape (:meth:`metrics_text`) shows the
+            whole session.
+        tracer: :class:`~repro.obs.Tracer` minting one root ``query``
+            span per execution, threaded engine → executor → backend →
+            worker rounds.  ``None`` (default) installs the no-op
+            ``NULL_TRACER``: spans cost one attribute read on the hot
+            path (the ≤3% overhead gate in ``benchmarks/bench_obs.py``).
+        observe: Record per-query registry metrics (counters + latency
+            histograms).  ``False`` skips registry updates on the query
+            path entirely — the bare baseline the overhead benchmark
+            compares against.  Never affects :class:`EngineStats` or the
+            :class:`~repro.mpc.cluster.LoadReport` ledger.
 
     Example::
 
@@ -525,6 +565,9 @@ class Engine:
         result_cache_entries: int | None = 256,
         result_cache_bytes: int | None = 128 * 1024 * 1024,
         degrade_to_serial: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Any = None,
+        observe: bool = True,
     ) -> None:
         self.p = p
         self.result_cache = result_cache
@@ -553,6 +596,14 @@ class Engine:
         self._stats = EngineStats(
             p=p, backend=self._cluster.backend.name, max_per_query=1024
         )
+        self.observe = observe
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # EngineStats and the backend's wire/fault counters join the
+        # registry as views (no storage migration — their locking stays
+        # where it lives); every scrape shows the merged picture.
+        self.registry.register_view(self._engine_view)
+        self.registry.register_view(self._backend_view)
 
     # ------------------------------------------------------------------
     # Base-relation registry
@@ -912,6 +963,48 @@ class Engine:
             parsed, algorithm = query.parsed, query.key[2]
         else:
             parsed = query if isinstance(query, ParsedQuery) else parse_query(query)
+        # Root of this execution's span tree and its wire-byte meter; both
+        # cost ~nothing when tracing is off (NULL_TRACER hands out the
+        # no-op NULL_SPAN singleton).
+        span = self.tracer.span("query", query=parsed.text, algorithm=algorithm)
+        meter = WireMeter()
+        try:
+            result = self._execute_traced(parsed, algorithm, deadline, span, meter)
+        except Exception as exc:
+            span.end(error=f"{type(exc).__name__}: {exc}")
+            raise
+        if span.recording:
+            m = result.metrics
+            span.set(
+                path=(
+                    "cached" if m.result_cached
+                    else "replay" if m.plan_replayed
+                    else "degraded" if m.degraded_serial
+                    else "cold"
+                ),
+                wire_bytes=m.wire_bytes,
+                load=m.load,
+            )
+        span.end()
+        return result
+
+    def _execute_traced(
+        self,
+        parsed: ParsedQuery,
+        algorithm: str,
+        deadline: float | None,
+        span: Any,
+        meter: WireMeter,
+    ) -> ExecutionResult:
+        """The :meth:`execute` body under one root span and wire meter.
+
+        ``span`` parents the path-level child spans (``cold_execute`` /
+        ``replay`` / ``degrade_serial``); ``meter`` travels into every
+        backend round this query issues, so ``wire_bytes`` is per-query
+        by construction — before the meter, concurrent submitters
+        computed before/after deltas of the backend's *shared* cumulative
+        counters and double-counted each other's bytes.
+        """
         with self._lock:
             entry, status = self._resolve(parsed, algorithm)
             cache_hit = status == "hit"
@@ -927,7 +1020,7 @@ class Engine:
                         "query is quarantined until its relations change: "
                         + held["error"]
                     )
-                    self._record_failure(entry, exc, t0)
+                    self._record_failure(entry, exc, t0, span.trace_id)
                     raise exc
                 # Data moved since the failure: parole and retry for real.
                 del self._quarantine[entry.key]
@@ -935,7 +1028,7 @@ class Engine:
                 exc = DeadlineExceeded(
                     "deadline expired before execution began"
                 )
-                self._record_failure(entry, exc, t0)
+                self._record_failure(entry, exc, t0, span.trace_id)
                 raise exc
             cached = entry.cached_result
             if (
@@ -959,8 +1052,9 @@ class Engine:
                     out_size=cached.out_size,
                     wall_seconds=time.perf_counter() - t0,
                     plan_quality=entry.plan_quality,
+                    trace_id=span.trace_id,
                 )
-                self._stats.record(metrics)
+                self._record(metrics, "cached")
                 return ExecutionResult(
                     prepared=entry,
                     relation=cached.served_relation(),
@@ -990,6 +1084,7 @@ class Engine:
                     return self._execute_on_cluster(
                         entry, versions, t0,
                         cache_hit, plan_reused, invalidated, faults_before,
+                        span, meter,
                     )
                 except DeadlineExceeded as exc:
                     # Cooperative cancellation fired between rounds; the
@@ -998,7 +1093,7 @@ class Engine:
                     # is fine.
                     self._cluster.recorder = None
                     self._cluster.reset()
-                    self._record_failure(entry, exc, t0)
+                    self._record_failure(entry, exc, t0, span.trace_id)
                     raise
                 except FaultError as exc:
                     self._cluster.recorder = None
@@ -1006,6 +1101,7 @@ class Engine:
                     return self._handle_fault(
                         entry, versions, exc, t0, deadline_at,
                         cache_hit, plan_reused, invalidated, faults_before,
+                        span,
                     )
                 finally:
                     self._cluster.deadline = None
@@ -1019,16 +1115,18 @@ class Engine:
             return self._replay_warm(
                 entry, trace, cached, t0, deadline_at,
                 cache_hit, plan_reused, invalidated, faults_before,
+                span, meter,
             )
         except DeadlineExceeded as exc:
             with self._lock:
-                self._record_failure(entry, exc, t0)
+                self._record_failure(entry, exc, t0, span.trace_id)
             raise
         except FaultError as exc:
             with self._lock:
                 return self._handle_fault(
                     entry, versions, exc, t0, deadline_at,
                     cache_hit, plan_reused, invalidated, faults_before,
+                    span,
                 )
 
     def _handle_fault(
@@ -1042,6 +1140,7 @@ class Engine:
         plan_reused: bool,
         invalidated: bool,
         faults_before: int,
+        span: Any,
     ) -> ExecutionResult:
         """The backend faulted past its own recovery: next rungs of the
         ladder — re-run on a scratch serial cluster; if that is off (or
@@ -1052,17 +1151,17 @@ class Engine:
                 return self._serial_degrade(
                     entry, versions, exc, t0, deadline_at,
                     cache_hit, plan_reused, invalidated,
-                    faults_before,
+                    faults_before, span,
                 )
             except DeadlineExceeded as exc2:
-                self._record_failure(entry, exc2, t0)
+                self._record_failure(entry, exc2, t0, span.trace_id)
                 raise
             except ReproError as exc2:
                 self._quarantine_entry(entry, versions, exc2)
-                self._record_failure(entry, exc2, t0)
+                self._record_failure(entry, exc2, t0, span.trace_id)
                 raise
         self._quarantine_entry(entry, versions, exc)
-        self._record_failure(entry, exc, t0)
+        self._record_failure(entry, exc, t0, span.trace_id)
         raise exc
 
     def _replay_warm(
@@ -1076,6 +1175,8 @@ class Engine:
         plan_reused: bool,
         invalidated: bool,
         faults_before: int,
+        span: Any,
+        meter: WireMeter,
     ) -> ExecutionResult:
         """One warm execution: replay the traced op schedule, serve the
         recording.
@@ -1085,23 +1186,28 @@ class Engine:
         backend, worker-local ops re-issue through fused (and pipelined)
         ``run_ops`` batches, and the outputs are served from the
         recording — no Python control flow of the algorithm re-runs and
-        the engine lock is NOT held.  Metric deltas (wire bytes, backend
-        requests, absorbed faults) read shared monotone counters, so
-        under concurrent submitters their per-query attribution is
-        approximate; single-threaded they are exact.
+        the engine lock is NOT held.  Wire bytes are attributed exactly
+        per query (the meter travels with each round); the request/fault
+        deltas still read shared monotone counters, so under concurrent
+        submitters those two stay approximate.
         """
         backend = self._cluster.backend
-        wire_before = backend.wire_stats().get("bytes_shipped", 0)
         requests_before = backend.requests
         scratch = Cluster(self.p, backend=backend)
         scratch.deadline = deadline_at
-        replay_stats = Executor(
-            scratch, fusion=self.fusion, pipeline=self.pipeline
-        ).replay(trace)
+        rspan = span.child(
+            "replay", ops=len(trace.ops),
+            fusion=self.fusion, pipeline=self.pipeline,
+        )
+        with rspan:
+            replay_stats = Executor(
+                scratch, fusion=self.fusion, pipeline=self.pipeline,
+                meter=meter, span=rspan,
+            ).replay(trace)
         report = scratch.snapshot()
         relation: DistRelation | Relation | None = cached.served_relation()
         wall = time.perf_counter() - t0
-        wire_bytes = backend.wire_stats().get("bytes_shipped", 0) - wire_before
+        wire_bytes = meter.bytes
         meta: dict[str, Any] = dict(cached.meta)
         meta["plan_replayed"] = True
         meta.update(
@@ -1134,11 +1240,12 @@ class Engine:
             fused_groups=replay_stats["groups"],
             backend_requests=backend.requests - requests_before,
             fault_events=self._fault_level() - faults_before,
+            trace_id=span.trace_id,
         )
         with self._lock:
             entry.uses += 1
             self._touch_recording(entry.key)
-            self._stats.record(metrics)
+            self._record(metrics, "replay")
         return ExecutionResult(
             prepared=entry,
             relation=relation,
@@ -1157,6 +1264,8 @@ class Engine:
         plan_reused: bool,
         invalidated: bool,
         faults_before: int,
+        span: Any,
+        meter: WireMeter,
     ) -> ExecutionResult:
         """One cold (or re-drive) execution on the warm serving cluster.
 
@@ -1165,35 +1274,46 @@ class Engine:
         Caller holds the lock and has already armed
         ``self._cluster.deadline``.
         """
-        wire_before = self._cluster.backend.wire_stats().get("bytes_shipped", 0)
         requests_before = self._cluster.backend.requests
         rec = TraceRecorder() if self.plan_replay else None
         aggregate = (
             None if entry.kind == "join"
             else (entry.parsed.aggregate or "bool")
         )
-        rels = self._dist_rels(entry.parsed, aggregate=aggregate)
-        self._cluster.reset()
-        self._cluster.recorder = rec
+        cspan = span.child("cold_execute", algorithm=entry.algorithm)
+        # Meter and span ride on the cluster from *before* relation
+        # distribution: dist-cache misses ship parts to the workers, and
+        # those bytes belong to this query.  Cleared in the finally no
+        # matter how the execution ends — the serving cluster is shared.
+        self._cluster.wire_meter = meter
+        self._cluster.obs_span = cspan
         try:
-            if entry.kind == "join":
-                result = run_join_algorithm(
-                    self._group, entry.parsed.query, rels,
-                    entry.algorithm, plan=entry.plan,
-                )
-                relation: DistRelation | Relation | None = result
-                scalar = None
-                out_size = result.total_size()
-                meta: dict[str, Any] = {"out_size": out_size}
-            else:
-                relation, scalar, meta = run_aggregate_algorithm(
-                    self._group, entry.parsed.query,
-                    entry.parsed.output_attrs or (), rels,
-                    entry.parsed.semiring, algorithm=entry.algorithm,
-                )
-                out_size = len(relation) if relation is not None else 1
+            with cspan:
+                rels = self._dist_rels(entry.parsed, aggregate=aggregate)
+                self._cluster.reset()
+                self._cluster.recorder = rec
+                try:
+                    if entry.kind == "join":
+                        result = run_join_algorithm(
+                            self._group, entry.parsed.query, rels,
+                            entry.algorithm, plan=entry.plan,
+                        )
+                        relation: DistRelation | Relation | None = result
+                        scalar = None
+                        out_size = result.total_size()
+                        meta: dict[str, Any] = {"out_size": out_size}
+                    else:
+                        relation, scalar, meta = run_aggregate_algorithm(
+                            self._group, entry.parsed.query,
+                            entry.parsed.output_attrs or (), rels,
+                            entry.parsed.semiring, algorithm=entry.algorithm,
+                        )
+                        out_size = len(relation) if relation is not None else 1
+                finally:
+                    self._cluster.recorder = None
         finally:
-            self._cluster.recorder = None
+            self._cluster.wire_meter = None
+            self._cluster.obs_span = None
         report = self._cluster.snapshot()
         if rec is not None:
             entry.trace = rec.finish(
@@ -1206,10 +1326,7 @@ class Engine:
             )
         wall = time.perf_counter() - t0
         entry.uses += 1
-        wire_bytes = (
-            self._cluster.backend.wire_stats().get("bytes_shipped", 0)
-            - wire_before
-        )
+        wire_bytes = meter.bytes
         meta.update(
             {
                 "algorithm": entry.algorithm,
@@ -1280,8 +1397,9 @@ class Engine:
                 self._cluster.backend.requests - requests_before
             ),
             fault_events=self._fault_level() - faults_before,
+            trace_id=span.trace_id,
         )
-        self._stats.record(metrics)
+        self._record(metrics, "cold")
         return ExecutionResult(
             prepared=entry,
             relation=relation,
@@ -1300,7 +1418,8 @@ class Engine:
         return fs.get("worker_deaths", 0) + fs.get("round_timeouts", 0)
 
     def _record_failure(
-        self, entry: PreparedQuery, exc: Exception, t0: float
+        self, entry: PreparedQuery, exc: Exception, t0: float,
+        trace_id: str | None = None,
     ) -> None:
         metrics = QueryMetrics(
             text=entry.parsed.text,
@@ -1319,8 +1438,9 @@ class Engine:
             failed=True,
             error=f"{type(exc).__name__}: {exc}",
             deadline_exceeded=isinstance(exc, DeadlineExceeded),
+            trace_id=trace_id,
         )
-        self._stats.record(metrics)
+        self._record(metrics, "failed")
 
     def _quarantine_entry(
         self, entry: PreparedQuery, versions: dict[str, int], exc: Exception
@@ -1358,6 +1478,7 @@ class Engine:
         plan_reused: bool,
         invalidated: bool,
         faults_before: int,
+        span: Any,
     ) -> ExecutionResult:
         """Re-run a faulted query to completion on a scratch serial cluster.
 
@@ -1373,32 +1494,34 @@ class Engine:
         scratch = Cluster(self.p, backend="serial")
         scratch.deadline = deadline_at
         group = scratch.root_group()
-        if entry.kind == "join":
-            rels = {
-                b.edge: distribute_relation(self._bound(b), group)
-                for b in entry.parsed.bindings
-            }
-            result = run_join_algorithm(
-                group, entry.parsed.query, rels,
-                entry.algorithm, plan=entry.plan,
-            )
-            relation: DistRelation | Relation | None = result
-            scalar = None
-            out_size = result.total_size()
-            meta: dict[str, Any] = {"out_size": out_size}
-        else:
-            rels = {}
-            for b in entry.parsed.bindings:
-                rel = self._bound(b)
-                if not rel.annotated:
-                    rel = rel.with_annotations(entry.parsed.semiring)
-                rels[b.edge] = distribute_relation(rel, group, annotate=True)
-            relation, scalar, meta = run_aggregate_algorithm(
-                group, entry.parsed.query,
-                entry.parsed.output_attrs or (), rels,
-                entry.parsed.semiring, algorithm=entry.algorithm,
-            )
-            out_size = len(relation) if relation is not None else 1
+        dspan = span.child("degrade_serial", fault=type(fault).__name__)
+        with dspan:
+            if entry.kind == "join":
+                rels = {
+                    b.edge: distribute_relation(self._bound(b), group)
+                    for b in entry.parsed.bindings
+                }
+                result = run_join_algorithm(
+                    group, entry.parsed.query, rels,
+                    entry.algorithm, plan=entry.plan,
+                )
+                relation: DistRelation | Relation | None = result
+                scalar = None
+                out_size = result.total_size()
+                meta: dict[str, Any] = {"out_size": out_size}
+            else:
+                rels = {}
+                for b in entry.parsed.bindings:
+                    rel = self._bound(b)
+                    if not rel.annotated:
+                        rel = rel.with_annotations(entry.parsed.semiring)
+                    rels[b.edge] = distribute_relation(rel, group, annotate=True)
+                relation, scalar, meta = run_aggregate_algorithm(
+                    group, entry.parsed.query,
+                    entry.parsed.output_attrs or (), rels,
+                    entry.parsed.semiring, algorithm=entry.algorithm,
+                )
+                out_size = len(relation) if relation is not None else 1
         report = scratch.snapshot()
         cached = entry.cached_result
         if cached is not None and cached.relation_versions == versions:
@@ -1438,8 +1561,9 @@ class Engine:
             plan_quality=entry.plan_quality,
             degraded_serial=True,
             fault_events=self._fault_level() - faults_before,
+            trace_id=span.trace_id,
         )
-        self._stats.record(metrics)
+        self._record(metrics, "degraded")
         return ExecutionResult(
             prepared=entry,
             relation=relation,
@@ -1517,9 +1641,52 @@ class Engine:
         query: str | ParsedQuery,
         algorithm: str = "auto",
         fusion: bool = True,
+        timings: bool = False,
     ) -> str:
-        """Render :meth:`trace_plan` — ops, fusion groups, ledger units."""
+        """Render :meth:`trace_plan` — ops, fusion groups, ledger units.
+
+        With ``timings=True`` the plan is additionally *measured*: the
+        query executes once (warming worker memos and distributed caches
+        into their serving state), then the trace replays per-op on the
+        serving backend (:meth:`timed_replay`), and every Charge/MapParts
+        row gains measured ``wall=``/``wire=`` columns — the ledger's
+        load story and the wall-clock/bytes story, row by row.
+        """
+        if timings:
+            trace, op_timings = self.timed_replay(query, algorithm)
+            return trace.explain(fusion=fusion, timings=op_timings)
         return self.trace_plan(query, algorithm).explain(fusion=fusion)
+
+    def timed_replay(
+        self, query: str | ParsedQuery, algorithm: str = "auto"
+    ) -> tuple[PhysicalPlan, dict[int, dict[str, float]]]:
+        """Measure one per-op replay of the query's physical plan.
+
+        Executes the query once first — recording a trace and warming the
+        backend exactly the way serving would — then replays that trace
+        unfused and unpipelined on a scratch ledger over the *serving*
+        backend with per-op wall/wire measurement
+        (``Executor.replay(timed=True)``).  The scratch ledger is
+        discarded; the serving ledger and session stats see only the
+        warming execution.  Returns ``(plan, op_timings)`` with
+        ``op_timings`` keyed by op index (the shape
+        :meth:`PhysicalPlan.explain` accepts).
+        """
+        parsed = query if isinstance(query, ParsedQuery) else parse_query(query)
+        self.execute(parsed, algorithm)
+        with self._lock:
+            entry, _status = self._resolve(parsed, algorithm)
+            versions = self._current_versions(parsed)
+            trace = entry.trace
+        if trace is None or trace.relation_versions != versions:
+            # plan_replay is off (or the trace was evicted with its
+            # recording): trace on a scratch cluster instead.
+            trace = self.trace_plan(parsed, algorithm)
+        scratch = Cluster(self.p, backend=self._cluster.backend)
+        stats = Executor(scratch, fusion=False, pipeline=False).replay(
+            trace, timed=True
+        )
+        return trace, stats["op_timings"]
 
     # ------------------------------------------------------------------
     # Batch submission front
@@ -1621,6 +1788,77 @@ class Engine:
             metrics=metrics,
             error=exc,
         )
+
+    # ------------------------------------------------------------------
+    # Observability: registry recording, views, exposition
+    # ------------------------------------------------------------------
+    def _record(self, metrics: QueryMetrics, path: str) -> None:
+        """Record one execution into the session stats and the registry.
+
+        ``path`` labels the serving path that handled the query:
+        ``cold`` | ``replay`` | ``cached`` | ``degraded`` | ``failed``.
+        Registry updates are skipped entirely with ``observe=False`` (the
+        bare baseline of the overhead benchmark); :class:`EngineStats`
+        always records.
+        """
+        self._stats.record(metrics)
+        if not self.observe:
+            return
+        reg = self.registry
+        reg.counter(
+            "repro_queries_total",
+            help="Queries executed, by serving path.",
+            path=path,
+        ).inc()
+        reg.histogram(
+            "repro_query_seconds",
+            help="Query wall-clock seconds, by serving path.",
+            path=path,
+        ).observe(metrics.wall_seconds)
+
+    def _engine_view(self) -> dict[str, float]:
+        """:class:`EngineStats` counters as registry gauges (a view —
+        the stats object stays the storage)."""
+        s = self._stats
+        return {
+            "repro_engine_queries": s.queries,
+            "repro_engine_prepares": s.prepares,
+            "repro_engine_cache_hits": s.cache_hits,
+            "repro_engine_cache_misses": s.cache_misses,
+            "repro_engine_invalidations": s.invalidations,
+            "repro_engine_result_hits": s.result_hits,
+            "repro_engine_plan_replays": s.plan_replays,
+            "repro_engine_total_load": s.total_load,
+            "repro_engine_wire_bytes": s.total_wire_bytes,
+            "repro_engine_backend_requests": s.total_backend_requests,
+            "repro_engine_failures": s.failures,
+            "repro_engine_deadline_misses": s.deadline_misses,
+            "repro_engine_quarantined": s.quarantined,
+            "repro_engine_degraded_serial": s.degraded_serial,
+            "repro_engine_fault_events": s.fault_events,
+        }
+
+    def _backend_view(self) -> dict[str, float]:
+        """The warm backend's wire/fault counters as registry gauges.
+
+        Both snapshots are lock-protected copies on the backend side, so
+        a scrape mid-round sees a consistent picture.
+        """
+        backend = self._cluster.backend
+        out: dict[str, float] = {}
+        for k, v in backend.wire_stats().items():
+            out[f"repro_wire_{k}"] = v
+        for k, v in backend.fault_stats().items():
+            out[f"repro_fault_{k}"] = v
+        return out
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The unified registry (instruments + views) as JSON-able data."""
+        return self.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """The unified registry in the Prometheus text exposition format."""
+        return self.registry.render_prometheus()
 
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:

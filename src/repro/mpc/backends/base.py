@@ -126,6 +126,8 @@ class Backend(ABC):
         self,
         ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
         collect: bool = True,
+        meter: Any = None,
+        span: Any = None,
     ) -> list[Any]:
         """Execute a batch of worker-local steps (the plan executor's seam).
 
@@ -145,6 +147,17 @@ class Backend(ABC):
                 payloads — or skip execution entirely when it holds no
                 worker-side state — as long as the ops' observable
                 effects on *future* calls are preserved.
+            meter: Optional :class:`~repro.obs.metrics.WireMeter` bumped
+                for every payload this batch actually ships, attributing
+                wire traffic to the calling query (the backend's
+                cumulative ``wire_stats()`` counters are shared by all
+                concurrent callers and cannot be).  In-process backends
+                ship nothing and ignore it.
+            span: Optional :class:`~repro.obs.tracing.Span` (or the null
+                sentinel) under which a process-backed backend parents
+                its per-round/per-worker spans.  Backends must treat a
+                span with ``recording`` False — or ``None`` — as "emit
+                nothing".
 
         Returns:
             Per-op results (``map_parts`` return values); entries may be
@@ -168,6 +181,8 @@ class Backend(ABC):
         self,
         ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
         collect: bool = True,
+        meter: Any = None,
+        span: Any = None,
     ) -> "Future[list[Any]]":
         """Dispatch a :meth:`run_ops` batch asynchronously.
 
@@ -185,6 +200,11 @@ class Backend(ABC):
         The dispatcher thread is started lazily on first use and is a
         daemon — it holds no resources of its own and dies with the
         process; :meth:`close` does not need to join it.
+
+        ``meter``/``span`` travel with the batch (not with the thread):
+        pipelined rounds execute on the dispatcher thread, so per-query
+        attribution must ride the queue entry rather than thread-local
+        state.  Semantics match :meth:`run_ops`.
         """
         fut: Future = Future()
         q = self._dispatch_queue
@@ -198,18 +218,18 @@ class Backend(ABC):
                         name=f"{self.name}-dispatch", daemon=True,
                     )
                     self._dispatcher.start()
-        q.put((fut, ops, collect))
+        q.put((fut, ops, collect, meter, span))
         return fut
 
     def _dispatch_loop(self) -> None:
         q = self._dispatch_queue
         assert q is not None
         while True:
-            fut, ops, collect = q.get()
+            fut, ops, collect, meter, span = q.get()
             if not fut.set_running_or_notify_cancel():
                 continue  # pragma: no cover - cancelled before dispatch
             try:
-                fut.set_result(self.run_ops(ops, collect))
+                fut.set_result(self.run_ops(ops, collect, meter=meter, span=span))
             except BaseException as exc:  # noqa: BLE001 - routed to caller
                 fut.set_exception(exc)
 

@@ -52,6 +52,7 @@ import os
 import pickle
 import random
 import signal
+import threading
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import MPCError, RetryExhausted
@@ -155,6 +156,9 @@ class FaultInjectingBackend(Backend):
             "kill": 0, "kill_after": 0, "corrupt": 0, "hang": 0,
             "drop": 0, "skipped": 0,
         }
+        # Guards _injected and its fault_stats() copy (the engine's
+        # registry views snapshot stats while rounds are mid-flight).
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Pass-throughs: everything observable delegates to the inner backend.
@@ -177,11 +181,21 @@ class FaultInjectingBackend(Backend):
         return self.inner.wire_stats()
 
     def fault_stats(self) -> dict:
-        """Inner recovery counters plus ``injected_*`` injection counters."""
+        """Inner recovery counters plus ``injected_*`` injection counters.
+
+        The inner snapshot is already a lock-protected copy; the
+        injection counters are copied under this wrapper's own stats
+        lock, so the merged dict is consistent even mid-sabotage.
+        """
         stats = dict(self.inner.fault_stats())
-        for kind, count in self._injected.items():
-            stats[f"injected_{kind}"] = count
+        with self._stats_lock:
+            for kind, count in self._injected.items():
+                stats[f"injected_{kind}"] = count
         return stats
+
+    def _count_injected(self, kind: str) -> None:
+        with self._stats_lock:
+            self._injected[kind] += 1
 
     def close(self) -> None:
         self.inner.close()
@@ -215,7 +229,7 @@ class FaultInjectingBackend(Backend):
             conns = inner._conns
         procs = getattr(inner, "_procs", None)
         if not conns or not procs:
-            self._injected["skipped"] += 1
+            self._count_injected("skipped")
             self.fault_log.append(("skipped", None))
             return False
         wi = self._rng.randrange(len(procs))
@@ -235,7 +249,7 @@ class FaultInjectingBackend(Backend):
                 )
             except OSError:  # pragma: no cover - already dead: same effect
                 pass
-        self._injected[kind] += 1
+        self._count_injected(kind)
         self.fault_log.append((kind, wi))
         return True
 
@@ -253,6 +267,8 @@ class FaultInjectingBackend(Backend):
         self,
         ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
         collect: bool = True,
+        meter: Any = None,
+        span: Any = None,
     ) -> list[Any]:
         """Dispatch through the inner backend, possibly under sabotage.
 
@@ -261,12 +277,18 @@ class FaultInjectingBackend(Backend):
         ops on immutable parts is idempotent — worker memos make it
         nearly free); the other kinds sabotage worker processes and let
         the inner backend's supervision recover mid-round.
+
+        ``meter``/``span`` pass straight through to the inner backend:
+        the inner pool emits the ``backend.round``/``worker.round`` spans
+        (including the post-respawn retry children a sabotage provokes)
+        and charges the meter, so a traced query looks the same whether
+        or not chaos sits in the middle.
         """
         drops = 0
         while True:
             fault = self._draw()
             if fault == "drop":
-                self._injected["drop"] += 1
+                self._count_injected("drop")
                 self.fault_log.append(("drop", None))
                 drops += 1
                 if drops > _MAX_DROPS:  # pragma: no cover - needs rate=1
@@ -276,7 +298,7 @@ class FaultInjectingBackend(Backend):
                 continue
             if fault is not None:
                 self._sabotage(fault)
-            result = self.inner.run_ops(ops, collect)
+            result = self.inner.run_ops(ops, collect, meter=meter, span=span)
             if fault == "kill_after":
                 # The round itself succeeded; the *next* dispatch finds
                 # the corpse.  (_sabotage already logged the kill; logged

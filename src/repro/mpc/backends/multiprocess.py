@@ -12,7 +12,7 @@ Design points:
   reference by construction.
 * **Batched op rounds.**  One request carries a whole *chain* of
   map-parts-shaped steps (``("ops", collect, [(fn_ref, common_bytes,
-  jobs), ...])``), so a fused physical-plan group executes in a single
+  jobs), ...], trace_ctx)``), so a fused physical-plan group executes in a single
   IPC round-trip instead of one per primitive step; a plain
   ``map_parts`` call is the one-step special case of the same protocol.
   The cumulative round count is observable as :attr:`Backend.requests`.
@@ -138,7 +138,7 @@ def _decode_part(blob: Any) -> list:
 def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
     """Worker loop: batched op requests in, per-job pickled replies out.
 
-    A request is ``("ops", collect, steps)``; each step is ``(fn_ref,
+    A request is ``("ops", collect, steps, ctx)``; each step is ``(fn_ref,
     common_spec, jobs)`` and each job ``(idx, fingerprint, part_blob)``
     where ``part_blob`` is the part's wire blob
     (:func:`repro.data.columns.pack_blob` — columnar when possible,
@@ -158,6 +158,21 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
     wire.  A key-only job that misses the cache (the coordinator's mirror
     is best-effort) is answered with a ``"miss"`` reply, never an error;
     the coordinator re-sends the part.
+
+    ``ctx`` is the coordinator's trace context — ``(trace_id, span_id)``
+    when the calling query is being traced, else ``None``.  The worker
+    never opens spans of its own (it has no sink and must stay
+    shared-nothing): it measures its decode and compute time with
+    ``perf_counter``, aggregates per step, and echoes both back in the
+    success header ``("ok", n_replies, step_timings, ctx)`` where
+    ``step_timings[s]`` is ``(decode_seconds, compute_seconds,
+    jobs_computed, cache_hits)`` for step ``s``.  The coordinator owns
+    the ``worker.round`` span and attaches these numbers to it — which
+    is also how timings survive worker respawns: the parent span lives
+    in the coordinator, and a respawned worker just contributes a fresh
+    child.  Timings are measured unconditionally (two clock reads per
+    computed job, noise next to a pickle decode) so the protocol has a
+    single shape; with ``ctx`` None the coordinator discards them.
 
     A ``("sleep", seconds)`` request stalls the loop — the fault-injection
     hook the ``chaos`` backend uses to emulate a hung worker.  A request
@@ -184,12 +199,15 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
         if req[0] == "sleep":
             time.sleep(req[1])
             continue
-        _kind, collect, steps = req
+        _kind, collect, steps, ctx = req
         replies: list[bytes] = []
+        step_timings: list[tuple[float, float, int, int]] = []
         try:
             for fn_ref, common_spec, jobs in steps:
                 fn: Callable | None = None
                 common: Any = _UNSET
+                decode_s = compute_s = 0.0
+                computed = hits = 0
                 for idx, fingerprint, part_blob in jobs:
                     key = None
                     if fingerprint is not None:
@@ -197,6 +215,7 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
                         hit = cache.get(key)
                         if hit is not None:
                             cache.move_to_end(key)
+                            hits += 1
                             replies.append(
                                 hit if collect
                                 else pickle.dumps((idx, "ack", None), _PROTO)
@@ -211,12 +230,17 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
                         fn = fns.get(fn_ref)
                         if fn is None:
                             fn = fns[fn_ref] = _resolve_fn(fn_ref)
+                    t0 = time.perf_counter()
                     if common is _UNSET:
                         common = _decode_common(common_spec)
                     part = _decode_part(part_blob)
-                    blob = pickle.dumps(
-                        (idx, "ok", fn(part, common, idx)), _PROTO
-                    )
+                    t1 = time.perf_counter()
+                    value = fn(part, common, idx)
+                    t2 = time.perf_counter()
+                    decode_s += t1 - t0
+                    compute_s += t2 - t1
+                    computed += 1
+                    blob = pickle.dumps((idx, "ok", value), _PROTO)
                     if key is not None:
                         cache[key] = blob
                         if len(cache) > cache_entries:
@@ -225,6 +249,7 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
                         blob if collect
                         else pickle.dumps((idx, "ack", None), _PROTO)
                     )
+                step_timings.append((decode_s, compute_s, computed, hits))
         except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
             try:
                 conn.send_bytes(pickle.dumps(("err", repr(exc)), _PROTO))
@@ -232,7 +257,9 @@ def _worker_main(conn, sys_path: list[str], cache_entries: int) -> None:
                 return
             continue
         try:
-            conn.send_bytes(pickle.dumps(("ok", len(replies)), _PROTO))
+            conn.send_bytes(
+                pickle.dumps(("ok", len(replies), step_timings, ctx), _PROTO)
+            )
             for blob in replies:
                 conn.send_bytes(blob)
         except OSError:
@@ -299,6 +326,11 @@ class MultiprocessBackend(Backend):
         # the cold path directly, and the worker pipes + mirrors are not
         # otherwise thread-safe.  Reentrant so subclasses can nest.
         self._io_lock = threading.RLock()
+        # Guards the cumulative wire/fault counters and their snapshot
+        # copies.  Distinct from _io_lock: stats are read by observers
+        # (engine views, `repro stats`) while a round holds the I/O lock,
+        # and must never block on — or observe a torn state of — it.
+        self._stats_lock = threading.Lock()
         # Coordinator-side mirror of each worker's LRU key set.
         self._mirrors: list[OrderedDict[tuple, None]] = []
         # Cumulative wire counters (see wire_stats()).
@@ -327,12 +359,18 @@ class MultiprocessBackend(Backend):
         row lists would have cost — tracked only under
         ``REPRO_WIRE_BASELINE=1`` because it performs the pickling being
         avoided.
+
+        The returned dict is one lock-protected copy: all three counters
+        are read under the stats lock that also guards their increments,
+        so a snapshot taken mid-round is internally consistent rather
+        than a field-by-field read of a mutating dict.
         """
-        return {
-            "parts_shipped": self._wire_parts,
-            "bytes_shipped": self._wire_bytes,
-            "baseline_bytes": self._wire_baseline,
-        }
+        with self._stats_lock:
+            return {
+                "parts_shipped": self._wire_parts,
+                "bytes_shipped": self._wire_bytes,
+                "baseline_bytes": self._wire_baseline,
+            }
 
     def fault_stats(self) -> dict:
         """Cumulative supervision counters since construction.
@@ -341,9 +379,16 @@ class MultiprocessBackend(Backend):
         workers killed by the watchdog), ``respawns`` (single-worker
         restarts), ``resubmitted_jobs`` (jobs re-sent after a fault), and
         ``inline_degradations`` (jobs that ran inline after the retry
-        budget was spent).  All zero on a fault-free session.
+        budget was spent).  All zero on a fault-free session.  Like
+        :meth:`wire_stats`, the copy is taken under the stats lock, so
+        observers mid-recovery see a consistent snapshot.
         """
-        return dict(self._fault_stats)
+        with self._stats_lock:
+            return dict(self._fault_stats)
+
+    def _count_fault(self, key: str, n: int = 1) -> None:
+        with self._stats_lock:
+            self._fault_stats[key] += n
 
     # ------------------------------------------------------------------
     def exchange(
@@ -407,7 +452,7 @@ class MultiprocessBackend(Backend):
             proc.join(timeout=1)  # reap promptly; never leave a zombie
         conns[wi], self._procs[wi] = self._spawn_worker()
         self._mirrors[wi] = OrderedDict()
-        self._fault_stats["respawns"] += 1
+        self._count_fault("respawns")
 
     def close(self) -> None:
         """Stop the pool.  Idempotent, bounded, and zombie-free.
@@ -479,9 +524,15 @@ class MultiprocessBackend(Backend):
         return fps, blobs
 
     def _blob_getter(
-        self, parts: Sequence[list], owner: Any, blobs: list[bytes] | None
+        self, parts: Sequence[list], owner: Any, blobs: list[bytes] | None,
+        meter: Any = None,
     ) -> Callable[[int], bytes]:
-        """Per-op wire-blob supplier, charging the wire counters per ship."""
+        """Per-op wire-blob supplier, charging the wire counters per ship.
+
+        ``meter`` (a :class:`~repro.obs.metrics.WireMeter` or None) is the
+        calling query's private tally, bumped alongside the backend-wide
+        cumulative counters at the one place a part actually ships.
+        """
         wire = getattr(owner, "wire_blob", None) if owner is not None else None
         if wire is not None and getattr(owner, "parts", None) is not parts:
             wire = None
@@ -493,13 +544,18 @@ class MultiprocessBackend(Backend):
                 blob = wire(idx)
             else:
                 blob = pack_blob(parts[idx])
-            self._wire_parts += 1
-            self._wire_bytes += len(blob)
+            baseline = 0
             if self._track_baseline:
                 try:
-                    self._wire_baseline += len(pickle.dumps(parts[idx], _PROTO))
+                    baseline = len(pickle.dumps(parts[idx], _PROTO))
                 except Exception:  # noqa: BLE001 - baseline is best-effort
                     pass
+            with self._stats_lock:
+                self._wire_parts += 1
+                self._wire_bytes += len(blob)
+                self._wire_baseline += baseline
+            if meter is not None:
+                meter.add(len(blob))
             return blob
 
         return get
@@ -531,6 +587,8 @@ class MultiprocessBackend(Backend):
         self,
         ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
         collect: bool = True,
+        meter: Any = None,
+        span: Any = None,
     ) -> list[Any]:
         """Execute a whole op chain in one worker round-trip, plus recovery
         rounds when the cache mirror was stale or a worker faulted.
@@ -542,14 +600,38 @@ class MultiprocessBackend(Backend):
         Rounds are serialized under the backend's I/O lock, so one
         backend instance may be driven from several threads (the
         pipelined executor and cold-path callers) concurrently.
+
+        When ``span`` is a recording span, one ``backend.round`` child
+        covers this whole call — lock wait, dispatch, recovery retries —
+        with per-worker ``worker.round`` children beneath it (including
+        fresh children for resubmission rounds after a respawn, which is
+        how a trace stays complete across chaos-injected deaths).
+        ``meter`` receives every payload this call ships (see
+        :meth:`_blob_getter`).
         """
-        with self._io_lock:
-            return self._run_ops(ops, collect)
+        rspan = None
+        if span is not None and getattr(span, "recording", False):
+            rspan = span.child(
+                "backend.round", backend=self.name,
+                ops=len(ops), collect=collect,
+            )
+        try:
+            with self._io_lock:
+                return self._run_ops(ops, collect, meter, rspan)
+        except BaseException as exc:
+            if rspan is not None:
+                rspan.set(error=type(exc).__name__)
+            raise
+        finally:
+            if rspan is not None:
+                rspan.end()
 
     def _run_ops(
         self,
         ops: Sequence[tuple[Callable, Sequence[list], Any, Any]],
         collect: bool,
+        meter: Any = None,
+        span: Any = None,
     ) -> list[Any]:
         results: list[Any] = [None] * len(ops)
         # Per shipped op k: (fn_ref, common_bytes, fps, blob getter,
@@ -572,7 +654,7 @@ class MultiprocessBackend(Backend):
                 fps = blobs = None
             shipped[k] = (
                 fn_ref, common_spec, fps,
-                self._blob_getter(parts, owner, blobs), fn, parts, common,
+                self._blob_getter(parts, owner, blobs, meter), fn, parts, common,
             )
         if not shipped:
             return results
@@ -619,13 +701,15 @@ class MultiprocessBackend(Backend):
                     steps_by_worker[wi].append((fn_ref, common_spec, jobs[wi]))
                     order[wi].extend((k, job[0]) for job in jobs[wi])
 
-        missed, failed = self._ops_round(steps_by_worker, order, collect, results)
+        missed, failed = self._ops_round(
+            steps_by_worker, order, collect, results, span=span
+        )
         fault_rounds = 0
         miss_rounds = 0
         while missed or failed:
             pending = sorted(set(missed) | set(failed))
             if failed:
-                self._fault_stats["resubmitted_jobs"] += len(failed)
+                self._count_fault("resubmitted_jobs", len(failed))
                 fault_rounds += 1
                 if fault_rounds > self.retry_budget:
                     self._degrade_inline(pending, shipped, results)
@@ -655,7 +739,9 @@ class MultiprocessBackend(Backend):
                 ]
                 steps2[wi].append((fn_ref, common_spec, jobs2))
                 order2[wi].extend((k, idx) for idx in idxs)
-            missed, failed = self._ops_round(steps2, order2, collect, results)
+            missed, failed = self._ops_round(
+                steps2, order2, collect, results, span=span, retry=True
+            )
         return results
 
     def _degrade_inline(
@@ -677,7 +763,7 @@ class MultiprocessBackend(Backend):
                 f"{len(jobs)} jobs unrecovered after {self.retry_budget} "
                 f"resubmission rounds"
             ) from self._last_fault
-        self._fault_stats["inline_degradations"] += len(jobs)
+        self._count_fault("inline_degradations", len(jobs))
         for k, idx in jobs:
             fn, parts, common = shipped[k][4:]
             results[k][idx] = fn(parts[idx], common, idx)
@@ -692,14 +778,14 @@ class MultiprocessBackend(Backend):
                     f"worker reply not received within {self.round_timeout}s"
                 )
                 self._last_fault = fault
-                self._fault_stats["round_timeouts"] += 1
+                self._count_fault("round_timeouts")
                 raise _WorkerGone(fault)
         try:
             return pickle.loads(conn.recv_bytes())
         except (EOFError, OSError) as exc:
             fault = WorkerDied(f"worker pipe broke mid-round: {exc!r}")
             self._last_fault = fault
-            self._fault_stats["worker_deaths"] += 1
+            self._count_fault("worker_deaths")
             raise _WorkerGone(fault) from exc
 
     def _ops_round(
@@ -708,6 +794,8 @@ class MultiprocessBackend(Backend):
         order: Sequence[list[tuple[int, int]]],
         collect: bool,
         results: list[Any],
+        span: Any = None,
+        retry: bool = False,
     ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
         """One supervised request/reply round; fills ``results``.
 
@@ -722,9 +810,19 @@ class MultiprocessBackend(Backend):
         worker's pipe is replaced wholesale by the respawn, which
         restores the same invariant).  Counts as one backend request
         round when anything ships.
+
+        ``span`` is the enclosing ``backend.round`` span (or None when
+        tracing is off): each dispatched worker gets a ``worker.round``
+        child carrying the worker-reported decode/compute seconds from
+        the reply header, or fault/error attributes when the worker
+        leaves the round.  ``retry`` marks resubmission rounds so a
+        trace distinguishes first-try children from post-respawn ones.
         """
         conns = self._conns
         assert conns is not None
+        tracing = span is not None and getattr(span, "recording", False)
+        ctx = (span.trace_id, span.span_id) if tracing else None
+        wspans: dict[int, Any] = {}
         sent: list[int] = []
         failed: list[tuple[int, int]] = []
         dead: list[int] = []
@@ -733,9 +831,14 @@ class MultiprocessBackend(Backend):
                 continue
             try:
                 conns[wi].send_bytes(
-                    pickle.dumps(("ops", collect, steps), _PROTO)
+                    pickle.dumps(("ops", collect, steps, ctx), _PROTO)
                 )
                 sent.append(wi)
+                if tracing:
+                    wspans[wi] = span.child(
+                        "worker.round", worker=wi,
+                        steps=len(steps), jobs=len(order[wi]), retry=retry,
+                    )
             except OSError as exc:
                 # Dead before dispatch: this round's whole slice is lost
                 # (nothing was acknowledged), but the pool and every other
@@ -743,7 +846,12 @@ class MultiprocessBackend(Backend):
                 self._last_fault = WorkerDied(
                     f"worker {wi} dead at dispatch: {exc!r}", worker=wi
                 )
-                self._fault_stats["worker_deaths"] += 1
+                self._count_fault("worker_deaths")
+                if tracing:
+                    span.child(
+                        "worker.round", worker=wi,
+                        steps=len(steps), jobs=len(order[wi]), retry=retry,
+                    ).end(fault="WorkerDied", phase="dispatch")
                 failed.extend(order[wi])
                 dead.append(wi)
         if sent:
@@ -758,11 +866,14 @@ class MultiprocessBackend(Backend):
         errors: list[str] = []
         for wi in sent:
             expected = order[wi]
+            wspan = wspans.get(wi)
             done = 0
             try:
                 header = self._recv(conns[wi], deadline)
                 if header[0] == "err":
                     errors.append(f"worker {wi}: {header[1]}")
+                    if wspan is not None:
+                        wspan.end(error=header[1])
                     continue
                 for j in range(header[1]):
                     idx, status, value = self._recv(conns[wi], deadline)
@@ -773,8 +884,20 @@ class MultiprocessBackend(Backend):
                         results[k][idx] = value
                     # "ack": worker-side cache refreshed; nothing to store.
                     done = j + 1
+                if wspan is not None:
+                    timings = header[2] if len(header) > 2 else []
+                    wspan.end(
+                        decode_seconds=sum(t[0] for t in timings),
+                        compute_seconds=sum(t[1] for t in timings),
+                        computed=sum(t[2] for t in timings),
+                        cache_hits=sum(t[3] for t in timings),
+                    )
             except _WorkerGone as exc:
                 exc.fault.worker = wi
+                if wspan is not None:
+                    wspan.end(
+                        fault=type(exc.fault).__name__, jobs_done=done
+                    )
                 # Keep everything drained so far; resubmit only the tail.
                 failed.extend(expected[done:])
                 dead.append(wi)

@@ -296,17 +296,22 @@ class SharedMemoryBackend(MultiprocessBackend):
         return self._arena.intern(fp, common_bytes, "bytes")
 
     def _blob_getter(
-        self, parts: Sequence[list], owner: Any, blobs: list[bytes] | None
+        self, parts: Sequence[list], owner: Any, blobs: list[bytes] | None,
+        meter: Any = None,
     ) -> Callable[[int], Any]:
         """Descriptor supplier: intern once per content, then refer.
 
         Falls back to the base pipe-shipping getter when parts have no
         fingerprints (no owner / unpicklable rows) — the arena is
         content-addressed, so nameless content has nowhere to live.
+        ``meter`` mirrors the base semantics: it is charged only when
+        content is actually interned (the one-time boundary crossing),
+        not for descriptor re-sends — so a fully warm query meters zero
+        part bytes on this backend, exactly like ``bytes_shipped``.
         """
         store = getattr(owner, "_substrate", None) if owner is not None else None
         fps = store.get("backend_fp") if store is not None else None
-        base_get = super()._blob_getter(parts, owner, blobs)
+        base_get = super()._blob_getter(parts, owner, blobs, meter)
         if fps is None:
             return base_get
         column_parts = getattr(owner, "column_parts", None)
@@ -332,17 +337,21 @@ class SharedMemoryBackend(MultiprocessBackend):
                 # The content crossed a process boundary exactly once;
                 # charge it like a ship so bytes_shipped stays comparable
                 # across backends.
-                self._wire_parts += 1
-                self._wire_bytes += len(payload)
+                baseline = 0
                 if self._track_baseline:
                     try:
-                        self._wire_baseline += len(
-                            pickle.dumps(parts[idx], _PROTO)
-                        )
+                        baseline = len(pickle.dumps(parts[idx], _PROTO))
                     except Exception:  # noqa: BLE001 - best-effort
                         pass
+                with self._stats_lock:
+                    self._wire_parts += 1
+                    self._wire_bytes += len(payload)
+                    self._wire_baseline += baseline
+                if meter is not None:
+                    meter.add(len(payload))
             else:
-                self._descriptor_ships += 1
+                with self._stats_lock:
+                    self._descriptor_ships += 1
             return desc
 
         return get
@@ -350,10 +359,11 @@ class SharedMemoryBackend(MultiprocessBackend):
     # -- observability / lifecycle -------------------------------------
     def wire_stats(self) -> dict:
         stats = super().wire_stats()
-        stats["shm_segments"] = self._arena.segments
-        stats["shm_entries"] = self._arena.entries
-        stats["shm_bytes_interned"] = self._arena.bytes_interned
-        stats["descriptor_ships"] = self._descriptor_ships
+        with self._stats_lock:
+            stats["shm_segments"] = self._arena.segments
+            stats["shm_entries"] = self._arena.entries
+            stats["shm_bytes_interned"] = self._arena.bytes_interned
+            stats["descriptor_ships"] = self._descriptor_ships
         return stats
 
     def close(self) -> None:

@@ -129,6 +129,16 @@ class Cluster:
         #: algorithms knowing deadlines exist.  The engine sets and clears
         #: it around each query.
         self.deadline: float | None = None
+        #: Optional :class:`~repro.obs.metrics.WireMeter` attributing this
+        #: execution's shipped wire bytes to its query.  Set (with
+        #: ``obs_span``) by the engine around one cold execution and
+        #: cleared in a ``finally``; :meth:`Group.map_parts` forwards both
+        #: into every ``Backend.run_ops`` call.  Telemetry only — the
+        #: load ledger below never reads either.
+        self.wire_meter = None
+        #: Optional :class:`~repro.obs.tracing.Span` under which backend
+        #: rounds of this execution parent their spans (None = untraced).
+        self.obs_span = None
         self._totals: list[int] = [0] * p
         self._step_max: int = 0
         self._steps: int = 0

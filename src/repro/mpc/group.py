@@ -184,10 +184,18 @@ class Group:
             raise MPCError(
                 f"expected {self.size} parts, got {len(parts)}"
             )
-        rec = self.cluster.recorder
+        cluster = self.cluster
+        rec = cluster.recorder
         if rec is not None:
             rec.record_map_parts(fn, parts, common, owner)
-        return self.cluster.backend.map_parts(fn, parts, common, owner)
+        # Routed through run_ops (map_parts is its one-op special case on
+        # every backend) so the cluster's per-query wire meter and trace
+        # span ride along; both are None outside an engine execution.
+        return cluster.backend.run_ops(
+            [(fn, parts, common, owner)],
+            meter=cluster.wire_meter,
+            span=cluster.obs_span,
+        )[0]
 
     # ------------------------------------------------------------------
     # Convenience routings built on exchange.

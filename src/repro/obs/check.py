@@ -1,0 +1,223 @@
+"""Schema checkers for observability artifacts (trace JSONL, Prometheus text).
+
+CI's observability smoke job runs ``serve --trace``/``--metrics-out`` on
+the example workload and then validates both artifacts here::
+
+    PYTHONPATH=src python -m repro.obs.check trace.jsonl metrics.prom
+
+Tests import :func:`validate_trace_lines` / :func:`validate_prometheus_text`
+directly, so the checker and the test suite agree on the schema by
+construction.  Both validators return a list of human-readable error
+strings (empty means valid) rather than raising, so one pass reports
+every problem.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import Iterable
+
+__all__ = ["validate_trace_lines", "validate_prometheus_text", "main"]
+
+_SCALAR = (str, int, float, bool, type(None))
+
+# Sample line: name{labels} value   (timestamps are not emitted by us)
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|[+-]Inf|NaN)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def validate_trace_lines(lines: Iterable[str]) -> list[str]:
+    """Validate JSONL span records: field schema plus tree well-formedness.
+
+    Per line: a JSON object with exactly the contract fields (``trace``,
+    ``span``, ``parent``, ``name``, ``ts``, ``dur``, ``attrs``), correct
+    types, scalar attr values.  Per trace: span ids unique, exactly one
+    root (``parent: null``), and every parent id resolving to a span of
+    the same trace — i.e. each trace is one well-formed tree.
+    """
+    errors: list[str] = []
+    spans_by_trace: dict[str, dict[str, str | None]] = {}
+    for lineno, raw in enumerate(lines, 1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            rec = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        if not isinstance(rec, dict):
+            errors.append(f"line {lineno}: record is not an object")
+            continue
+        missing = {"trace", "span", "parent", "name", "ts", "dur", "attrs"} - set(rec)
+        extra = set(rec) - {"trace", "span", "parent", "name", "ts", "dur", "attrs"}
+        if missing:
+            errors.append(f"line {lineno}: missing fields {sorted(missing)}")
+            continue
+        if extra:
+            errors.append(f"line {lineno}: unexpected fields {sorted(extra)}")
+        if not isinstance(rec["trace"], str) or not rec["trace"]:
+            errors.append(f"line {lineno}: 'trace' must be a non-empty string")
+            continue
+        if not isinstance(rec["span"], str) or not rec["span"]:
+            errors.append(f"line {lineno}: 'span' must be a non-empty string")
+            continue
+        if rec["parent"] is not None and not isinstance(rec["parent"], str):
+            errors.append(f"line {lineno}: 'parent' must be a string or null")
+        if not isinstance(rec["name"], str) or not rec["name"]:
+            errors.append(f"line {lineno}: 'name' must be a non-empty string")
+        for field in ("ts", "dur"):
+            if isinstance(rec[field], bool) or not isinstance(rec[field], (int, float)):
+                errors.append(f"line {lineno}: {field!r} must be a number")
+        if isinstance(rec.get("dur"), (int, float)) and rec["dur"] < 0:
+            errors.append(f"line {lineno}: negative duration {rec['dur']}")
+        if not isinstance(rec["attrs"], dict):
+            errors.append(f"line {lineno}: 'attrs' must be an object")
+        else:
+            for k, v in rec["attrs"].items():
+                if not isinstance(v, _SCALAR):
+                    errors.append(
+                        f"line {lineno}: attr {k!r} is not a scalar "
+                        f"({type(v).__name__})"
+                    )
+        spans = spans_by_trace.setdefault(rec["trace"], {})
+        if rec["span"] in spans:
+            errors.append(f"line {lineno}: duplicate span id {rec['span']!r}")
+        spans[rec["span"]] = rec["parent"]
+    for trace_id, spans in spans_by_trace.items():
+        roots = [sid for sid, parent in spans.items() if parent is None]
+        if len(roots) != 1:
+            errors.append(
+                f"trace {trace_id!r}: expected exactly one root span, "
+                f"found {len(roots)}"
+            )
+        for sid, parent in spans.items():
+            if parent is not None and parent not in spans:
+                errors.append(
+                    f"trace {trace_id!r}: span {sid!r} has unknown parent "
+                    f"{parent!r}"
+                )
+    if not spans_by_trace and not errors:
+        errors.append("no span records found")
+    return errors
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Validate the text exposition format structurally.
+
+    Checks line grammar (``# HELP``/``# TYPE`` comments, ``name{labels}
+    value`` samples), that every sample's base name was declared by a
+    ``# TYPE`` line, and histogram integrity: per label-set, cumulative
+    ``_bucket`` counts are non-decreasing, a ``+Inf`` bucket exists, and
+    it equals the ``_count`` sample.
+    """
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    # (hist name, labels-without-le) -> list of (le, cumulative count)
+    buckets: dict[tuple[str, tuple], list[tuple[float, float]]] = {}
+    counts: dict[tuple[str, tuple], float] = {}
+    saw_sample = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    errors.append(f"line {lineno}: unknown metric type {kind!r}")
+                types[parts[2]] = kind
+            elif len(parts) >= 2 and parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"line {lineno}: malformed comment {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample line {line!r}")
+            continue
+        saw_sample = True
+        name, label_blob, value_s = m.group(1), m.group(2) or "", m.group(3)
+        labels = dict(_LABEL_RE.findall(label_blob[1:-1])) if label_blob else {}
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stripped and types.get(stripped) == "histogram":
+                base = stripped
+                break
+        if base not in types:
+            errors.append(f"line {lineno}: sample {name!r} has no # TYPE declaration")
+            continue
+        if types[base] == "histogram":
+            key_labels = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            if name.endswith("_bucket"):
+                le_s = labels.get("le")
+                if le_s is None:
+                    errors.append(f"line {lineno}: histogram bucket without 'le'")
+                    continue
+                le = float("inf") if le_s == "+Inf" else float(le_s)
+                buckets.setdefault((base, key_labels), []).append(
+                    (le, float(value_s))
+                )
+            elif name.endswith("_count"):
+                counts[(base, key_labels)] = float(value_s)
+    for (base, key_labels), series in buckets.items():
+        series.sort(key=lambda p: p[0])
+        label_txt = dict(key_labels) or ""
+        prev = -1.0
+        for le, cum in series:
+            if cum < prev:
+                errors.append(
+                    f"histogram {base}{label_txt}: bucket counts decrease at le={le}"
+                )
+            prev = cum
+        if not series or series[-1][0] != float("inf"):
+            errors.append(f"histogram {base}{label_txt}: missing +Inf bucket")
+        else:
+            total = counts.get((base, key_labels))
+            if total is not None and total != series[-1][1]:
+                errors.append(
+                    f"histogram {base}{label_txt}: _count {total} != +Inf "
+                    f"bucket {series[-1][1]}"
+                )
+    if not saw_sample and not errors:
+        errors.append("no samples found")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2:
+        print("usage: python -m repro.obs.check TRACE_JSONL METRICS_PROM",
+              file=sys.stderr)
+        return 2
+    trace_path, prom_path = argv
+    failed = False
+    with open(trace_path, encoding="utf-8") as fh:
+        trace_errors = validate_trace_lines(fh)
+    lines = sum(1 for line in open(trace_path, encoding="utf-8") if line.strip())
+    if trace_errors:
+        failed = True
+        print(f"FAIL {trace_path}: {len(trace_errors)} error(s)")
+        for err in trace_errors[:50]:
+            print(f"  - {err}")
+    else:
+        print(f"ok {trace_path}: {lines} span(s), schema valid")
+    with open(prom_path, encoding="utf-8") as fh:
+        prom_errors = validate_prometheus_text(fh.read())
+    if prom_errors:
+        failed = True
+        print(f"FAIL {prom_path}: {len(prom_errors)} error(s)")
+        for err in prom_errors[:50]:
+            print(f"  - {err}")
+    else:
+        print(f"ok {prom_path}: exposition valid")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -36,6 +36,7 @@ the result-cache rule of DESIGN.md 5.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.plan.fuse import fusion_groups
@@ -56,21 +57,44 @@ class Executor:
             via :meth:`Backend.submit_ops` (see module docstring).  When
             False, every round is dispatched and awaited synchronously —
             the PR-5 behaviour, kept as the benchmark baseline.
+        meter: Optional :class:`~repro.obs.metrics.WireMeter` passed into
+            every backend round, attributing this replay's shipped bytes
+            to its query (pipelined rounds run on the backend's
+            dispatcher thread, so attribution must travel with the batch,
+            never via thread-local state).
+        span: Optional :class:`~repro.obs.tracing.Span` the backend
+            parents its ``backend.round`` spans under.  The span tree
+            stays well-nested even pipelined, because the finally-drain
+            below awaits every in-flight round before the caller can end
+            this span.
     """
 
     def __init__(
-        self, cluster: Any, fusion: bool = True, pipeline: bool = True
+        self, cluster: Any, fusion: bool = True, pipeline: bool = True,
+        meter: Any = None, span: Any = None,
     ) -> None:
         self.cluster = cluster
         self.fusion = fusion
         self.pipeline = pipeline
+        self.meter = meter
+        self.span = span
 
-    def replay(self, plan: PhysicalPlan) -> dict[str, int]:
+    def replay(
+        self, plan: PhysicalPlan, timed: bool = False
+    ) -> dict[str, Any]:
         """Execute the plan; returns replay stats for the caller's metrics.
 
         The caller snapshots the cluster afterwards; the snapshot equals
         the traced execution's report exactly.
+
+        With ``timed=True`` the fast path is abandoned for a measuring
+        one (:meth:`_replay_timed`): every op runs as its own awaited
+        round with per-op wall-clock and wire deltas collected into an
+        ``op_timings`` entry of the stats — the engine of
+        ``repro explain --timings``.
         """
+        if timed:
+            return self._replay_timed(plan)
         cluster = self.cluster
         backend = cluster.backend
         tally = cluster.tally_members
@@ -93,9 +117,15 @@ class Executor:
                         for j in group
                     ]
                     if self.pipeline:
-                        pending.append(backend.submit_ops(batch, collect=False))
+                        pending.append(backend.submit_ops(
+                            batch, collect=False,
+                            meter=self.meter, span=self.span,
+                        ))
                     else:
-                        backend.run_ops(batch, collect=False)
+                        backend.run_ops(
+                            batch, collect=False,
+                            meter=self.meter, span=self.span,
+                        )
                     # Charge ops check the deadline inside tally_members;
                     # this covers replays whose remaining ops are all
                     # backend rounds, so a deadline cancels between rounds
@@ -124,4 +154,55 @@ class Executor:
             "map_ops": n_map,
             "groups": len(groups),
             "backend_requests": backend.requests - requests_before,
+        }
+
+    def _replay_timed(self, plan: PhysicalPlan) -> dict[str, Any]:
+        """Measuring replay: one awaited round per op, wall/wire per op.
+
+        Deliberately unfused and unpipelined — fusing would smear several
+        ops' time into one round, and pipelining would bill a round's
+        in-flight time to whichever op happened to await it.  Runs with
+        ``collect=True`` so the compute actually executes everywhere
+        (serial's ``collect=False`` fast path skips execution entirely,
+        which would time nothing) and warm worker memo hits still pay
+        their real request/result-shipping cost.  Ledger charges replay
+        identically to the fast path — charging is collect-independent —
+        so a timed replay still satisfies the replay contract.
+
+        Returns the usual stats plus ``op_timings``: ``{op_index:
+        {"wall": seconds, "wire": bytes}}`` for every Charge and MapParts
+        op (structural ops take no time and get no entry).
+        """
+        from repro.obs.metrics import WireMeter
+
+        cluster = self.cluster
+        backend = cluster.backend
+        meter = self.meter if self.meter is not None else WireMeter()
+        requests_before = backend.requests
+        op_timings: dict[int, dict[str, float]] = {}
+        n_map = 0
+        for i, op in enumerate(plan.ops):
+            if isinstance(op, Charge):
+                t0 = time.perf_counter()
+                cluster.tally_members(op.members, op.counts, op.label)
+                op_timings[i] = {"wall": time.perf_counter() - t0, "wire": 0}
+            elif isinstance(op, MapParts):
+                n_map += 1
+                wire_before = meter.bytes
+                t0 = time.perf_counter()
+                backend.run_ops(
+                    [(op.fn, op.parts, op.common, op.owner)],
+                    collect=True, meter=meter, span=self.span,
+                )
+                op_timings[i] = {
+                    "wall": time.perf_counter() - t0,
+                    "wire": meter.bytes - wire_before,
+                }
+                cluster.check_deadline()
+        return {
+            "ops": len(plan.ops),
+            "map_ops": n_map,
+            "groups": n_map,
+            "backend_requests": backend.requests - requests_before,
+            "op_timings": op_timings,
         }

@@ -182,6 +182,24 @@ class AttachDegrees(PrimSpan):
     """The fused sum-by-key + multi-search behind heavy/light splits."""
 
 
+def _fmt_seconds(seconds: float) -> str:
+    """Compact duration for explain columns: 1.23s / 4.56ms / 789us."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _fmt_bytes(n: int) -> str:
+    """Compact byte count for explain columns: 1.5MiB / 2.0KiB / 37B."""
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}MiB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}KiB"
+    return f"{n}B"
+
+
 @dataclass(eq=False)
 class PhysicalPlan:
     """A replayable recording of one query execution's op schedule.
@@ -223,8 +241,19 @@ class PhysicalPlan:
         return dict(Counter(op.kind for op in self.ops))
 
     # ------------------------------------------------------------------
-    def explain(self, fusion: bool = True) -> str:
-        """Human-readable plan: ops, fusion groups, per-op ledger units."""
+    def explain(
+        self, fusion: bool = True,
+        timings: "dict[int, dict[str, float]] | None" = None,
+    ) -> str:
+        """Human-readable plan: ops, fusion groups, per-op ledger units.
+
+        ``timings`` (from a timed replay — ``Executor.replay(plan,
+        timed=True)["op_timings"]``, keyed by op index) appends measured
+        ``wall=``/``wire=`` columns per op, so the ledger's *load* story
+        and the measured *time/bytes* story line up row by row.  A
+        :class:`PrimSpan` line aggregates the timings of the ops it
+        covers, same as its units column.
+        """
         from repro.plan.fuse import fusion_groups
 
         groups = fusion_groups(self.ops, fuse=fusion)
@@ -256,6 +285,36 @@ class PhysicalPlan:
                 f"backend request(s) ({ratio:.1f}x round-trip reduction)"
                 + ("" if fusion else "  [fusion disabled]")
             )
+        if timings is not None:
+            total_wall = sum(t["wall"] for t in timings.values())
+            total_wire = sum(t["wire"] for t in timings.values())
+            lines.append(
+                f"  timings: {_fmt_seconds(total_wall)} measured wall, "
+                f"{_fmt_bytes(int(total_wire))} shipped "
+                f"(timed per-op replay, unfused)"
+            )
+
+        def cols(i: int, end: int | None = None) -> str:
+            if timings is None:
+                return ""
+            if end is None:
+                t = timings.get(i)
+                if t is None:
+                    return ""
+                wall, wire = t["wall"], t["wire"]
+            else:
+                covered = [
+                    timings[j] for j in range(i, end) if j in timings
+                ]
+                if not covered:
+                    return ""
+                wall = sum(t["wall"] for t in covered)
+                wire = sum(t["wire"] for t in covered)
+            out = f"  wall={_fmt_seconds(wall)}"
+            if wire:
+                out += f" wire={_fmt_bytes(int(wire))}"
+            return out
+
         for i, op in enumerate(self.ops):
             pad = "  " * (len(op.path) + 1)
             if isinstance(op, PrimSpan):
@@ -264,16 +323,20 @@ class PhysicalPlan:
                     for c in self.ops[op.start : op.end]
                     if isinstance(c, Charge)
                 )
-                lines.append(f"{pad}[{op.kind}] {op.detail}  units={units}")
+                lines.append(
+                    f"{pad}[{op.kind}] {op.detail}  units={units}"
+                    + cols(op.start, op.end)
+                )
             elif isinstance(op, Charge):
                 fam = f" x{len(op.members)}" if len(op.members) > 1 else ""
                 lines.append(
                     f"{pad}{op.kind} {op.label}{fam}  units={op.units}"
+                    + cols(i)
                 )
             elif isinstance(op, MapParts):
                 lines.append(
                     f"{pad}MapParts {op.fn_ref}  (fusion group "
-                    f"{group_of.get(i, '?')})"
+                    f"{group_of.get(i, '?')})" + cols(i)
                 )
             else:
                 lines.append(f"{pad}{op.kind} {getattr(op, 'detail', '')}")

@@ -40,8 +40,8 @@ def capture_engine(monkeypatch):
     captured: dict = {}
     original = cli._load_engine
 
-    def spy(args):
-        engine = original(args)
+    def spy(args, **kwargs):
+        engine = original(args, **kwargs)
         captured["backend_arg"] = args.backend
         captured["engine"] = engine
         return engine
