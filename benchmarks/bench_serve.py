@@ -1,0 +1,270 @@
+"""Serving-tier benchmark: front door (N replicas) vs one engine.
+
+A seeded heavy-traffic deck — the mixed workload of
+``benchmarks/bench_engine.py`` drawn ~uniformly at random — is served
+two ways over the same registered base relations:
+
+* **single engine** — one persistent :class:`repro.engine.Engine`
+  serving the deck request-by-request (the replicas=1 baseline);
+* **front door** — a :class:`repro.serve.Frontdoor` over N engine
+  replicas, each with its *own* backend worker pool: canonical-form
+  routing, micro-batching, and cross-replica plan shipping.
+
+Both sides run with the result cache off, so every warm request replays
+its traced physical plan against the backend — real per-request work
+whose backend I/O the replicas can overlap.  Before any timing, two
+gates must pass (the script refuses to write results otherwise):
+
+* **parity** — every front-door response (outputs, scalar, full
+  LoadReport ledger) is bit-identical to the single engine's;
+* **zero re-traces** — each distinct query traces cold exactly once
+  tier-wide, ships to every peer replica (``plans_shipped`` =
+  distinct × (N−1), no rejections), and every post-warmup request is a
+  plan replay on whichever replica it routed to.
+
+Reported per side: throughput (requests/s, best round) and request
+latency percentiles (p50/p95/p99).  With ``--check`` the run fails
+unless the front door reaches 1.3x the single engine's throughput —
+gated only when the host has more than one CPU (replica overlap is
+backend-process parallelism; on a single-CPU host the ratio is recorded
+but not enforced).
+
+Run:  python benchmarks/bench_serve.py [--quick] [--check]
+          [--backend NAME] [--replicas N] [output.json]
+Writes ``BENCH_serve.json`` (repo root by default).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+from _common import finish_payload, latency_summary
+
+from repro.engine import Engine
+from repro.mpc import shutdown_backends
+from repro.serve import Frontdoor
+
+from bench_engine import WORKLOAD, _base_relations, _engine_payload
+
+P = 8
+
+
+def _deck(quick: bool, seed: int = 42) -> list[str]:
+    """The heavy-traffic request deck: a seeded draw over the workload."""
+    requests = 80 if quick else 320
+    rng = random.Random(seed)
+    return [rng.choice(WORKLOAD) for _ in range(requests)]
+
+
+def _wait_for(predicate, timeout: float = 300.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.01)
+    return True
+
+
+def _verify_gates(door: Frontdoor, expected: dict, deck: list[str]) -> int:
+    """Parity + zero-re-trace gates; returns plans_shipped.
+
+    Leaves the whole tier warm, so the timed rounds that follow measure
+    steady-state serving.
+    """
+    distinct = list(WORKLOAD)
+    first = [f.result() for f in door.submit_many(distinct)]
+    for text, res in zip(distinct, first):
+        if not res.ok:
+            raise AssertionError(f"front door failed {text!r}: {res.error}")
+        if res.metrics.plan_replayed:
+            raise AssertionError(f"first execution of {text!r} was not cold")
+
+    want = len(distinct) * (door.replicas - 1)
+    if not _wait_for(lambda: door.stats().plans_shipped >= want):
+        s = door.stats()
+        raise AssertionError(
+            f"plan shipping stalled: {s.plans_shipped}/{want} shipped, "
+            f"{s.plans_rejected} rejected"
+        )
+    s = door.stats()
+    if s.plans_rejected:
+        raise AssertionError(f"{s.plans_rejected} plan installs rejected")
+    installed = sum(e.stats().plans_installed for e in door.engines)
+    if installed != want:
+        raise AssertionError(f"installed {installed} plans, wanted {want}")
+
+    # One untimed pass of the full deck: parity on every response, and
+    # zero re-traces anywhere in the warm tier.
+    results = [f.result() for f in door.submit_many(deck)]
+    for text, res in zip(deck, results):
+        if not res.ok:
+            raise AssertionError(f"front door failed {text!r}: {res.error}")
+        if not res.metrics.plan_replayed:
+            raise AssertionError(f"warm tier re-traced {text!r}")
+        want_res = expected[text]
+        if _engine_payload(res) != _engine_payload(want_res):
+            raise AssertionError(f"front-door outputs diverge on {text!r}")
+        if res.report.as_dict() != want_res.report.as_dict():
+            raise AssertionError(f"front-door ledger diverges on {text!r}")
+    if door.stats().plans_shipped != want:
+        raise AssertionError("warm tier re-shipped an unchanged plan")
+    return want
+
+
+def _time_engine(engine: Engine, deck: list[str], rounds: int) -> dict:
+    best_wall, samples = float("inf"), []
+    for _ in range(rounds):
+        round_samples = []
+        t0 = time.perf_counter()
+        for text in deck:
+            t1 = time.perf_counter()
+            engine.execute(text)
+            round_samples.append(time.perf_counter() - t1)
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall, samples = wall, round_samples
+    return {
+        "wall_seconds": round(best_wall, 4),
+        "throughput_rps": round(len(deck) / best_wall, 2),
+        "latency": latency_summary(samples),
+    }
+
+
+def _time_frontdoor(door: Frontdoor, deck: list[str], rounds: int) -> dict:
+    best_wall, samples = float("inf"), []
+    for _ in range(rounds):
+        round_samples: list[float] = []
+        futures = []
+        t0 = time.perf_counter()
+        for text in deck:
+            t1 = time.perf_counter()
+            fut = door.submit(text)
+            fut.add_done_callback(
+                lambda _f, t1=t1: round_samples.append(
+                    time.perf_counter() - t1
+                )
+            )
+            futures.append(fut)
+        for fut in futures:
+            fut.result()
+        wall = time.perf_counter() - t0
+        if wall < best_wall:
+            best_wall, samples = wall, round_samples
+    return {
+        "wall_seconds": round(best_wall, 4),
+        "throughput_rps": round(len(deck) / best_wall, 2),
+        "latency": latency_summary(samples),
+    }
+
+
+def bench(
+    quick: bool = False,
+    check: bool = False,
+    backend: str = "multiprocess",
+    replicas: int = 3,
+) -> dict:
+    relations = _base_relations(quick)
+    deck = _deck(quick)
+    rounds = 2 if quick else 3
+
+    engine = Engine(p=P, backend=backend, result_cache=False)
+    for name, rel in relations.items():
+        engine.register(rel, name=name)
+    expected = {text: engine.execute(text) for text in WORKLOAD}
+
+    # shed_after covers the whole deck: this is a closed-loop throughput
+    # benchmark, not an overload test — nothing may shed.
+    with Frontdoor(
+        p=P, replicas=replicas, backend=backend, result_cache=False,
+        shed_after=len(deck),
+    ) as door:
+        for name, rel in relations.items():
+            door.register(rel, name=name)
+        plans_shipped = _verify_gates(door, expected, deck)
+        print(
+            f"gates: parity ok on {len(deck)} requests, "
+            f"{plans_shipped} plans shipped, zero re-traces"
+        )
+        single = _time_engine(engine, deck, rounds)
+        tiered = _time_frontdoor(door, deck, rounds)
+        door_stats = door.stats().as_dict()
+
+    ratio = round(tiered["throughput_rps"] / single["throughput_rps"], 3)
+    gated = check and (os.cpu_count() or 1) > 1
+    for name, side in (("single", single), ("frontdoor", tiered)):
+        lat = side["latency"]
+        print(
+            f"{name:10s} {side['throughput_rps']:8.1f} req/s  "
+            f"p50 {lat['p50'] * 1e3:6.2f}ms  p95 {lat['p95'] * 1e3:6.2f}ms  "
+            f"p99 {lat['p99'] * 1e3:6.2f}ms"
+        )
+    print(f"throughput ratio {ratio:.2f}x ({'gated' if gated else 'ungated'})")
+    if gated and ratio < 1.3:
+        raise AssertionError(
+            f"front door reached only {ratio:.2f}x the single engine "
+            f"(threshold 1.3x, cpu_count={os.cpu_count()})"
+        )
+
+    return {
+        "p": P,
+        "quick": quick,
+        "cpu_count": os.cpu_count(),
+        "backend": backend,
+        "replicas": replicas,
+        "requests": len(deck),
+        "distinct_queries": len(WORKLOAD),
+        "parity_verified": True,
+        "zero_retrace_verified": True,
+        "plans_shipped": plans_shipped,
+        "single_engine": single,
+        "frontdoor": tiered,
+        "frontdoor_stats": door_stats,
+        "throughput_ratio": ratio,
+        "ratio_gated": gated,
+        "note": (
+            "A seeded mixed deck served by one warm engine vs a "
+            "front door over N engine replicas (own backend pools, "
+            "canonical-form routing, micro-batching, plan shipping); "
+            "result cache off on both sides so every warm request "
+            "replays its traced plan against the backend.  Outputs and "
+            "full LoadReports verified bit-identical, and zero "
+            "re-traces verified tier-wide, before timing.  The 1.3x "
+            "throughput gate applies under --check on multi-CPU hosts "
+            "only; the ratio is always recorded."
+        ),
+    }
+
+
+def main(argv: list[str]) -> None:
+    quick = "--quick" in argv
+    check = "--check" in argv
+    backend = "multiprocess"
+    if "--backend" in argv:
+        backend = argv[argv.index("--backend") + 1]
+    replicas = 3
+    if "--replicas" in argv:
+        replicas = int(argv[argv.index("--replicas") + 1])
+    skip = {"--backend", "--replicas"}
+    paths = [
+        a for i, a in enumerate(argv)
+        if not a.startswith("-") and (i == 0 or argv[i - 1] not in skip)
+    ]
+    out_path = (
+        Path(paths[0]) if paths
+        else Path(__file__).parent.parent / "BENCH_serve.json"
+    )
+    data = finish_payload(
+        bench(quick=quick, check=check, backend=backend, replicas=replicas)
+    )
+    shutdown_backends()
+    out_path.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -129,6 +129,14 @@ def _build_parser() -> argparse.ArgumentParser:
     s.add_argument("--no-pipeline", action="store_true",
                    help="await every replay round synchronously instead of "
                         "overlapping charge posting with in-flight rounds")
+    s.add_argument("--replicas", type=int, default=1,
+                   help="serve through the sharded front door with this "
+                        "many engine replicas (routing, admission, "
+                        "micro-batching, plan shipping); --threads/--budget "
+                        "apply to single-replica mode only")
+    s.add_argument("--shed-after", type=int, default=64,
+                   help="per-replica backlog bound before admission sheds "
+                        "(front-door mode only)")
     s.add_argument("--trace", metavar="JSONL",
                    help="write the session's span records (engine -> "
                         "executor -> backend -> worker rounds) to this "
@@ -169,6 +177,60 @@ def _load_engine(args, tracer=None) -> "Engine":
     for path in sorted(Path(args.data_dir).glob("*.csv")):
         engine.register(read_relation_csv(path))
     return engine
+
+
+def _serve_frontdoor(args, workload, tracer=None) -> int:
+    """Serve a workload through the multi-replica front door."""
+    import os
+    from pathlib import Path
+
+    from repro.io import read_relation_csv
+    from repro.serve import Frontdoor
+
+    backend = args.backend
+    if args.chaos:
+        backend = "chaos"
+        if args.chaos_seed is not None:
+            os.environ["REPRO_CHAOS_SEED"] = str(args.chaos_seed)
+    with Frontdoor(
+        p=args.servers,
+        replicas=args.replicas,
+        backend=backend,
+        shed_after=args.shed_after,
+        tracer=tracer,
+        pipeline=not args.no_pipeline,
+    ) as door:
+        for path in sorted(Path(args.data_dir).glob("*.csv")):
+            door.register(read_relation_csv(path))
+        for rnd in range(max(1, args.repeat)):
+            if rnd:
+                # Per-round percentiles: drop last round's counters and
+                # histograms, keep the registered stat views.
+                door.registry.reset()
+            futures = door.submit_many(workload, best_effort=True)
+            for fut in futures:
+                try:
+                    res = fut.result()
+                except Exception as exc:  # shed at the door
+                    print(f"REJECTED: {exc}")
+                    continue
+                if not res.ok:
+                    print(f"FAILED {res.metrics.text!r}: {res.metrics.error}")
+        print("front door:")
+        stats = door.stats().as_dict()
+        print("  " + " ".join(f"{k}={stats[k]}" for k in sorted(stats)))
+        print("per-replica session totals:")
+        for i, eng in enumerate(door.engines):
+            print(f"  replica {i}: {eng.stats().summary()}")
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace} "
+                  f"({tracer.sink.emitted} spans)")
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as fh:
+                fh.write(door.metrics_text())
+            print(f"metrics written to {args.metrics_out}")
+    return 0
 
 
 def _print_execution(res) -> None:
@@ -237,10 +299,6 @@ def main(argv: list[str] | None = None) -> int:
                 line.strip() for line in fh
                 if line.strip() and not line.lstrip().startswith("#")
             ]
-        if args.chaos:
-            from repro.mpc.backends.chaos import FaultInjectingBackend
-
-            args.backend = FaultInjectingBackend(seed=args.chaos_seed)
         tracer = None
         if args.trace:
             from repro.obs import SpanSink, Tracer
@@ -248,9 +306,19 @@ def main(argv: list[str] | None = None) -> int:
             # Truncate up front: the sink appends on every flush.
             open(args.trace, "w").close()
             tracer = Tracer(SpanSink(path=args.trace))
+        if args.replicas > 1:
+            return _serve_frontdoor(args, workload, tracer=tracer)
+        if args.chaos:
+            from repro.mpc.backends.chaos import FaultInjectingBackend
+
+            args.backend = FaultInjectingBackend(seed=args.chaos_seed)
         engine = _load_engine(args, tracer=tracer)
         report = None
-        for _ in range(max(1, args.repeat)):
+        for rnd in range(max(1, args.repeat)):
+            if rnd:
+                # Per-round percentiles: drop last round's counters and
+                # histograms, keep the registered stat views.
+                engine.registry.reset()
             report = engine.submit_batch(
                 workload, threads=args.threads, budget=args.budget
             )

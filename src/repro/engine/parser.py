@@ -57,9 +57,19 @@ _ATOM = re.compile(r"([A-Za-z_]\w*(?:@\d+)?)\s*\(([^()]*)\)")
 _HEAD = re.compile(r"\A\s*([A-Za-z_]\w*)\s*\((.*)\)\s*\Z", re.DOTALL)
 
 
-def _suggest(name: str, candidates, what: str) -> str:
-    """``"; did you mean X?"`` suffix from close matches, or ''."""
-    close = difflib.get_close_matches(name, list(candidates), n=3, cutoff=0.5)
+def _suggest(
+    name: str, candidates, what: str, empty: str = "the catalog is empty"
+) -> str:
+    """``"; did you mean X?"`` suffix from close matches, or the catalog.
+
+    With zero candidates there is nothing to suggest and nothing to list —
+    say so explicitly (``empty``) instead of rendering an empty
+    enumeration (``"; available: "``), which reads like a formatting bug.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        return f"; {what}: none ({empty})"
+    close = difflib.get_close_matches(name, candidates, n=3, cutoff=0.5)
     if not close:
         return f"; {what}: {', '.join(sorted(candidates))}"
     return f"; did you mean {' or '.join(close)}?"
@@ -269,7 +279,10 @@ def parse_query(text: str) -> ParsedQuery:
     if unknown:
         raise ParseError(
             f"head variable(s) {unknown} do not appear in the body"
-            + _suggest(unknown[0], body_attrs, "body variables")
+            + _suggest(
+                unknown[0], body_attrs, "body variables",
+                empty="the body binds no variables",
+            )
         )
 
     output_attrs: tuple[str, ...] | None = head_attrs

@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.core.planner import price_fold_orders
-from repro.data.columns import ColumnBlock, pack_blob
+from repro.data.columns import ColumnBlock, pack_blob, unpack_blob
 from repro.core.runner import (
     ALGORITHMS,
     auto_algorithm,
@@ -69,6 +69,7 @@ from repro.errors import (
     DeadlineExceeded,
     EngineError,
     FaultError,
+    PlanShipError,
     QueryQuarantined,
     ReproError,
 )
@@ -77,7 +78,17 @@ from repro.mpc.cluster import Cluster, LoadReport
 from repro.mpc.distrel import DistRelation, distribute_instance, distribute_relation
 from repro.obs import MetricsRegistry, NULL_TRACER, WireMeter, percentiles
 from repro.plan import Executor, PhysicalPlan, TraceRecorder
+from repro.plan.ship import (
+    decode_ops,
+    decode_plan,
+    encode_ops,
+    encode_plan,
+    plan_digest,
+    relation_digest,
+    resolve_fn,
+)
 from repro.query.classify import classify
+from repro.semiring.semirings import ALL_SEMIRINGS
 
 __all__ = [
     "BatchReport",
@@ -298,6 +309,10 @@ class EngineStats:
     invalidations: int = 0
     result_hits: int = 0
     plan_replays: int = 0
+    #: Shipped plans installed into this engine's plan cache (the serving
+    #: tier's cross-replica plan index feeds this; a local cold trace does
+    #: not count).
+    plans_installed: int = 0
     total_load: int = 0
     max_load: int = 0
     total_wall_seconds: float = 0.0
@@ -416,6 +431,7 @@ class EngineStats:
             "invalidations": self.invalidations,
             "result_hits": self.result_hits,
             "plan_replays": self.plan_replays,
+            "plans_installed": self.plans_installed,
             "total_load": self.total_load,
             "max_load": self.max_load,
             "total_wall_seconds": self.total_wall_seconds,
@@ -654,11 +670,18 @@ class Engine:
     def _base(self, name: str) -> Relation:
         rel = self._relations.get(name)
         if rel is None:
+            if not self._relations:
+                # Nothing to fuzzy-match or enumerate: say what is
+                # actually wrong instead of printing an empty list.
+                raise EngineError(
+                    f"no registered relation {name!r}; the catalog is "
+                    f"empty — register relations before querying"
+                )
             close = difflib.get_close_matches(name, self._relations, n=3, cutoff=0.5)
             hint = (
                 f"; did you mean {' or '.join(close)}?"
                 if close
-                else f"; registered: {sorted(self._relations) or '(none)'}"
+                else f"; registered: {sorted(self._relations)}"
             )
             raise EngineError(f"no registered relation {name!r}{hint}")
         return rel
@@ -1689,6 +1712,257 @@ class Engine:
         return trace, stats["op_timings"]
 
     # ------------------------------------------------------------------
+    # Plan shipping (DESIGN.md section 11): export/install warm state
+    # ------------------------------------------------------------------
+    def export_plan(
+        self, query: str | ParsedQuery, algorithm: str = "auto"
+    ) -> bytes:
+        """Encode this engine's warm state for a query into portable bytes.
+
+        The blob (wire format: :mod:`repro.plan.ship`) carries the traced
+        op schedule, the recorded outputs + ledger, the planning-stats
+        fingerprint, and per-relation content digests.  Another engine
+        over the same data :meth:`install_plan`\\ s it and serves the
+        query warm — zero re-traces — exactly as if it had executed the
+        query itself.
+
+        Raises:
+            PlanShipError: The query has no current trace + recording on
+                this engine (execute it first), or a payload value
+                resists serialization.
+        """
+        parsed = query if isinstance(query, ParsedQuery) else parse_query(query)
+        with self._lock:
+            entry = self._plans.get(self._plan_key(parsed, algorithm))
+            versions = self._current_versions(parsed)
+            trace = entry.trace if entry is not None else None
+            cached = entry.cached_result if entry is not None else None
+            if (
+                entry is None
+                or trace is None
+                or cached is None
+                or trace.relation_versions != versions
+                or cached.relation_versions != versions
+            ):
+                raise PlanShipError(
+                    f"nothing to export for {parsed.text!r}: a shippable "
+                    f"plan needs a current trace and recording — execute "
+                    f"the query on this engine first"
+                )
+            digests = {
+                b.relation: relation_digest(self._relations[b.relation])
+                for b in parsed.bindings
+            }
+
+            # Identity-match each MapParts op back to the distributed
+            # relation it ran over; mid-execution intermediates (parts
+            # born inside the driver) find no match and ship unbound.
+            dist_items = list(self._dist_cache.items())
+
+            def source_of(op: Any) -> "tuple | None":
+                for k, dist in dist_items:
+                    if op.owner is dist and op.parts is dist.parts:
+                        name, _version, edge, variables, aggregate = k
+                        return ("base", name, edge, variables, aggregate)
+                return None
+
+            stored = cached.relation
+            if isinstance(stored, _ColumnarPayload):
+                result: tuple = (
+                    "dist", stored.name, stored.attrs,
+                    [pack_blob((), b) for b in stored.blocks],
+                )
+            elif isinstance(stored, Relation):
+                result = (
+                    "rel", stored.name, stored.attrs, list(stored.rows),
+                    (
+                        list(stored.annotations)
+                        if stored.annotations is not None else None
+                    ),
+                    getattr(stored.semiring, "name", None),
+                )
+            elif stored is None:
+                result = ("none",)
+            else:  # pragma: no cover - no other recording payloads exist
+                raise PlanShipError(
+                    f"recording payload {type(stored).__name__} is not "
+                    f"shippable"
+                )
+            rep = cached.report
+            payload = {
+                "query": entry.parsed.text,
+                "kind": entry.kind,
+                "algorithm": entry.algorithm,
+                "algorithm_request": algorithm,
+                "p": self.p,
+                "backend": self.backend_name,
+                "fingerprint": entry.fingerprint,
+                "relation_digests": digests,
+                "ops": encode_ops(trace.ops, source_of),
+                "result": result,
+                "report": {
+                    "p": rep.p,
+                    "totals": tuple(rep.totals),
+                    "load": rep.load,
+                    "max_step_load": rep.max_step_load,
+                    "steps": rep.steps,
+                    "by_label": dict(rep.by_label),
+                },
+                "meta": dict(cached.meta),
+                "out_size": cached.out_size,
+                "scalar": cached.scalar,
+            }
+            return encode_plan(payload)
+
+    def install_plan(self, blob: bytes) -> str:
+        """Install a shipped plan into this engine's caches; returns its digest.
+
+        Revalidates before touching anything: envelope digest, cluster
+        size, per-relation *content* digests (the recorded outputs are
+        only the truth over byte-identical data), and the planning-stats
+        fingerprint against this engine's own compile of the same query
+        (the existing revalidation mechanism).  On success the entry
+        holds a rebuilt trace + recording under this engine's relation
+        versions, so its next execution replays warm — zero re-traces.
+        Any mismatch raises and leaves the engine as it was: the next
+        execution simply traces cold.
+
+        Raises:
+            PlanShipError: Corrupt blob, incompatible cluster size,
+                missing/mismatched relations, stats-fingerprint drift, or
+                an fn reference outside the allowlisted registry.
+        """
+        payload = decode_plan(blob)
+        try:
+            parsed = parse_query(payload["query"])
+            algorithm_request = payload["algorithm_request"]
+            ship_p = payload["p"]
+            ship_digests = payload["relation_digests"]
+            ship_fingerprint = payload["fingerprint"]
+            ship_algorithm = payload["algorithm"]
+            ship_kind = payload["kind"]
+            op_records = payload["ops"]
+            result_desc = payload["result"]
+            rep = payload["report"]
+        except KeyError as exc:
+            raise PlanShipError(f"plan payload missing field {exc}") from exc
+        with self._lock:
+            if ship_p != self.p:
+                raise PlanShipError(
+                    f"plan was traced at p={ship_p}; this engine serves "
+                    f"p={self.p}"
+                )
+            for name, digest in ship_digests.items():
+                rel = self._relations.get(name)
+                if rel is None:
+                    raise PlanShipError(
+                        f"plan touches relation {name!r}, not registered "
+                        f"on this engine"
+                    )
+                if relation_digest(rel) != digest:
+                    raise PlanShipError(
+                        f"content digest mismatch for relation {name!r}: "
+                        f"this engine's data differs from the tracing "
+                        f"engine's"
+                    )
+            entry, _status = self._resolve(parsed, algorithm_request)
+            if ship_fingerprint != entry.fingerprint:
+                raise PlanShipError(
+                    "stats fingerprint mismatch: the plan was compiled "
+                    "against different data statistics — falling back to "
+                    "a cold trace"
+                )
+            if ship_algorithm != entry.algorithm or ship_kind != entry.kind:
+                raise PlanShipError(
+                    f"plan resolved to {ship_kind}/{ship_algorithm} on the "
+                    f"tracing engine but {entry.kind}/{entry.algorithm} "
+                    f"here"
+                )
+            versions = self._current_versions(parsed)
+            aggregate = (
+                None if entry.kind == "join"
+                else (parsed.aggregate or "bool")
+            )
+            bindings = {b.edge: b for b in parsed.bindings}
+            # Deterministic and coordinator-side only (stride partition of
+            # the registered rows, no backend rounds), so the receiver's
+            # parts match the tracing engine's by construction.
+            dists = self._dist_rels(parsed, aggregate=aggregate)
+
+            def bind(fn_ref: str, source: tuple) -> "tuple | None":
+                tag, name, edge, variables, src_aggregate = source
+                if tag != "base":
+                    raise PlanShipError(
+                        f"unknown MapParts source kind {tag!r}"
+                    )
+                binding = bindings.get(edge)
+                if (
+                    binding is None
+                    or binding.relation != name
+                    or binding.variables != variables
+                    or src_aggregate != aggregate
+                ):
+                    raise PlanShipError(
+                        f"MapParts source {edge!r} does not match this "
+                        f"engine's binding of the same query"
+                    )
+                dist = dists[edge]
+                return (resolve_fn(fn_ref), dist.parts, dist)
+
+            ops = decode_ops(op_records, bind)
+            stored = self._decode_shipped_result(result_desc)
+            report = LoadReport(
+                p=rep["p"], totals=tuple(rep["totals"]), load=rep["load"],
+                max_step_load=rep["max_step_load"], steps=rep["steps"],
+                by_label=dict(rep["by_label"]),
+            )
+            recording = _CachedResult(
+                relation_versions=dict(versions),
+                relation=stored,
+                scalar=payload["scalar"],
+                report=report,
+                meta=dict(payload["meta"]),
+                out_size=payload["out_size"],
+                stored_bytes=self._recording_nbytes(stored),
+            )
+            plan = PhysicalPlan(
+                query=entry.parsed.text,
+                kind=entry.kind,
+                algorithm=ship_algorithm,
+                p=self.p,
+                backend=self.backend_name,
+                relation_versions=dict(versions),
+                ops=ops,
+            )
+            entry.trace = plan
+            self._store_recording(entry, recording)
+            self._stats.plans_installed += 1
+            return plan_digest(blob)
+
+    def _decode_shipped_result(self, desc: tuple) -> Any:
+        """A shipped result descriptor back to a recording payload."""
+        tag = desc[0]
+        if tag == "none":
+            return None
+        if tag == "dist":
+            _tag, name, attrs, blobs = desc
+            arity = len(attrs)
+            blocks = [
+                ColumnBlock.from_rows(unpack_blob(b), arity) for b in blobs
+            ]
+            return _ColumnarPayload(name, tuple(attrs), blocks)
+        if tag == "rel":
+            _tag, name, attrs, rows, annotations, semiring_name = desc
+            semiring = next(
+                (s for s in ALL_SEMIRINGS if s.name == semiring_name), None
+            )
+            return Relation(
+                name, tuple(attrs), rows,
+                annotations=annotations, semiring=semiring,
+            )
+        raise PlanShipError(f"unknown result descriptor kind {tag!r}")
+
+    # ------------------------------------------------------------------
     # Batch submission front
     # ------------------------------------------------------------------
     def submit_batch(
@@ -1828,6 +2102,7 @@ class Engine:
             "repro_engine_invalidations": s.invalidations,
             "repro_engine_result_hits": s.result_hits,
             "repro_engine_plan_replays": s.plan_replays,
+            "repro_engine_plans_installed": s.plans_installed,
             "repro_engine_total_load": s.total_load,
             "repro_engine_wire_bytes": s.total_wire_bytes,
             "repro_engine_backend_requests": s.total_backend_requests,

@@ -118,3 +118,25 @@ class QueryQuarantined(EngineError):
     this error immediately (carrying the original failure text) instead
     of burning the retry budget again.
     """
+
+
+class PlanShipError(EngineError):
+    """A shipped physical plan could not be encoded, decoded, or installed.
+
+    Raised on a corrupt or version-incompatible wire blob, an fn
+    reference outside the allowlisted registry, or a receiving engine
+    whose catalog/statistics do not match the plan's fingerprints.  An
+    installation rejected with this error leaves the receiver untouched:
+    its next execution of the query simply traces cold, exactly as if
+    nothing had been shipped.
+    """
+
+
+class AdmissionRejected(EngineError):
+    """The serving front door shed a request at admission.
+
+    Raised synchronously by :meth:`repro.serve.Frontdoor.submit` when the
+    target replica's backlog has reached the configured ``shed_after``
+    bound.  Nothing was enqueued or executed; the caller may retry later
+    or route elsewhere.
+    """

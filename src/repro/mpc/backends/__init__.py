@@ -37,6 +37,7 @@ __all__ = [
     "deliver_local",
     "register_backend",
     "available_backends",
+    "create_backend",
     "get_backend",
     "default_backend_name",
     "shutdown_backends",
@@ -87,6 +88,28 @@ def get_backend(spec: "Backend | str | None" = None) -> Backend:
             )
         inst = _SHARED[name] = factory()
     return inst
+
+
+def create_backend(spec: "Backend | str | None" = None) -> Backend:
+    """A *fresh* backend instance the caller owns (and must close).
+
+    The serving front door (:mod:`repro.serve`) gives each engine replica
+    its own backend so replicas execute on disjoint worker pools — the
+    whole point of running replicas is overlapping their backend I/O,
+    which the process-wide shared instances of :func:`get_backend` would
+    serialize.  An explicit :class:`Backend` instance is passed through
+    as-is (the caller already owns its lifetime and has chosen to share
+    it).
+    """
+    if isinstance(spec, Backend):
+        return spec
+    name = spec if spec is not None else default_backend_name()
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise MPCError(
+            f"unknown backend {name!r}; registered: {available_backends()}"
+        )
+    return factory()
 
 
 def shutdown_backends() -> None:

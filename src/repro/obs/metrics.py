@@ -346,6 +346,23 @@ class MetricsRegistry:
         with self._lock:
             self._views.append(fn)
 
+    def reset(self) -> None:
+        """Drop every instrument; registered views stay.
+
+        A long-lived process serving several rounds (CLI ``serve
+        --repeat``, test loops) resets between rounds so per-round
+        percentiles come from per-round histograms instead of an
+        ever-growing one.  Views survive because they are *windows onto
+        external storage* (EngineStats, backend counters) — resetting the
+        registry must not silently disconnect them; callers who want
+        those at zero reset the owning objects.  Existing instrument
+        handles held by callers keep working but stop being scraped; the
+        next ``counter()``/``histogram()`` call re-creates a fresh one
+        under the same key.
+        """
+        with self._lock:
+            self._instruments.clear()
+
     # -- output ---------------------------------------------------------
     def _view_values(self) -> dict[str, float]:
         with self._lock:

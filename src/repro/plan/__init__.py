@@ -18,12 +18,24 @@ first-class object:
   worker-local ops into batched backend requests.
 * :mod:`repro.plan.executor` — the `Executor` replaying a recorded plan
   against a cluster/backend with a bit-identical ledger.
+* :mod:`repro.plan.ship` — the versioned wire format that turns a traced
+  plan into portable bytes one engine can export and another install
+  (the serving tier's plan-shipping substrate, DESIGN.md section 11).
 
 See DESIGN.md section 7 for the trace/replay contract.
 """
 
 from repro.plan.executor import Executor
 from repro.plan.fuse import fusion_groups
+from repro.plan.ship import (
+    SHIP_VERSION,
+    decode_plan,
+    encode_plan,
+    plan_digest,
+    register_shippable,
+    relation_digest,
+    resolve_fn,
+)
 from repro.plan.ir import (
     AttachDegrees,
     Broadcast,
@@ -56,11 +68,18 @@ __all__ = [
     "Op",
     "PhysicalPlan",
     "PrimSpan",
+    "SHIP_VERSION",
     "SampleSort",
     "SearchRows",
     "SemiJoin",
     "Subgroup",
     "TraceRecorder",
+    "decode_plan",
+    "encode_plan",
     "fusion_groups",
+    "plan_digest",
     "prim_span",
+    "register_shippable",
+    "relation_digest",
+    "resolve_fn",
 ]

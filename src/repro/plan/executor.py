@@ -112,11 +112,20 @@ class Executor:
                     n_map += 1
                 group = flush_after.get(i)
                 if group is not None:
+                    # Shipped plans may carry *unbound* worker-local ops
+                    # (fn=None): mid-execution intermediates whose parts
+                    # only existed in the tracing engine.  They charge
+                    # nothing and serve nothing — outputs come from the
+                    # recording — so skipping them costs worker memo
+                    # warmth only, never ledger or output fidelity.
                     batch = [
                         (ops[j].fn, ops[j].parts, ops[j].common, ops[j].owner)
                         for j in group
+                        if ops[j].fn is not None
                     ]
-                    if self.pipeline:
+                    if not batch:
+                        cluster.check_deadline()
+                    elif self.pipeline:
                         pending.append(backend.submit_ops(
                             batch, collect=False,
                             meter=self.meter, span=self.span,
@@ -188,6 +197,8 @@ class Executor:
                 op_timings[i] = {"wall": time.perf_counter() - t0, "wire": 0}
             elif isinstance(op, MapParts):
                 n_map += 1
+                if op.fn is None:  # unbound (shipped) op — nothing to run
+                    continue
                 wire_before = meter.bytes
                 t0 = time.perf_counter()
                 backend.run_ops(

@@ -178,6 +178,13 @@ def test_unknown_relation_suggests_registered_name():
         eng.execute("Q(A,B) :- R1x(A,B)")
 
 
+def test_unknown_relation_on_empty_catalog_says_so():
+    # Near-miss suggestions need candidates; with nothing registered the
+    # message must say *why* there are none, not list an empty set.
+    with pytest.raises(EngineError, match="catalog is empty"):
+        Engine(p=4).execute("Q(A,B) :- R1(A,B), R2(B,C)")
+
+
 def test_arity_mismatch_rejected():
     eng = _basic_engine()
     with pytest.raises(EngineError, match="arity"):

@@ -143,6 +143,20 @@ def test_unknown_aggregate_suggests():
         parse_query("Q(A; cout) :- R(A,B)")
 
 
+def test_suggest_with_no_candidates_names_the_reason():
+    # The near-miss helper with zero candidates must say *why* there is
+    # nothing to suggest instead of rendering an empty list.
+    from repro.engine.parser import _suggest
+
+    assert _suggest("R9", [], "available") == (
+        "; available: none (the catalog is empty)"
+    )
+    assert _suggest(
+        "X", [], "body variables", empty="the body binds no variables"
+    ) == "; body variables: none (the body binds no variables)"
+    assert _suggest("lin3", ["line3"], "available") == "; did you mean line3?"
+
+
 def test_unknown_catalog_name_suggests_near_miss():
     with pytest.raises(ParseError, match="line3"):
         parse_query("lin3")

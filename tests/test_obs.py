@@ -123,6 +123,23 @@ class TestRegistry:
         (hist,) = snap["histograms"].values()
         assert {"count", "sum", "p50", "p95", "p99"} <= set(hist)
 
+    def test_reset_drops_instruments_but_keeps_views(self):
+        # The serve CLI resets between workload rounds so percentiles
+        # are per-run; registered views are windows onto external state
+        # (EngineStats, backends) and must survive the reset.
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        reg.histogram("h_seconds").observe(0.5)
+        reg.register_view(lambda: {"live": 1})
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+        assert snap["views"] == {"live": 1}
+        # Fresh instruments after the reset start from zero.
+        reg.histogram("h_seconds").observe(0.1)
+        (hist,) = reg.snapshot()["histograms"].values()
+        assert hist["count"] == 1
+
 
 class TestPercentiles:
     def test_percentiles_of_known_samples(self):
